@@ -1,0 +1,201 @@
+package masm
+
+// Benchmarks regenerating the paper's evaluation: one testing.B benchmark
+// per table and figure (§4). Each drives the corresponding experiment in
+// internal/bench on the simulated devices and reports the headline numbers
+// as custom metrics; `masmbench -exp <id>` prints the full tables.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The -short flag switches to the reduced geometry.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"masm/internal/bench"
+)
+
+func benchOptions(b *testing.B) bench.Options {
+	if testing.Short() {
+		return bench.ShortOptions()
+	}
+	// Benchmarks use a middle geometry: large enough for all shapes,
+	// small enough to iterate.
+	opts := bench.DefaultOptions()
+	opts.TableBytes = 128 << 20
+	opts.CacheBytes = 8 << 20
+	opts.SmallRanges = 10
+	opts.LargeRanges = 2
+	return opts
+}
+
+func parseCell(b *testing.B, res *bench.Result, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(res.Rows[row][col], "s"), 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, res.Rows[row][col], err)
+	}
+	return v
+}
+
+func runExperiment(b *testing.B, id string) *bench.Result {
+	b.Helper()
+	e, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res, err = e.Run(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkFig1MigrationModel regenerates Figure 1: migration overhead vs
+// memory footprint for the prior in-memory approach and MaSM.
+func BenchmarkFig1MigrationModel(b *testing.B) {
+	res := runExperiment(b, "fig1")
+	b.ReportMetric(parseCell(b, res, 0, 1), "prior@16MB")
+	b.ReportMetric(parseCell(b, res, 0, 2), "masm@16MB")
+}
+
+// BenchmarkFig3TPCHInPlaceRow regenerates Figure 3: TPC-H queries with
+// concurrent random in-place updates on the row store.
+func BenchmarkFig3TPCHInPlaceRow(b *testing.B) {
+	res := runExperiment(b, "fig3")
+	var sum float64
+	for r := range res.Rows {
+		sum += parseCell(b, res, r, 2)
+	}
+	b.ReportMetric(sum/float64(len(res.Rows)), "avg-slowdown-x")
+}
+
+// BenchmarkFig4TPCHInPlaceColumn regenerates Figure 4: the emulated
+// column-store variant.
+func BenchmarkFig4TPCHInPlaceColumn(b *testing.B) {
+	res := runExperiment(b, "fig4")
+	var sum float64
+	for r := range res.Rows {
+		sum += parseCell(b, res, r, 2)
+	}
+	b.ReportMetric(sum/float64(len(res.Rows)), "avg-slowdown-x")
+}
+
+// BenchmarkFig9RangeScanSchemes regenerates Figure 9: range scans from
+// 4 KB to the full table under in-place, IU, MaSM-coarse and MaSM-fine.
+func BenchmarkFig9RangeScanSchemes(b *testing.B) {
+	res := runExperiment(b, "fig9")
+	last := len(res.Rows) - 1
+	b.ReportMetric(parseCell(b, res, 0, 1), "inplace@4KB-x")
+	b.ReportMetric(parseCell(b, res, last, 1), "inplace@full-x")
+	b.ReportMetric(parseCell(b, res, last, 2), "iu@full-x")
+	b.ReportMetric(parseCell(b, res, 0, 3), "masm-coarse@4KB-x")
+	b.ReportMetric(parseCell(b, res, 0, 4), "masm-fine@4KB-x")
+}
+
+// BenchmarkFig10CacheFill regenerates Figure 10: MaSM scans at 25–99 %
+// cache fill.
+func BenchmarkFig10CacheFill(b *testing.B) {
+	res := runExperiment(b, "fig10")
+	b.ReportMetric(parseCell(b, res, 0, 4), "masm@4KB-99full-x")
+	last := len(res.Rows) - 1
+	b.ReportMetric(parseCell(b, res, last, 4), "masm@full-99full-x")
+}
+
+// BenchmarkFig11Migration regenerates Figure 11: migration vs pure scan.
+func BenchmarkFig11Migration(b *testing.B) {
+	res := runExperiment(b, "fig11")
+	b.ReportMetric(parseCell(b, res, 1, 2), "migration-x")
+}
+
+// BenchmarkFig12SustainedUpdates regenerates Figure 12: sustained update
+// throughput for disk random writes, in-place, and MaSM at three cache
+// sizes.
+func BenchmarkFig12SustainedUpdates(b *testing.B) {
+	res := runExperiment(b, "fig12")
+	b.ReportMetric(parseCell(b, res, 1, 1), "inplace-upd/s")
+	b.ReportMetric(parseCell(b, res, 3, 1), "masm-upd/s")
+}
+
+// BenchmarkFig13CPUCost regenerates Figure 13: injected CPU cost per
+// record.
+func BenchmarkFig13CPUCost(b *testing.B) {
+	res := runExperiment(b, "fig13")
+	worst := 0.0
+	for r := range res.Rows {
+		if v := parseCell(b, res, r, 3); v > worst {
+			worst = v
+		}
+	}
+	b.ReportMetric(worst, "worst-masm/pure-x")
+}
+
+// BenchmarkFig14TPCHReplay regenerates Figure 14: the TPC-H replay with
+// in-place updates vs MaSM.
+func BenchmarkFig14TPCHReplay(b *testing.B) {
+	res := runExperiment(b, "fig14")
+	var ip, m float64
+	for r := range res.Rows {
+		ip += parseCell(b, res, r, 2)
+		m += parseCell(b, res, r, 3)
+	}
+	n := float64(len(res.Rows))
+	b.ReportMetric(ip/n, "inplace-avg-x")
+	b.ReportMetric(m/n, "masm-avg-x")
+}
+
+// BenchmarkTableWritesPerUpdate regenerates the Table 1 / Theorem 3.2–3.3
+// quantities: SSD writes per update across the MaSM-αM spectrum.
+func BenchmarkTableWritesPerUpdate(b *testing.B) {
+	res := runExperiment(b, "alpha")
+	for r := range res.Rows {
+		alpha := res.Rows[r][0]
+		b.ReportMetric(parseCell(b, res, r, 3), "writes/upd@a"+alpha)
+	}
+}
+
+// BenchmarkLSMWriteAmplification regenerates the §2.3 LSM analysis.
+func BenchmarkLSMWriteAmplification(b *testing.B) {
+	res := runExperiment(b, "lsm")
+	b.ReportMetric(parseCell(b, res, 0, 2), "h1-writes/upd")
+	b.ReportMetric(parseCell(b, res, 3, 2), "h4-writes/upd")
+}
+
+// BenchmarkHDDCacheAblation regenerates the §4.2 HDD-as-update-cache
+// ablation.
+func BenchmarkHDDCacheAblation(b *testing.B) {
+	res := runExperiment(b, "hddcache")
+	b.ReportMetric(parseCell(b, res, 0, 2), "hdd-cache@1MB-x")
+	b.ReportMetric(parseCell(b, res, 0, 1), "ssd-cache@1MB-x")
+}
+
+// BenchmarkSkewAblation regenerates the §3.5 skewed-update collapsing
+// ablation.
+func BenchmarkSkewAblation(b *testing.B) {
+	res := runExperiment(b, "skew")
+	b.ReportMetric(parseCell(b, res, 0, 3), "uniform-writes/upd")
+	b.ReportMetric(parseCell(b, res, 3, 3), "zipf2-writes/upd")
+}
+
+// BenchmarkPortionMigration regenerates the §3.5 incremental-migration
+// ablation.
+func BenchmarkPortionMigration(b *testing.B) {
+	res := runExperiment(b, "portion")
+	b.ReportMetric(parseCell(b, res, 0, 3), "full-stall-s")
+	b.ReportMetric(parseCell(b, res, 2, 3), "portioned-stall-s")
+}
+
+// BenchmarkGranularityAblation regenerates the §3.5 run-index granularity
+// sweep.
+func BenchmarkGranularityAblation(b *testing.B) {
+	res := runExperiment(b, "granularity")
+	b.ReportMetric(parseCell(b, res, 0, 1), "fine@4KB-x")
+	b.ReportMetric(parseCell(b, res, len(res.Rows)-1, 1), "coarsest@4KB-x")
+}

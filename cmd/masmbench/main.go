@@ -1,0 +1,94 @@
+// Command masmbench regenerates the tables and figures of the paper's
+// evaluation (§4) on the simulated devices and prints them as text tables.
+//
+// Usage:
+//
+//	masmbench -list
+//	masmbench -exp fig9
+//	masmbench -exp all -short
+//	masmbench -exp fig12 -table 128MB -cache 8MB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"masm/internal/bench"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		short   = flag.Bool("short", false, "use the reduced geometry")
+		tableSz = flag.String("table", "", "override table size (e.g. 256MB)")
+		cacheSz = flag.String("cache", "", "override SSD cache size (e.g. 16MB)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	opts := bench.DefaultOptions()
+	if *short {
+		opts = bench.ShortOptions()
+	}
+	opts.Seed = *seed
+	if *tableSz != "" {
+		opts.TableBytes = mustSize(*tableSz)
+	}
+	if *cacheSz != "" {
+		opts.CacheBytes = mustSize(*cacheSz)
+	}
+
+	var exps []bench.Experiment
+	if *expID == "all" {
+		exps = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
+	}
+	for _, e := range exps {
+		t0 := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		res.Format(os.Stdout)
+		fmt.Printf("(%s wall time: %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func mustSize(s string) int64 {
+	mult := int64(1)
+	u := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, u[:len(u)-2]
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, u[:len(u)-2]
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, u[:len(u)-2]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad size %q: %v\n", s, err)
+		os.Exit(1)
+	}
+	return n * mult
+}

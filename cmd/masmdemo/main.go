@@ -1,0 +1,176 @@
+// Command masmdemo is an interactive mini-warehouse shell over the public
+// masm API: load a table, stream updates, scan fresh data, watch the
+// update cache fill, and trigger in-place migrations.
+//
+// Usage:
+//
+//	masmdemo [-rows 100000] [-cache 16MB]
+//
+// Commands (one per line on stdin):
+//
+//	insert <key> <text...>   cache an insertion
+//	delete <key>             cache a deletion
+//	modify <key> <off> <txt> cache a field modification
+//	get <key>                read one fresh record
+//	scan <begin> <end>       range scan fresh data (prints first 20 rows)
+//	fill <n>                 apply n random modifications
+//	migrate                  fold cached updates into the main data
+//	stats                    engine counters and simulated time
+//	crash                    crash and recover from the redo log
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"masm"
+)
+
+func main() {
+	rows := flag.Int("rows", 100_000, "rows to bulk load")
+	cache := flag.String("cache", "16MB", "SSD update cache size")
+	flag.Parse()
+
+	cfg := masm.DefaultConfig()
+	cfg.CacheBytes = parseSize(*cache)
+	keys := make([]uint64, *rows)
+	bodies := make([][]byte, *rows)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		bodies[i] = []byte(fmt.Sprintf("row %08d | qty 001 | status LOADED........", keys[i]))
+	}
+	db, err := masm.Open(cfg, keys, bodies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d rows (even keys 2..%d), cache %s; type 'help' for commands\n",
+		*rows, 2**rows, *cache)
+
+	rng := rand.New(rand.NewSource(7))
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("masm> "); sc.Scan(); fmt.Print("masm> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		var err error
+		switch fields[0] {
+		case "help":
+			fmt.Println("insert/delete/modify/get/scan/fill/migrate/stats/crash/quit")
+		case "insert":
+			if len(fields) < 3 {
+				fmt.Println("usage: insert <key> <text>")
+				continue
+			}
+			err = db.Insert(parseU64(fields[1]), []byte(strings.Join(fields[2:], " ")))
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Println("usage: delete <key>")
+				continue
+			}
+			err = db.Delete(parseU64(fields[1]))
+		case "modify":
+			if len(fields) < 4 {
+				fmt.Println("usage: modify <key> <off> <text>")
+				continue
+			}
+			off, _ := strconv.Atoi(fields[2])
+			err = db.Modify(parseU64(fields[1]), off, []byte(strings.Join(fields[3:], " ")))
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			body, ok, gerr := db.Get(parseU64(fields[1]))
+			err = gerr
+			if err == nil {
+				if ok {
+					fmt.Printf("%s\n", body)
+				} else {
+					fmt.Println("(not found)")
+				}
+			}
+		case "scan":
+			if len(fields) != 3 {
+				fmt.Println("usage: scan <begin> <end>")
+				continue
+			}
+			n := 0
+			err = db.Scan(parseU64(fields[1]), parseU64(fields[2]), func(key uint64, body []byte) bool {
+				if n < 20 {
+					fmt.Printf("%8d  %s\n", key, body)
+				}
+				n++
+				return true
+			})
+			fmt.Printf("(%d rows)\n", n)
+		case "fill":
+			if len(fields) != 2 {
+				fmt.Println("usage: fill <n>")
+				continue
+			}
+			n, _ := strconv.Atoi(fields[1])
+			for i := 0; i < n && err == nil; i++ {
+				err = db.Modify(uint64(rng.Intn(2**rows))+1, 10, []byte(fmt.Sprintf("%03d", i%999)))
+			}
+			fmt.Printf("cache now %.1f%% full, %d runs\n", db.Stats().CacheFill*100, db.Stats().Runs)
+		case "migrate":
+			err = db.Migrate()
+			if err == nil {
+				fmt.Println("migrated in place")
+			}
+		case "stats":
+			st := db.Stats()
+			fmt.Printf("rows=%d cache=%.1f%% runs=%d updates=%d writes/upd=%.2f migrations=%d\n",
+				st.Rows, st.CacheFill*100, st.Runs, st.UpdatesAccepted, st.WritesPerUpdate, st.Migrations)
+			fmt.Printf("ssd-written=%dKB ssd-random-writes=%d disk-read=%dMB simulated=%v\n",
+				st.SSDBytesWritten>>10, st.SSDRandomWrites, st.DiskBytesRead>>20, db.Elapsed())
+		case "crash":
+			if err = db.Sync(); err == nil {
+				var db2 *masm.DB
+				db2, err = db.Crash()
+				if err == nil {
+					db = db2
+					fmt.Println("crashed and recovered from the redo log")
+				}
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func parseU64(s string) uint64 {
+	v, _ := strconv.ParseUint(s, 10, 64)
+	return v
+}
+
+func parseSize(s string) int64 {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, u[:len(u)-2]
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, u[:len(u)-2]
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, u[:len(u)-2]
+	}
+	v, err := strconv.ParseInt(u, 10, 64)
+	if err != nil {
+		return 16 << 20
+	}
+	return v * mult
+}

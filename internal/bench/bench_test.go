@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps unit-test runtime low; shape assertions are loose at
+// this scale and tightened only where scale-independent.
+func tinyOptions() Options {
+	return Options{
+		TableBytes:  32 << 20,
+		CacheBytes:  2 << 20,
+		Seed:        1,
+		SmallRanges: 4,
+		LargeRanges: 1,
+	}
+}
+
+func cell(t *testing.T, res *Result, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(res.Rows[row][col], "s"), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, res.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig1Analytic(t *testing.T) {
+	res, err := Fig1(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaSM at 32MB memory must equal prior at 16GB (both 1.0).
+	if got := cell(t, res, 1, 2); got != 1 {
+		t.Fatalf("MaSM @32MB = %v, want 1.0", got)
+	}
+	if got := cell(t, res, len(res.Rows)-1, 1); got != 1 {
+		t.Fatalf("prior @16GB = %v, want 1.0", got)
+	}
+	// Doubling memory halves prior overhead but quarters MaSM's.
+	if p0, p1 := cell(t, res, 0, 1), cell(t, res, 1, 1); p0/p1 != 2 {
+		t.Fatalf("prior halving broken: %v/%v", p0, p1)
+	}
+	if m0, m1 := cell(t, res, 0, 2), cell(t, res, 1, 2); m0/m1 != 4 {
+		t.Fatalf("MaSM quartering broken: %v/%v", m0, m1)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig9(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Rows) - 1
+	// In-place must slow large scans by at least 2x; MaSM fine-grain must
+	// stay within 15% everywhere (paper: 7%).
+	if ip := cell(t, res, last, 1); ip < 2 {
+		t.Fatalf("in-place full-scan slowdown = %v, want >= 2", ip)
+	}
+	for r := range res.Rows {
+		if fine := cell(t, res, r, 4); fine > 1.15 {
+			t.Fatalf("masm-fine slowdown at %s = %v, want <= 1.15", res.Rows[r][0], fine)
+		}
+	}
+	// IU must be worse than MaSM fine at the full range.
+	if iu, fine := cell(t, res, last, 2), cell(t, res, last, 4); iu <= fine {
+		t.Fatalf("IU (%v) not worse than masm-fine (%v) at full scan", iu, fine)
+	}
+}
+
+func TestFig11MigrationFactor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig11(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := cell(t, res, 1, 2)
+	if norm < 1.5 || norm > 3.5 {
+		t.Fatalf("migration factor = %v, want ~2.3 (paper)", norm)
+	}
+}
+
+func TestFig12OrdersOfMagnitude(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig12(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inplace := cell(t, res, 1, 1)
+	m1 := cell(t, res, 2, 1)
+	m2 := cell(t, res, 3, 1)
+	m4 := cell(t, res, 4, 1)
+	if inplace < 20 || inplace > 120 {
+		t.Fatalf("in-place rate %v, want ~48", inplace)
+	}
+	if m1 < 50*inplace {
+		t.Fatalf("MaSM rate %v not orders of magnitude above in-place %v", m1, inplace)
+	}
+	// Doubling the SSD roughly doubles the rate (within 40%).
+	if r := m2 / m1; r < 1.4 || r > 3 {
+		t.Fatalf("2x cache rate ratio = %v, want ~2", r)
+	}
+	if r := m4 / m2; r < 1.4 || r > 3 {
+		t.Fatalf("4x cache rate ratio = %v, want ~2", r)
+	}
+}
+
+func TestFig13MaSMInvisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig13(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range res.Rows {
+		if ratio := cell(t, res, r, 3); ratio > 1.1 {
+			t.Fatalf("MaSM/pure ratio at %s us = %v, want <= 1.1", res.Rows[r][0], ratio)
+		}
+	}
+	// CPU-bound tail grows: last absolute time exceeds first.
+	if first, last := cell(t, res, 0, 1), cell(t, res, len(res.Rows)-1, 1); last <= first {
+		t.Fatalf("CPU injection did not lengthen the scan: %v -> %v", first, last)
+	}
+}
+
+func TestLSMWritesMatchesPaper(t *testing.T) {
+	res, err := LSMWrites(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := cell(t, res, 0, 2); w < 120 || w > 140 {
+		t.Fatalf("2-level LSM writes/update = %v, want ~128 (paper)", w)
+	}
+	if w := cell(t, res, 3, 2); w < 15 || w > 20 {
+		t.Fatalf("4-level LSM writes/update = %v, want ~17 (paper)", w)
+	}
+}
+
+func TestHDDCacheAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := HDDCache(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd1, hdd1 := cell(t, res, 0, 1), cell(t, res, 0, 2)
+	if hdd1 < 2*ssd1 {
+		t.Fatalf("HDD cache at 1MB (%vx) not clearly worse than SSD (%vx)", hdd1, ssd1)
+	}
+}
+
+func TestTPCHReplayShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig14(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("replayed %d queries, want 20", len(res.Rows))
+	}
+	for r := range res.Rows {
+		ip := cell(t, res, r, 2)
+		m := cell(t, res, r, 3)
+		if ip < 1.3 {
+			t.Fatalf("%s: in-place slowdown %v, want >= 1.3", res.Rows[r][0], ip)
+		}
+		if m > 1.1 {
+			t.Fatalf("%s: MaSM slowdown %v, want <= 1.1 (paper: within 1%%)", res.Rows[r][0], m)
+		}
+	}
+}
+
+func TestSkewDedup(t *testing.T) {
+	res, err := Skew(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform updates barely dedup; heavy zipf collapses nearly all.
+	uniform := cell(t, res, 0, 4)
+	heavy := cell(t, res, 3, 4)
+	if uniform > 0.15 {
+		t.Fatalf("uniform dedup ratio %v, want ~0", uniform)
+	}
+	if heavy < 0.8 {
+		t.Fatalf("zipf(2.0) dedup ratio %v, want > 0.8", heavy)
+	}
+	// Writes per update drop with skew.
+	if w0, w3 := cell(t, res, 0, 3), cell(t, res, 3, 3); w3 >= w0 {
+		t.Fatalf("writes/update did not drop with skew: %v -> %v", w0, w3)
+	}
+}
+
+func TestPortionStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Portion(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullStall := cell(t, res, 0, 3)
+	s16 := cell(t, res, 2, 3)
+	if s16 > fullStall/3 {
+		t.Fatalf("16-portion worst stall %v not well below full migration %v", s16, fullStall)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig1", "fig3", "fig4", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "lsm", "hddcache", "alpha", "granularity",
+		"skew", "portion"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s not registered", want)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown lookup succeeded")
+	}
+}

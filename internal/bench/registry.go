@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one registered driver.
+type Experiment struct {
+	ID    string
+	Run   func(Options) (*Result, error)
+	Paper string // which paper artifact it regenerates
+}
+
+// Experiments returns every registered experiment, keyed and ordered by
+// ID: the full index of the paper's evaluation plus the ablations.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{"fig1", Fig1, "Figure 1 (migration overhead vs memory)"},
+		{"fig3", Fig3, "Figure 3 (TPC-H + in-place updates, row store)"},
+		{"fig4", Fig4, "Figure 4 (TPC-H + in-place updates, column store)"},
+		{"fig9", Fig9, "Figure 9 (range scans under update schemes)"},
+		{"fig10", Fig10, "Figure 10 (MaSM scans vs cache fill)"},
+		{"fig11", Fig11, "Figure 11 (migration cost)"},
+		{"fig12", Fig12, "Figure 12 (sustained update rate)"},
+		{"fig13", Fig13, "Figure 13 (CPU cost injection)"},
+		{"fig14", Fig14, "Figure 14 (TPC-H replay with MaSM)"},
+		{"lsm", LSMWrites, "§2.3 LSM write-amplification analysis"},
+		{"hddcache", HDDCache, "§4.2 HDD-as-update-cache ablation"},
+		{"alpha", AlphaSweep, "§3.4 / Theorem 3.3 memory-writes trade-off"},
+		{"granularity", GranularitySweep, "§3.5 run-index granularity ablation"},
+		{"skew", Skew, "§3.5 skewed-update duplicate collapsing ablation"},
+		{"portion", Portion, "§3.5 incremental (portioned) migration ablation"},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

@@ -1,0 +1,162 @@
+// Package extsort provides the external-sorting building blocks of MaSM:
+// k-way merging of sorted update streams and same-key combining.
+//
+// MaSM models query/update merging as an outer join evaluated with a
+// sort-merge strategy (paper §3.1): cached updates are sorted in the
+// layout order of the main data and merged with the table range scan.
+// Two-pass external sorting of ‖SSD‖ pages of updates needs M = √‖SSD‖
+// pages of memory; this package implements the merge side, while run
+// generation lives in memtable/runfile.
+package extsort
+
+import (
+	"container/heap"
+
+	"masm/internal/update"
+)
+
+// Merger merges k update iterators, each individually ordered by
+// (key, timestamp), into one stream in global (key, timestamp) order.
+// It is the engine inside the Merge_updates operator and inside 2-pass
+// run generation.
+type Merger struct {
+	h   mergeHeap
+	err error
+}
+
+type mergeItem struct {
+	rec update.Record
+	src int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	// seq breaks ties deterministically by source index so merging is
+	// stable across runs of the simulation.
+	its []update.Iterator
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.rec.Key != b.rec.Key {
+		return a.rec.Key < b.rec.Key
+	}
+	if a.rec.TS != b.rec.TS {
+		return a.rec.TS < b.rec.TS
+	}
+	return a.src < b.src
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// NewMerger builds a merger over the given iterators. Iterators are pulled
+// lazily; an empty iterator contributes nothing.
+func NewMerger(its ...update.Iterator) (*Merger, error) {
+	m := &Merger{}
+	m.h.its = its
+	for i, it := range its {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.h.items = append(m.h.items, mergeItem{rec: rec, src: i})
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// Next returns the next record in (key, ts) order.
+func (m *Merger) Next() (update.Record, bool, error) {
+	if m.err != nil {
+		return update.Record{}, false, m.err
+	}
+	if m.h.Len() == 0 {
+		return update.Record{}, false, nil
+	}
+	top := m.h.items[0]
+	rec, ok, err := m.h.its[top.src].Next()
+	if err != nil {
+		m.err = err
+		return update.Record{}, false, err
+	}
+	if ok {
+		m.h.items[0] = mergeItem{rec: rec, src: top.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.rec, true, nil
+}
+
+// MergePolicy decides whether two updates to the same key, with commit
+// timestamps olderTS < newerTS, may be collapsed into one record. Per
+// §3.5 ("Handling Skews in Incoming Updates"), collapsing is allowed only
+// if no concurrent range scan has a timestamp t with olderTS < t ≤ newerTS
+// — otherwise that scan would observe the wrong prefix of updates.
+type MergePolicy func(olderTS, newerTS int64) bool
+
+// MergeAll always collapses duplicates; valid when no queries are active
+// in the affected timestamp window.
+func MergeAll(_, _ int64) bool { return true }
+
+// MergeNone never collapses; always safe.
+func MergeNone(_, _ int64) bool { return false }
+
+// Combiner wraps a (key, ts)-ordered stream and collapses consecutive
+// same-key records according to a MergePolicy, using update.Merge
+// semantics. With MergeAll it yields at most one record per key — the form
+// Merge_updates feeds to Merge_data_updates.
+type Combiner struct {
+	src     update.Iterator
+	policy  MergePolicy
+	pending update.Record
+	valid   bool
+	err     error
+}
+
+// NewCombiner wraps src with the given policy.
+func NewCombiner(src update.Iterator, policy MergePolicy) *Combiner {
+	return &Combiner{src: src, policy: policy}
+}
+
+// Next returns the next (possibly combined) record.
+func (c *Combiner) Next() (update.Record, bool, error) {
+	if c.err != nil {
+		return update.Record{}, false, c.err
+	}
+	for {
+		rec, ok, err := c.src.Next()
+		if err != nil {
+			c.err = err
+			return update.Record{}, false, err
+		}
+		if !ok {
+			if c.valid {
+				c.valid = false
+				return c.pending, true, nil
+			}
+			return update.Record{}, false, nil
+		}
+		if !c.valid {
+			c.pending, c.valid = rec, true
+			continue
+		}
+		if c.pending.Key == rec.Key && c.policy(c.pending.TS, rec.TS) {
+			c.pending = update.Merge(&c.pending, &rec)
+			continue
+		}
+		out := c.pending
+		c.pending = rec
+		return out, true, nil
+	}
+}

@@ -1,0 +1,91 @@
+package masm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// extent is a contiguous byte range of the SSD update-cache volume.
+type extent struct {
+	off, size int64
+}
+
+// extentAlloc is a first-fit extent allocator with coalescing free list.
+// Runs are allocated as single extents; deleting a migrated run returns
+// its extent. Because runs are created and destroyed in large groups,
+// first-fit keeps fragmentation negligible in practice, and the paper's
+// migration threshold guarantees space is reclaimed before the cache
+// fills.
+type extentAlloc struct {
+	capacity int64
+	free     []extent // sorted by off, non-adjacent
+}
+
+func newExtentAlloc(capacity int64) *extentAlloc {
+	return &extentAlloc{capacity: capacity, free: []extent{{0, capacity}}}
+}
+
+// alloc reserves size bytes, returning the offset.
+func (a *extentAlloc) alloc(size int64) (int64, error) {
+	for i := range a.free {
+		if a.free[i].size >= size {
+			off := a.free[i].off
+			a.free[i].off += size
+			a.free[i].size -= size
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("masm: SSD update cache full: cannot allocate %d bytes (free %d in %d extents)",
+		size, a.totalFree(), len(a.free))
+}
+
+// release returns an extent to the free list, coalescing neighbours.
+func (a *extentAlloc) release(off, size int64) {
+	if size == 0 {
+		return
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
+	a.free = append(a.free, extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = extent{off, size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].size == a.free[i+1].off {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].size == a.free[i].off {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// reserve removes a specific range from the free list (crash recovery
+// re-registering surviving runs). It fails if the range is not free.
+func (a *extentAlloc) reserve(off, size int64) error {
+	for i := range a.free {
+		e := a.free[i]
+		if off >= e.off && off+size <= e.off+e.size {
+			// Split: [e.off, off) and [off+size, e.off+e.size).
+			a.free = append(a.free[:i], a.free[i+1:]...)
+			if off > e.off {
+				a.release(e.off, off-e.off)
+			}
+			if off+size < e.off+e.size {
+				a.release(off+size, e.off+e.size-(off+size))
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("masm: extent [%d,%d) not free", off, off+size)
+}
+
+func (a *extentAlloc) totalFree() int64 {
+	var n int64
+	for _, e := range a.free {
+		n += e.size
+	}
+	return n
+}

@@ -1,0 +1,319 @@
+package masm
+
+import (
+	"errors"
+
+	"masm/internal/extsort"
+	"masm/internal/runfile"
+	"masm/internal/sim"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// ErrActiveQueries is returned by BeginMigration while queries older than
+// the migration timestamp are still open. The paper's migration thread
+// waits for them (§3.2); callers should close those queries and retry.
+var ErrActiveQueries = errors.New("masm: queries older than the migration timestamp are still active")
+
+// ErrMigrationInProgress is returned when a migration is already running.
+var ErrMigrationInProgress = errors.New("masm: migration already in progress")
+
+// MigrateReport summarizes one completed migration.
+type MigrateReport struct {
+	MigTS        int64
+	RunsMigrated int
+	table.ApplyResult
+}
+
+// Migration is an in-flight update migration: the paper's migration thread
+// (§3.2). Between BeginMigration and Run/Complete, new queries may start;
+// they carry timestamps after the migration's, continue to see the
+// migrating runs, and rely on the page-timestamp check to avoid observing
+// an update twice once its page has been rewritten.
+type Migration struct {
+	s     *Store
+	migTS int64
+	runs  []*runfile.Run
+	at    sim.Time
+	done  bool
+}
+
+// BeginMigration logs the migration timestamp and the IDs of the current
+// set R of materialized sorted runs, after verifying that no query older
+// than the timestamp is active.
+func (s *Store) BeginMigration(at sim.Time) (*Migration, error) {
+	s.mu.Lock()
+	if s.migrating {
+		s.mu.Unlock()
+		return nil, ErrMigrationInProgress
+	}
+	migTS := s.oracle.Next()
+	for _, qts := range s.activeQueries {
+		if qts < migTS {
+			s.mu.Unlock()
+			return nil, ErrActiveQueries
+		}
+	}
+	// Flush the buffered updates older than the migration timestamp into
+	// a run so that the set R covers every update with ts < migTS. This
+	// is what entitles migrated pages to carry the timestamp migTS: a
+	// page stamp of migTS asserts "all cached updates below migTS are
+	// applied here".
+	t, err := s.flushLocked(at, migTS)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	at = t
+	runsR := append([]*runfile.Run(nil), s.runs...)
+	s.migrating = true
+	s.mu.Unlock()
+
+	if s.log != nil {
+		ids := make([]int64, len(runsR))
+		for i, r := range runsR {
+			ids[i] = r.ID
+		}
+		t, err := s.log.LogMigrationBegin(at, migTS, ids)
+		if err != nil {
+			s.abort()
+			return nil, err
+		}
+		at = t
+	}
+	return &Migration{s: s, migTS: migTS, runs: runsR, at: at}, nil
+}
+
+// MigTS returns the migration's timestamp.
+func (m *Migration) MigTS() int64 { return m.migTS }
+
+// Run performs the migration: a full table scan merging the run set into
+// the data pages, written back in place with large sequential I/Os, then
+// logs completion and deletes the migrated runs. Runs still pinned by
+// concurrent (newer) queries are parked until those queries close.
+func (m *Migration) Run() (sim.Time, *MigrateReport, error) {
+	return m.RunWithScan(nil)
+}
+
+// RunWithScan is Run with the coordinated-scan optimization (paper §3.5):
+// while migrating, the fresh post-migration rows are emitted to fn in key
+// order — a full-table query answered by the migration's own scan, so no
+// separate table scan is needed for migration purposes only. fn may be
+// nil; returning false stops emission (the migration still completes).
+func (m *Migration) RunWithScan(fn func(row table.Row) bool) (sim.Time, *MigrateReport, error) {
+	if m.done {
+		return m.at, nil, errors.New("masm: migration already completed")
+	}
+	s := m.s
+	if len(m.runs) == 0 {
+		m.done = true
+		s.abort()
+		return m.at, &MigrateReport{MigTS: m.migTS}, nil
+	}
+	end, rep, err := s.migrateRuns(m.at, m.migTS, m.runs, fn)
+	if err != nil {
+		s.abort()
+		return m.at, nil, err
+	}
+	if s.log != nil {
+		t, err := s.log.LogMigrationEnd(end, m.migTS)
+		if err != nil {
+			s.abort()
+			return m.at, nil, err
+		}
+		end = t
+	}
+
+	s.mu.Lock()
+	kept := s.runs[:0]
+	for _, r := range s.runs {
+		migrated := false
+		for _, mr := range m.runs {
+			if r == mr {
+				migrated = true
+				break
+			}
+		}
+		if !migrated {
+			kept = append(kept, r)
+		}
+	}
+	s.runs = kept
+	for _, r := range m.runs {
+		s.releaseRunLocked(r)
+	}
+	s.stats.Migrations++
+	s.stats.MigratedRecords += rep.RecordsApplied
+	s.migrating = false
+	s.mu.Unlock()
+	m.done = true
+	return end, rep, nil
+}
+
+func (s *Store) abort() {
+	s.mu.Lock()
+	s.migrating = false
+	s.mu.Unlock()
+}
+
+// migrateRuns merges the run set and applies it to the table, optionally
+// emitting the fresh rows (coordinated scan). The SSD reads of the run
+// scanners overlap the disk scan; the returned time is the later of the
+// two.
+func (s *Store) migrateRuns(at sim.Time, migTS int64, runsR []*runfile.Run, emit func(table.Row) bool) (sim.Time, *MigrateReport, error) {
+	iters := make([]update.Iterator, len(runsR))
+	scanners := make([]*runfile.Scanner, len(runsR))
+	for i, r := range runsR {
+		sc := r.Scan(at, 0, ^uint64(0), migTS, s.cfg.Run.IOSize)
+		scanners[i] = sc
+		iters[i] = sc
+	}
+	merger, err := extsort.NewMerger(iters...)
+	if err != nil {
+		return at, nil, err
+	}
+	end, res, err := s.tbl.ApplyStreamEmit(at, migTS, merger, s.cfg.MigrateBatch, 0, ^uint64(0), emit)
+	if err != nil {
+		return at, nil, err
+	}
+	for _, sc := range scanners {
+		end = sim.MaxTime(end, sc.Time())
+	}
+	return end, &MigrateReport{MigTS: migTS, RunsMigrated: len(runsR), ApplyResult: res}, nil
+}
+
+// MigratePortion performs one step of incremental migration (paper §3.5,
+// "Improving Migration"): instead of rewriting the whole table at once,
+// each call migrates the cached updates falling in the next span of
+// pagesPerPortion table pages, cycling through the key space. Runs whose
+// contents a completed sweep has fully applied are deleted at the wrap.
+//
+// sweepDone reports that this call completed a full cycle. Like Migrate,
+// it refuses while queries older than the portion's timestamp are active.
+func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, sweepDone bool, err error) {
+	if pagesPerPortion < 1 {
+		return at, false, errors.New("masm: non-positive portion size")
+	}
+	s.mu.Lock()
+	if s.migrating {
+		s.mu.Unlock()
+		return at, false, ErrMigrationInProgress
+	}
+	migTS := s.oracle.Next()
+	for _, qts := range s.activeQueries {
+		if qts < migTS {
+			s.mu.Unlock()
+			return at, false, ErrActiveQueries
+		}
+	}
+	// As in BeginMigration: the run set must cover every update below
+	// migTS so the rewritten pages may carry that timestamp.
+	t, err := s.flushLocked(at, migTS)
+	if err != nil {
+		s.mu.Unlock()
+		return at, false, err
+	}
+	at = t
+	runsR := append([]*runfile.Run(nil), s.runs...)
+	begin := s.portionCursor
+	if begin == 0 {
+		s.sweepFloorTS = migTS
+	}
+	endEx, last := s.tbl.SpanBounds(begin, pagesPerPortion)
+	s.migrating = true
+	s.mu.Unlock()
+
+	rangeEnd := ^uint64(0)
+	if !last && endEx > 0 {
+		rangeEnd = endEx - 1
+	}
+	if s.log != nil {
+		ids := make([]int64, len(runsR))
+		for i, r := range runsR {
+			ids[i] = r.ID
+		}
+		// Portions log full begin/end pairs: an interrupted portion redoes
+		// as a (larger, idempotent) full migration on recovery.
+		if at, err = s.log.LogMigrationBegin(at, migTS, ids); err != nil {
+			s.abort()
+			return at, false, err
+		}
+	}
+	iters := make([]update.Iterator, len(runsR))
+	scanners := make([]*runfile.Scanner, len(runsR))
+	for i, r := range runsR {
+		sc := r.Scan(at, begin, rangeEnd, migTS, s.cfg.Run.IOSize)
+		scanners[i] = sc
+		iters[i] = sc
+	}
+	merger, err := extsort.NewMerger(iters...)
+	if err != nil {
+		s.abort()
+		return at, false, err
+	}
+	end, res, err := s.tbl.ApplyStreamRange(at, migTS, merger, s.cfg.MigrateBatch, begin, rangeEnd)
+	if err != nil {
+		s.abort()
+		return at, false, err
+	}
+	for _, sc := range scanners {
+		end = sim.MaxTime(end, sc.Time())
+	}
+	if s.log != nil {
+		if end, err = s.log.LogMigrationEnd(end, migTS); err != nil {
+			s.abort()
+			return at, false, err
+		}
+	}
+
+	s.mu.Lock()
+	s.stats.MigratedRecords += res.RecordsApplied
+	if last {
+		// Sweep complete: every run whose newest record predates the
+		// sweep's first portion has been applied across the whole table.
+		floor := s.sweepFloorTS
+		kept := s.runs[:0]
+		for _, r := range s.runs {
+			if r.MaxTS < floor {
+				s.releaseRunLocked(r)
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		s.runs = kept
+		s.portionCursor = 0
+		s.stats.Migrations++
+	} else {
+		s.portionCursor = endEx
+	}
+	s.migrating = false
+	s.mu.Unlock()
+	return end, last, nil
+}
+
+// Migrate begins and runs a migration in one call: the common path when
+// the caller knows no older queries are active.
+func (s *Store) Migrate(at sim.Time) (sim.Time, *MigrateReport, error) {
+	m, err := s.BeginMigration(at)
+	if err != nil {
+		return at, nil, err
+	}
+	return m.Run()
+}
+
+// MigrateIfNeeded migrates when the cache is above the configured
+// threshold and no older queries block it; it reports whether a migration
+// ran.
+func (s *Store) MigrateIfNeeded(at sim.Time) (sim.Time, bool, error) {
+	if !s.ShouldMigrate() {
+		return at, false, nil
+	}
+	end, _, err := s.Migrate(at)
+	if errors.Is(err, ErrActiveQueries) || errors.Is(err, ErrMigrationInProgress) {
+		return at, false, nil
+	}
+	if err != nil {
+		return at, false, err
+	}
+	return end, true, nil
+}

@@ -1,0 +1,375 @@
+package masm
+
+import (
+	"masm/internal/extsort"
+	"masm/internal/memtable"
+	"masm/internal/runfile"
+	"masm/internal/sim"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// Query is a table range scan with online updates merged in: the paper's
+// replacement for the plain Table_range_scan operator (§3.2). It is a
+// Volcano-style iterator tree:
+//
+//	Merge_data_updates
+//	├── Table_range_scan            (disk, large sequential I/Os)
+//	└── Merge_updates               (k-way merge + same-key combining)
+//	    ├── Run_scan × (number of materialized sorted runs)   (SSD)
+//	    └── Mem_scan                (in-memory buffer)
+//
+// Disk and SSD children advance independent virtual-time cursors, so their
+// I/O overlaps exactly as the paper's asynchronous I/O does; the query's
+// completion time is the maximum across children plus injected CPU time.
+type Query struct {
+	s          *Store
+	ts         int64
+	begin, end uint64
+
+	data     *table.Scanner
+	runScans []*runfile.Scanner
+	mem      *memScanIter
+	upd      update.Iterator
+
+	// CPUPerRecord injects per-output-record CPU cost, modelling complex
+	// query processing above the scan (paper Fig 13).
+	CPUPerRecord sim.Duration
+
+	start       sim.Time
+	cpu         sim.Duration
+	pinnedRuns  []int64
+	pinnedPages int
+	dataPend    pendingRow
+	pending     *update.Record
+	updDone     bool
+	closed      bool
+	err         error
+}
+
+// NewQuery performs the table-range-scan setup of Fig 8 and returns the
+// operator tree. It assigns the query a fresh timestamp, flushes the
+// update buffer if it holds at least S pages, and merges the earliest
+// 1-pass runs while more runs exist than query memory pages.
+func (s *Store) NewQuery(at sim.Time, begin, end uint64) (*Query, error) {
+	return s.NewQueryAt(at, begin, end, s.oracle.Next())
+}
+
+// NewQueryAt is NewQuery with an explicit query timestamp: the query sees
+// exactly the updates committed before qts. Transactions use this to read
+// at their snapshot (paper §3.6); qts must come from the store's oracle.
+func (s *Store) NewQueryAt(at sim.Time, begin, end uint64, qts int64) (*Query, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Fig 8 lines 1–4: materialize a run if the buffer holds ≥ S pages.
+	if s.buf.Bytes() >= s.cfg.SPages()*s.cfg.SSDPage {
+		t, err := s.flushLocked(at, memtable.MaxDrain)
+		if err != nil {
+			return nil, err
+		}
+		at = t
+	}
+	// Fig 8 lines 5–8: bound run count by the available query pages.
+	for len(s.runs) > s.cfg.QueryPages() {
+		n := s.cfg.NMerge()
+		if avail := s.onePassCountLocked(); avail >= 2 && n > avail {
+			n = avail
+		}
+		if len(s.runs) < n {
+			n = len(s.runs)
+		}
+		t, err := s.mergeRunsLocked(at, n)
+		if err != nil {
+			return nil, err
+		}
+		at = t
+	}
+
+	q := &Query{
+		s:     s,
+		ts:    qts,
+		begin: begin,
+		end:   end,
+		start: at,
+		data:  s.tbl.NewScanner(at, begin, end),
+	}
+	iters := make([]update.Iterator, 0, len(s.runs)+1)
+	q.pinnedRuns = make([]int64, 0, len(s.runs))
+	for _, r := range s.runs {
+		sc := r.Scan(at, begin, end, qts, s.cfg.ScanGranularity)
+		q.runScans = append(q.runScans, sc)
+		iters = append(iters, sc)
+		s.pins[r.ID]++
+		q.pinnedRuns = append(q.pinnedRuns, r.ID)
+	}
+	q.mem = &memScanIter{
+		q:        q,
+		ms:       s.buf.Scan(begin, end, qts),
+		at:       at,
+		maxRunID: s.nextRunID - 1,
+	}
+	iters = append(iters, q.mem)
+	merger, err := extsort.NewMerger(iters...)
+	if err != nil {
+		return nil, err
+	}
+	q.upd = merger
+
+	q.pinnedPages = len(q.runScans) + 1
+	s.activeQueries[q] = qts
+	s.queryPagesInUse += q.pinnedPages
+	return q, nil
+}
+
+func (s *Store) onePassCountLocked() int {
+	n := 0
+	for _, r := range s.runs {
+		if r.Passes == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// TS returns the query's timestamp.
+func (q *Query) TS() int64 { return q.ts }
+
+// Time returns the query's virtual completion time so far: the maximum
+// over the disk scan, every SSD run scan, and accumulated CPU.
+func (q *Query) Time() sim.Time {
+	t := q.data.Time()
+	for _, sc := range q.runScans {
+		t = sim.MaxTime(t, sc.Time())
+	}
+	t = sim.MaxTime(t, q.mem.at)
+	return sim.MaxTime(t, q.start.Add(q.cpu))
+}
+
+// Err returns the first error the query encountered.
+func (q *Query) Err() error { return q.err }
+
+// Next returns the next merged row of the range, in key order, reflecting
+// exactly the updates with timestamps below the query's (the outer join of
+// main data and cached updates, §3.1).
+func (q *Query) Next() (table.Row, bool, error) {
+	if q.err != nil || q.closed {
+		return table.Row{}, false, q.err
+	}
+	for {
+		row, haveRow := q.peekData()
+		upd, haveUpd, err := q.peekUpd()
+		if err != nil {
+			q.err = err
+			return table.Row{}, false, err
+		}
+		switch {
+		case !haveRow && !haveUpd:
+			return table.Row{}, false, q.data.Err()
+		case haveRow && (!haveUpd || row.Key < upd.Key):
+			q.consumeData()
+			q.cpu += q.CPUPerRecord
+			return row, true, nil
+		case haveRow && row.Key == upd.Key:
+			// Apply the whole same-key update group onto the base row,
+			// skipping updates the page already absorbed via migration
+			// (timestamp check, §3.2).
+			q.consumeData()
+			body, exists := row.Body, true
+			ts := row.PageTS
+			for {
+				u, ok, err := q.peekUpd()
+				if err != nil {
+					q.err = err
+					return table.Row{}, false, err
+				}
+				if !ok || u.Key != row.Key {
+					break
+				}
+				q.consumeUpd()
+				if u.TS > row.PageTS {
+					body, exists = update.Apply(body, exists, &u)
+					ts = u.TS
+				}
+			}
+			if exists {
+				q.cpu += q.CPUPerRecord
+				return table.Row{Key: row.Key, Body: body, PageTS: ts}, true, nil
+			}
+		default:
+			// Update group with no base row: a new insertion (or a
+			// delete/modify of a nonexistent key, which yields nothing).
+			key := upd.Key
+			var body []byte
+			exists := false
+			var ts int64
+			for {
+				u, ok, err := q.peekUpd()
+				if err != nil {
+					q.err = err
+					return table.Row{}, false, err
+				}
+				if !ok || u.Key != key {
+					break
+				}
+				q.consumeUpd()
+				body, exists = update.Apply(body, exists, &u)
+				ts = u.TS
+			}
+			if exists {
+				q.cpu += q.CPUPerRecord
+				return table.Row{Key: key, Body: body, PageTS: ts}, true, nil
+			}
+		}
+	}
+}
+
+// Drain consumes the remaining rows, returning how many were produced and
+// the completion time. Most experiments only need the count and the time.
+func (q *Query) Drain() (int64, sim.Time, error) {
+	var n int64
+	for {
+		_, ok, err := q.Next()
+		if err != nil {
+			return n, q.Time(), err
+		}
+		if !ok {
+			return n, q.Time(), nil
+		}
+		n++
+	}
+}
+
+// Close releases the query's memory pages and unregisters it. It must be
+// called exactly once; migration waits for queries older than its
+// timestamp to close.
+func (q *Query) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	s := q.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.activeQueries[q]; ok {
+		s.queryPagesInUse -= q.pinnedPages
+		delete(s.activeQueries, q)
+	}
+	for _, id := range q.pinnedRuns {
+		s.pins[id]--
+		if s.pins[id] <= 0 {
+			delete(s.pins, id)
+			if r, ok := s.dead[id]; ok {
+				delete(s.dead, id)
+				s.releaseRunLocked(r)
+			}
+		}
+	}
+}
+
+type pendingRow struct {
+	row   table.Row
+	valid bool
+	done  bool
+}
+
+// peekData/consumeData implement one-row lookahead over the data scan.
+func (q *Query) peekData() (table.Row, bool) {
+	if q.dataPend.valid {
+		return q.dataPend.row, true
+	}
+	if q.dataPend.done {
+		return table.Row{}, false
+	}
+	row, ok := q.data.Next()
+	if !ok {
+		q.dataPend.done = true
+		return table.Row{}, false
+	}
+	q.dataPend.row, q.dataPend.valid = row, true
+	return row, true
+}
+
+func (q *Query) consumeData() { q.dataPend.valid = false }
+
+// peekUpd/consumeUpd implement one-record lookahead over Merge_updates.
+func (q *Query) peekUpd() (update.Record, bool, error) {
+	if q.pending != nil {
+		return *q.pending, true, nil
+	}
+	if q.updDone {
+		return update.Record{}, false, nil
+	}
+	rec, ok, err := q.upd.Next()
+	if err != nil {
+		return update.Record{}, false, err
+	}
+	if !ok {
+		q.updDone = true
+		return update.Record{}, false, nil
+	}
+	q.pending = &rec
+	return rec, true, nil
+}
+
+func (q *Query) consumeUpd() { q.pending = nil }
+
+// memScanIter wraps a Mem_scan and, when the buffer is flushed underneath
+// it, replaces itself with a Run_scan over the run the flush produced,
+// positioned just after the last record returned (paper §3.2, "Online
+// Updates and Range Scan"). All later flushes contain only records newer
+// than the query's timestamp, so a single replacement suffices.
+type memScanIter struct {
+	q        *Query
+	ms       *memtable.Scan
+	rs       *runfile.Scanner
+	at       sim.Time
+	maxRunID int64 // newest run that existed when the query started
+}
+
+// Next implements update.Iterator.
+func (m *memScanIter) Next() (update.Record, bool, error) {
+	if m.rs != nil {
+		rec, ok, err := m.rs.Next()
+		m.at = sim.MaxTime(m.at, m.rs.Time())
+		return rec, ok, err
+	}
+	rec, ok, flushed := m.ms.Next()
+	if !flushed {
+		return rec, ok, nil
+	}
+	// The buffer was drained into a new run. Find the earliest run newer
+	// than the query's snapshot: it holds every record this scan had not
+	// yet returned (all visible records were in the buffer at query
+	// start, and the first post-snapshot flush drained them all).
+	s := m.q.s
+	s.mu.Lock()
+	var target *runfile.Run
+	for _, r := range s.runs {
+		if r.ID > m.maxRunID {
+			if target == nil || r.ID < target.ID {
+				target = r
+			}
+		}
+	}
+	s.mu.Unlock()
+	if target == nil {
+		// Flush raced with migration deleting the run; every remaining
+		// visible record was migrated into pages this query cannot be
+		// reading (migration waits for older queries), so end the scan.
+		return update.Record{}, false, nil
+	}
+	m.rs = target.Scan(m.at, m.q.begin, m.q.end, m.q.ts, s.cfg.ScanGranularity)
+	if key, ts, started := m.ms.Resume(); started {
+		m.rs.SkipTo(key, ts)
+	}
+	s.mu.Lock()
+	if _, ok := s.activeQueries[m.q]; ok {
+		m.q.pinnedPages++
+		s.queryPagesInUse++
+	}
+	s.pins[target.ID]++
+	m.q.pinnedRuns = append(m.q.pinnedRuns, target.ID)
+	s.mu.Unlock()
+	return m.Next()
+}

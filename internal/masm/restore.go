@@ -1,0 +1,82 @@
+package masm
+
+import (
+	"fmt"
+	"sort"
+
+	"masm/internal/runfile"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// Restore rebuilds a Store after a crash (paper §3.6): the surviving
+// materialized sorted runs (their data is on the non-volatile SSD) have
+// their in-memory metadata and run indexes reconstructed by scanning, and
+// the lost in-memory buffer is repopulated from the redo-logged updates
+// that had not been flushed. If redoMigration is non-nil, a migration was
+// interrupted mid-flight; Restore re-runs it — the page-timestamp check
+// makes re-application idempotent, so no undo logging is ever needed for
+// data pages.
+//
+// The caller (normally wal.Recover) derives runs, pending and
+// redoMigration by replaying the redo log.
+func Restore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
+	logger RedoLogger, runs []RunMeta, pending []update.Record,
+	redoMigration []int64, at sim.Time) (*Store, sim.Time, error) {
+
+	s, err := NewStore(cfg, tbl, ssd, oracle, logger)
+	if err != nil {
+		return nil, at, err
+	}
+	// Rebuild runs in creation (ID) order, which is also time order.
+	sorted := append([]RunMeta(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RunID < sorted[j].RunID })
+	var maxTS int64
+	for _, rm := range sorted {
+		run, end, err := runfile.Rebuild(ssd, rm.Off, rm.Size, at, rm.RunID, rm.Passes, cfg.Run)
+		if err != nil {
+			return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, err)
+		}
+		at = end
+		extSize := roundUp(rm.Size, int64(cfg.SSDPage))
+		if err := s.alloc.reserve(rm.Off, extSize); err != nil {
+			return nil, at, err
+		}
+		s.extents[rm.RunID] = extent{off: rm.Off, size: extSize}
+		s.runs = append(s.runs, run)
+		if rm.RunID >= s.nextRunID {
+			s.nextRunID = rm.RunID + 1
+		}
+		if run.MaxTS > maxTS {
+			maxTS = run.MaxTS
+		}
+	}
+	// Repopulate the in-memory buffer with the unflushed updates.
+	for _, rec := range pending {
+		if rec.TS > maxTS {
+			maxTS = rec.TS
+		}
+		for !s.buf.Append(rec) {
+			end, err := s.flushLocked(at, int64(1)<<62)
+			if err != nil {
+				return nil, at, err
+			}
+			at = end
+		}
+	}
+	oracle.AdvanceTo(maxTS)
+	// Redo an interrupted migration. The run set may have changed IDs if
+	// the crash also lost merges; migrating everything currently live is
+	// always correct (a superset of the interrupted set, and page
+	// timestamps prevent double application).
+	if redoMigration != nil {
+		end, _, err := s.Migrate(at)
+		if err != nil {
+			return nil, at, fmt.Errorf("masm: redo migration: %w", err)
+		}
+		at = end
+	}
+	return s, at, nil
+}

@@ -1,0 +1,493 @@
+package masm
+
+import (
+	"fmt"
+	"sync"
+
+	"masm/internal/extsort"
+	"masm/internal/memtable"
+	"masm/internal/runfile"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// RunMeta describes a materialized sorted run's location for the redo
+// log, so crash recovery can rebuild the run set (the run data itself is
+// on the non-volatile SSD; only the in-memory metadata and run index need
+// reconstruction).
+type RunMeta struct {
+	RunID  int64
+	Off    int64
+	Size   int64
+	MaxTS  int64
+	Passes int
+}
+
+// RedoLogger is the hook into the database redo log (paper §3.6). MaSM
+// logs incoming updates (so the volatile in-memory buffer is recoverable),
+// flush and merge records (so recovery knows which updates already reside
+// on the non-volatile SSD, and where), and migration begin/end records (so
+// an interrupted migration is redone idempotently).
+type RedoLogger interface {
+	LogUpdate(at sim.Time, rec update.Record) (sim.Time, error)
+	LogFlush(at sim.Time, run RunMeta) (sim.Time, error)
+	LogMerge(at sim.Time, run RunMeta, consumed []int64) (sim.Time, error)
+	LogMigrationBegin(at sim.Time, migTS int64, runIDs []int64) (sim.Time, error)
+	LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error)
+}
+
+// Stats accumulates the counters behind the paper's design-goal analysis
+// (§3.7): total SSD writes per update record, flush/merge/migration
+// activity, and cache occupancy.
+type Stats struct {
+	UpdatesAccepted int64
+	// RecordWritesSSD counts record-write events to the SSD: +1 per
+	// record in a 1-pass run, +1 more each time a record is rewritten
+	// into a 2-pass run. WritesPerUpdate = RecordWritesSSD/UpdatesAccepted
+	// is the quantity bounded by Theorems 3.2/3.3.
+	RecordWritesSSD int64
+	BytesWrittenSSD int64
+	OnePassRuns     int64
+	TwoPassMerges   int64
+	PagesStolen     int64
+	Migrations      int64
+	MigratedRecords int64
+}
+
+// WritesPerUpdate returns the measured average number of times an update
+// record was written to SSD.
+func (s Stats) WritesPerUpdate() float64 {
+	if s.UpdatesAccepted == 0 {
+		return 0
+	}
+	return float64(s.RecordWritesSSD) / float64(s.UpdatesAccepted)
+}
+
+// Store is one MaSM update cache attached to one table: the in-memory
+// update buffer, the materialized sorted runs on the SSD volume, and the
+// machinery to merge them into range scans and migrate them back into the
+// main data.
+type Store struct {
+	cfg    Config
+	tbl    *table.Table
+	ssd    *storage.Volume
+	oracle *Oracle
+	log    RedoLogger
+
+	mu        sync.Mutex
+	buf       *memtable.Buffer
+	runs      []*runfile.Run // oldest first
+	alloc     *extentAlloc
+	nextRunID int64
+	// queryPagesInUse counts memory pages pinned by open queries'
+	// Run_scan read buffers; MaSM-M steals idle query pages for the
+	// update buffer (paper Fig 8).
+	queryPagesInUse int
+	stolenPages     int
+	activeQueries   map[*Query]int64 // open query -> its timestamp
+	// pins counts open queries holding each run; dead parks migrated runs
+	// whose extents cannot be reclaimed until their pins drain.
+	pins map[int64]int
+	dead map[int64]*runfile.Run
+	// extents records the allocated extent per run ID. Allocation happens
+	// before the run is written, so (especially for 2-pass merges, whose
+	// output shrinks under duplicate combining) the extent may be larger
+	// than the run's final size.
+	extents   map[int64]extent
+	migrating bool
+	// Incremental-migration sweep state (§3.5): the next portion's start
+	// key and the timestamp of the current sweep's first portion.
+	portionCursor uint64
+	sweepFloorTS  int64
+	stats         Stats
+}
+
+// NewStore creates a MaSM store over the given table, SSD volume (the
+// update cache) and shared timestamp oracle. logger may be nil to run
+// without a redo log.
+func NewStore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle, logger RedoLogger) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ssd.Size() < cfg.SSDCapacity {
+		return nil, fmt.Errorf("masm: SSD volume %d bytes smaller than configured cache %d",
+			ssd.Size(), cfg.SSDCapacity)
+	}
+	s := &Store{
+		cfg:    cfg,
+		tbl:    tbl,
+		ssd:    ssd,
+		oracle: oracle,
+		log:    logger,
+		buf:    memtable.New(cfg.SPages() * cfg.SSDPage),
+		// The allocator manages the whole physical volume, which may be
+		// over-provisioned relative to the logical cache capacity; the
+		// transient space lets 2-pass merges write their output before
+		// the input runs are released, as real SSDs over-provision flash.
+		alloc:         newExtentAlloc(ssd.Size()),
+		activeQueries: make(map[*Query]int64),
+		pins:          make(map[int64]int),
+		dead:          make(map[int64]*runfile.Run),
+		extents:       make(map[int64]extent),
+	}
+	return s, nil
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// SetScanGranularity switches the effective run-index granularity used by
+// subsequent queries, selecting between the paper's coarse-grain and
+// fine-grain configurations (§3.5) without rebuilding the runs — run
+// indexes are built fine-grained and subsampled at scan time.
+func (s *Store) SetScanGranularity(bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.ScanGranularity = bytes
+}
+
+// Table returns the main-data table this store caches updates for.
+func (s *Store) Table() *table.Table { return s.tbl }
+
+// Oracle returns the shared timestamp oracle.
+func (s *Store) Oracle() *Oracle { return s.oracle }
+
+// SSDVolume returns the SSD volume holding the update cache (needed by
+// crash-recovery plumbing, which rebuilds a store over the same volume).
+func (s *Store) SSDVolume() *storage.Volume { return s.ssd }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Runs returns the current number of materialized sorted runs.
+func (s *Store) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
+}
+
+// CachedBytes returns the bytes of updates held in the cache (runs plus
+// the in-memory buffer).
+func (s *Store) CachedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cachedBytesLocked()
+}
+
+func (s *Store) cachedBytesLocked() int64 {
+	n := int64(s.buf.Bytes())
+	for _, r := range s.runs {
+		n += r.Size
+	}
+	return n
+}
+
+// Fill returns the cache occupancy fraction of the SSD capacity.
+func (s *Store) Fill() float64 {
+	return float64(s.CachedBytes()) / float64(s.cfg.SSDCapacity)
+}
+
+// ShouldMigrate reports whether cache occupancy exceeds the configured
+// migration threshold (paper §3.2: migrate when the system load is low or
+// when updates reach e.g. 90 % of the SSD size).
+func (s *Store) ShouldMigrate() bool {
+	return s.Fill() >= s.cfg.MigrateThreshold
+}
+
+// Apply caches one incoming well-formed update. The record must carry a
+// timestamp from the store's oracle (use ApplyAuto for the common case).
+// at is the caller's virtual time; the returned time includes any redo
+// logging and buffer-flush I/O triggered by this update.
+func (s *Store) Apply(at sim.Time, rec update.Record) (sim.Time, error) {
+	if rec.TS <= 0 {
+		return at, fmt.Errorf("masm: update without timestamp")
+	}
+	if update.EncodedSize(&rec) > s.cfg.SPages()*s.cfg.SSDPage {
+		return at, fmt.Errorf("masm: update record of %d bytes exceeds the %d-byte update buffer",
+			update.EncodedSize(&rec), s.cfg.SPages()*s.cfg.SSDPage)
+	}
+	if s.log != nil {
+		t, err := s.log.LogUpdate(at, rec)
+		if err != nil {
+			return at, err
+		}
+		at = t
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.buf.Append(rec) {
+		// Buffer full. Steal an idle query page if one exists (Fig 8,
+		// Incoming Updates lines 2–3), otherwise materialize a 1-pass run
+		// (lines 4–6).
+		if s.queryPagesInUse+s.stolenPages < s.cfg.QueryPages() {
+			s.stolenPages++
+			s.stats.PagesStolen++
+			s.buf.SetCapacity((s.cfg.SPages() + s.stolenPages) * s.cfg.SSDPage)
+			continue
+		}
+		t, err := s.flushLocked(at, memtable.MaxDrain)
+		if err != nil {
+			return at, err
+		}
+		at = t
+	}
+	s.stats.UpdatesAccepted++
+	return at, nil
+}
+
+// ApplyAuto assigns a fresh commit timestamp and caches the update.
+func (s *Store) ApplyAuto(at sim.Time, rec update.Record) (sim.Time, error) {
+	rec.TS = s.oracle.Next()
+	return s.Apply(at, rec)
+}
+
+// flushLocked drains buffered records with timestamps below beforeTS into
+// a new 1-pass materialized sorted run. Caller holds s.mu.
+func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
+	recs := s.buf.Drain(beforeTS)
+	if len(recs) == 0 {
+		return at, nil
+	}
+	// Duplicate updates to the same key may be collapsed when no active
+	// query's timestamp falls between theirs (§3.5).
+	recs = s.combineLocked(recs)
+	size := int64(0)
+	for i := range recs {
+		size += int64(update.EncodedSize(&recs[i]))
+	}
+	extSize := roundUp(size, int64(s.cfg.SSDPage))
+	off, err := s.alloc.alloc(extSize)
+	if err != nil {
+		return at, err
+	}
+	id := s.nextRunID
+	s.nextRunID++
+	run, end, err := runfile.WriteRun(s.ssd, off, at, id, recs, s.cfg.Run)
+	if err != nil {
+		return at, err
+	}
+	s.extents[id] = extent{off: off, size: extSize}
+	s.runs = append(s.runs, run)
+	s.stats.OnePassRuns++
+	s.stats.RecordWritesSSD += run.Count
+	s.stats.BytesWrittenSSD += run.Size
+	// Return stolen pages: the buffer shrinks back to S pages (Fig 8,
+	// "Reset the in-memory buffer to have S empty pages").
+	s.stolenPages = 0
+	s.buf.SetCapacity(s.cfg.SPages() * s.cfg.SSDPage)
+	if s.log != nil {
+		t, err := s.log.LogFlush(end, RunMeta{RunID: id, Off: off, Size: run.Size, MaxTS: run.MaxTS, Passes: 1})
+		if err != nil {
+			return at, err
+		}
+		end = t
+	}
+	return end, nil
+}
+
+// combineLocked collapses duplicate-key records in a sorted batch under
+// the active-query safety policy. Caller holds s.mu.
+func (s *Store) combineLocked(recs []update.Record) []update.Record {
+	if len(recs) < 2 {
+		return recs
+	}
+	policy := s.mergePolicyLocked()
+	out := recs[:0]
+	for _, r := range recs {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.Key == r.Key && policy(last.TS, r.TS) {
+				*last = update.Merge(last, &r)
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// mergePolicyLocked returns the §3.5 safety policy: two updates with
+// timestamps t1 < t2 may merge iff no active query has timestamp t with
+// t1 < t ≤ t2. Caller holds s.mu; the returned closure snapshots the
+// active set.
+func (s *Store) mergePolicyLocked() extsort.MergePolicy {
+	if len(s.activeQueries) == 0 {
+		return extsort.MergeAll
+	}
+	qts := make([]int64, 0, len(s.activeQueries))
+	for _, ts := range s.activeQueries {
+		qts = append(qts, ts)
+	}
+	return func(older, newer int64) bool {
+		for _, t := range qts {
+			if older < t && t <= newer {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Flush forces the buffered updates into a 1-pass run (used by tests and
+// by graceful shutdown).
+func (s *Store) Flush(at sim.Time) (sim.Time, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked(at, memtable.MaxDrain)
+}
+
+// mergeRunsLocked merges the n earliest 1-pass runs into one 2-pass run
+// (paper Fig 8, Table Range Scan Setup lines 5–8). Caller holds s.mu.
+// The merged runs are adjacent in time order, so combining them preserves
+// every query's view.
+//
+// At the very bottom of the α range (α = 2/∛M), 2-pass runs alone can
+// exceed the query pages; then the earliest runs are merged regardless of
+// pass count, producing a higher-pass run (the paper's lower bound on α
+// makes this unnecessary except at the boundary).
+func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
+	// Collect the n earliest 1-pass runs, keeping their positions.
+	idx := make([]int, 0, n)
+	for i, r := range s.runs {
+		if r.Passes == 1 {
+			idx = append(idx, i)
+			if len(idx) == n {
+				break
+			}
+		}
+	}
+	if len(idx) < 2 {
+		// Fall back to merging the earliest runs of any pass.
+		idx = idx[:0]
+		for i := range s.runs {
+			idx = append(idx, i)
+			if len(idx) == n {
+				break
+			}
+		}
+	}
+	if len(idx) < 2 {
+		return at, fmt.Errorf("masm: need at least two runs to merge, have %d", len(s.runs))
+	}
+	olds := make([]*runfile.Run, len(idx))
+	iters := make([]update.Iterator, len(idx))
+	var totalSize int64
+	passes := 1
+	for i, j := range idx {
+		olds[i] = s.runs[j]
+		if olds[i].Passes >= passes {
+			passes = olds[i].Passes + 1
+		}
+		// Full-range scan with an unbounded query timestamp: the merge
+		// must carry every record.
+		sc := olds[i].Scan(at, 0, ^uint64(0), int64(1)<<62, s.cfg.Run.IOSize)
+		iters[i] = sc
+		totalSize += olds[i].Size
+	}
+	merger, err := extsort.NewMerger(iters...)
+	if err != nil {
+		return at, err
+	}
+	combined := extsort.NewCombiner(merger, s.mergePolicyLocked())
+
+	extSize := roundUp(totalSize, int64(s.cfg.SSDPage))
+	off, err := s.alloc.alloc(extSize)
+	if err != nil {
+		return at, err
+	}
+	id := s.nextRunID
+	s.nextRunID++
+	w, err := runfile.NewWriter(s.ssd, off, at, id, s.cfg.Run)
+	if err != nil {
+		return at, err
+	}
+	var count int64
+	for {
+		rec, ok, err := combined.Next()
+		if err != nil {
+			return at, err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Append(rec); err != nil {
+			return at, err
+		}
+		count++
+	}
+	merged, end, err := w.Close(passes)
+	if err != nil {
+		return at, err
+	}
+	// Duplicate combining can shrink the merged run well below the sum of
+	// its inputs; return the unused tail of the extent.
+	if used := roundUp(merged.Size, int64(s.cfg.SSDPage)); used < extSize {
+		s.alloc.release(off+used, extSize-used)
+		extSize = used
+	}
+	// The writer's virtual time must not run ahead of the readers': the
+	// merge finishes when both the last read and last write complete.
+	for _, it := range iters {
+		end = sim.MaxTime(end, it.(*runfile.Scanner).Time())
+	}
+	// Replace the old runs with the merged one at the position of the
+	// earliest, preserving time order of the remaining runs.
+	first := idx[0]
+	kept := s.runs[:0]
+	for i, r := range s.runs {
+		drop := false
+		for _, j := range idx {
+			if i == j {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			kept = append(kept, r)
+		}
+	}
+	s.runs = append(kept, nil)
+	copy(s.runs[first+1:], s.runs[first:len(s.runs)-1])
+	s.runs[first] = merged
+	s.extents[id] = extent{off: off, size: extSize}
+	for _, o := range olds {
+		s.releaseRunLocked(o)
+	}
+	s.stats.TwoPassMerges++
+	s.stats.RecordWritesSSD += count
+	s.stats.BytesWrittenSSD += merged.Size
+	if s.log != nil {
+		oldIDs := make([]int64, len(olds))
+		for i, o := range olds {
+			oldIDs[i] = o.ID
+		}
+		t, err := s.log.LogMerge(end,
+			RunMeta{RunID: id, Off: off, Size: merged.Size, MaxTS: merged.MaxTS, Passes: 2}, oldIDs)
+		if err != nil {
+			return at, err
+		}
+		end = t
+	}
+	return end, nil
+}
+
+// releaseRunLocked frees the extent behind a run (or parks it in dead if
+// still pinned by open queries). Caller holds s.mu.
+func (s *Store) releaseRunLocked(r *runfile.Run) {
+	if s.pins[r.ID] > 0 {
+		s.dead[r.ID] = r
+		return
+	}
+	if e, ok := s.extents[r.ID]; ok {
+		s.alloc.release(e.off, e.size)
+		delete(s.extents, r.ID)
+	}
+}
+
+func roundUp(n, unit int64) int64 { return (n + unit - 1) / unit * unit }

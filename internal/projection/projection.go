@@ -1,0 +1,314 @@
+// Package projection implements the paper's multiple-sort-orders support
+// (§5, "Multiple Sort Orders"): column-store warehouses keep copies of a
+// column in different sort orders to favour specific queries. A copy of
+// column X sorted by X stores the record key (RID) next to every value,
+// "so that when a query performs a range scan on this copy of X, we can
+// use the RIDs to look up the cached updates. ... Essentially, X with RID
+// column looks like a secondary index, and can be supported similarly."
+//
+// The projection lives on disk in its own region as fixed-width
+// (X value, key) entries in X order; scans over an X range read it
+// sequentially (that is its reason to exist) and then consult the MaSM
+// update cache per key so results stay fresh. Updates that create records
+// or change X are tracked in an in-memory overlay, exactly like the
+// secondary update index.
+package projection
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/update"
+)
+
+// Projection is one sorted column copy.
+type Projection struct {
+	store *masm.Store
+	vol   *storage.Volume
+
+	attrOff, width int
+	entrySize      int
+	count          int64
+
+	// sparse index: the X value of every indexGranularity-th entry.
+	sparse   [][]byte
+	sparseK  int64
+	scanSize int
+
+	// Overlay over cached updates: entries whose X landed in a value (new
+	// inserts, X modifies), plus keys whose projection entry may be stale.
+	overlay []overlayEntry
+	seen    map[uint64]bool
+}
+
+type overlayEntry struct {
+	val []byte
+	key uint64
+	ts  int64
+}
+
+// Config tunes the projection layout.
+type Config struct {
+	// SparseEvery keeps one in-memory index value per this many entries.
+	SparseEvery int64
+	// ScanIO is the sequential read unit.
+	ScanIO int
+}
+
+// DefaultConfig uses 1 MB scan I/O and a sparse entry per 1024 values.
+func DefaultConfig() Config {
+	return Config{SparseEvery: 1024, ScanIO: 1 << 20}
+}
+
+// Build scans the table, sorts the (X, key) pairs by X, and writes them
+// sequentially into vol. It charges the table scan and the projection
+// write to the simulated timeline.
+func Build(at sim.Time, store *masm.Store, attrOff, width int, vol *storage.Volume, cfg Config) (*Projection, sim.Time, error) {
+	if attrOff < 0 || width <= 0 {
+		return nil, at, fmt.Errorf("projection: bad attribute off=%d width=%d", attrOff, width)
+	}
+	if cfg.SparseEvery <= 0 || cfg.ScanIO <= 0 {
+		return nil, at, fmt.Errorf("projection: bad config %+v", cfg)
+	}
+	p := &Projection{
+		store:     store,
+		vol:       vol,
+		attrOff:   attrOff,
+		width:     width,
+		entrySize: width + 8,
+		sparseK:   cfg.SparseEvery,
+		scanSize:  cfg.ScanIO,
+		seen:      make(map[uint64]bool),
+	}
+	type pair struct {
+		val []byte
+		key uint64
+	}
+	var pairs []pair
+	sc := store.Table().NewScanner(at, 0, ^uint64(0))
+	for {
+		row, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if attrOff+width > len(row.Body) {
+			continue
+		}
+		pairs = append(pairs, pair{
+			val: append([]byte(nil), row.Body[attrOff:attrOff+width]...),
+			key: row.Key,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, at, err
+	}
+	now := sc.Time()
+	sort.Slice(pairs, func(i, j int) bool {
+		if c := bytes.Compare(pairs[i].val, pairs[j].val); c != 0 {
+			return c < 0
+		}
+		return pairs[i].key < pairs[j].key
+	})
+	if int64(len(pairs))*int64(p.entrySize) > vol.Size() {
+		return nil, at, fmt.Errorf("projection: %d entries exceed volume size %d", len(pairs), vol.Size())
+	}
+	w := storage.NewSequentialWriter(vol, 0, now)
+	buf := make([]byte, 0, cfg.ScanIO)
+	for i, pr := range pairs {
+		if int64(i)%p.sparseK == 0 {
+			p.sparse = append(p.sparse, pr.val)
+		}
+		buf = append(buf, pr.val...)
+		var kb [8]byte
+		binary.LittleEndian.PutUint64(kb[:], pr.key)
+		buf = append(buf, kb[:]...)
+		if len(buf) >= cfg.ScanIO {
+			if _, err := w.Write(buf); err != nil {
+				return nil, at, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return nil, at, err
+		}
+	}
+	p.count = int64(len(pairs))
+	return p, w.Time(), nil
+}
+
+// Count returns the number of projection entries.
+func (p *Projection) Count() int64 { return p.count }
+
+// Observe registers one cached update with the projection's overlay.
+func (p *Projection) Observe(rec update.Record) {
+	switch rec.Op {
+	case update.Insert, update.Replace:
+		if p.attrOff+p.width <= len(rec.Payload) {
+			p.overlay = append(p.overlay, overlayEntry{
+				val: append([]byte(nil), rec.Payload[p.attrOff:p.attrOff+p.width]...),
+				key: rec.Key,
+				ts:  rec.TS,
+			})
+		}
+		p.seen[rec.Key] = true
+	case update.Delete:
+		p.seen[rec.Key] = true
+	case update.Modify:
+		fields, err := rec.Fields()
+		if err != nil {
+			return
+		}
+		for _, f := range fields {
+			fEnd := int(f.Off) + len(f.Value)
+			if int(f.Off) < p.attrOff+p.width && fEnd > p.attrOff {
+				p.seen[rec.Key] = true
+				if int(f.Off) <= p.attrOff && fEnd >= p.attrOff+p.width {
+					v := f.Value[p.attrOff-int(f.Off) : p.attrOff-int(f.Off)+p.width]
+					p.overlay = append(p.overlay, overlayEntry{
+						val: append([]byte(nil), v...), key: rec.Key, ts: rec.TS,
+					})
+				}
+				break
+			}
+		}
+	}
+}
+
+// Row is one projection scan result: the fresh X value and its record key.
+type Row struct {
+	Val []byte
+	Key uint64
+}
+
+// Scan yields the fresh (X, key) pairs with X in [lo, hi], in X order:
+// the on-disk entries are read sequentially from the sparse-index
+// position; each candidate is freshened through the MaSM merge path, and
+// overlay entries contribute keys whose X moved into the range. Returns
+// the completion time.
+func (p *Projection) Scan(at sim.Time, lo, hi []byte, fn func(r Row) bool) (sim.Time, error) {
+	// Candidate keys from disk entries plus overlay.
+	cands := make(map[uint64]bool)
+	now, err := p.scanDisk(at, lo, hi, func(val []byte, key uint64) {
+		cands[key] = true
+	})
+	if err != nil {
+		return at, err
+	}
+	for _, e := range p.overlay {
+		if bytes.Compare(e.val, lo) >= 0 && bytes.Compare(e.val, hi) <= 0 {
+			cands[e.key] = true
+		}
+	}
+	// Freshen: fetch current bodies, re-extract X, filter, sort by X.
+	var rows []Row
+	keys := make([]uint64, 0, len(cands))
+	for k := range cands {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		q, err := p.store.NewQuery(now, key, key)
+		if err != nil {
+			return now, err
+		}
+		row, ok, err := q.Next()
+		if err != nil {
+			q.Close()
+			return now, err
+		}
+		now = q.Time()
+		q.Close()
+		if !ok || p.attrOff+p.width > len(row.Body) {
+			continue
+		}
+		v := append([]byte(nil), row.Body[p.attrOff:p.attrOff+p.width]...)
+		if bytes.Compare(v, lo) < 0 || bytes.Compare(v, hi) > 0 {
+			continue
+		}
+		rows = append(rows, Row{Val: v, Key: row.Key})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if c := bytes.Compare(rows[i].Val, rows[j].Val); c != 0 {
+			return c < 0
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	for _, r := range rows {
+		if !fn(r) {
+			break
+		}
+	}
+	return now, nil
+}
+
+// scanDisk reads the on-disk entries overlapping [lo, hi] sequentially.
+func (p *Projection) scanDisk(at sim.Time, lo, hi []byte, emit func(val []byte, key uint64)) (sim.Time, error) {
+	if p.count == 0 {
+		return at, nil
+	}
+	// Sparse index gives the starting entry group.
+	gi := sort.Search(len(p.sparse), func(i int) bool { return bytes.Compare(p.sparse[i], lo) >= 0 })
+	if gi > 0 {
+		gi--
+	}
+	startEntry := int64(gi) * p.sparseK
+	off := startEntry * int64(p.entrySize)
+	limit := p.count * int64(p.entrySize)
+	rd := storage.NewSequentialReader(p.vol, off, limit, int64(p.scanSize), at)
+	buf := make([]byte, p.scanSize)
+	var carry []byte
+	for {
+		n, _, err := rd.Next(buf)
+		if err != nil {
+			return at, err
+		}
+		if n == 0 {
+			break
+		}
+		data := append(carry, buf[:n]...)
+		i := 0
+		for i+p.entrySize <= len(data) {
+			val := data[i : i+p.width]
+			key := binary.LittleEndian.Uint64(data[i+p.width : i+p.entrySize])
+			i += p.entrySize
+			if bytes.Compare(val, hi) > 0 {
+				return rd.Time(), nil // sorted: nothing further matches
+			}
+			if bytes.Compare(val, lo) >= 0 {
+				emit(val, key)
+			}
+		}
+		carry = append([]byte(nil), data[i:]...)
+	}
+	return rd.Time(), nil
+}
+
+// Rebuild reconstructs the projection after a migration with timestamp
+// migTS and drops the overlay entries the migration folded into the main
+// data; entries for updates cached after migTS are kept.
+func (p *Projection) Rebuild(at sim.Time, migTS int64) (sim.Time, error) {
+	np, end, err := Build(at, p.store, p.attrOff, p.width, p.vol, Config{SparseEvery: p.sparseK, ScanIO: p.scanSize})
+	if err != nil {
+		return at, err
+	}
+	p.sparse = np.sparse
+	p.count = np.count
+	kept := p.overlay[:0]
+	for _, e := range p.overlay {
+		if e.ts >= migTS {
+			kept = append(kept, e)
+		}
+	}
+	p.overlay = kept
+	if len(kept) == 0 {
+		p.seen = make(map[uint64]bool)
+	}
+	return end, nil
+}

@@ -1,0 +1,77 @@
+package runfile
+
+import (
+	"fmt"
+
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/update"
+)
+
+// Rebuild reconstructs a Run's in-memory metadata and run index by
+// sequentially scanning its data on the SSD. Crash recovery uses this:
+// the run data survives on the non-volatile SSD, but the metadata and the
+// read-only run index live in memory and must be rebuilt (paper §3.6).
+// The scan is charged as sequential SSD reads at the configured I/O size.
+func Rebuild(vol *storage.Volume, off, size int64, at sim.Time, id int64, passes int, cfg Config) (*Run, sim.Time, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, err
+	}
+	r := &Run{ID: id, Off: off, Size: size, Passes: passes, cfg: cfg, vol: vol}
+	var (
+		buf     []byte
+		readOff int64
+		dataOff int64
+		nextIdx int64
+		prev    update.Record
+	)
+	now := at
+	for readOff < size || len(buf) > 0 {
+		for len(buf) > 0 {
+			rec, n, err := update.Decode(buf)
+			if err != nil {
+				if readOff >= size {
+					return nil, 0, fmt.Errorf("runfile: rebuild run %d: %d trailing undecodable bytes", id, len(buf))
+				}
+				break // partial record: read more
+			}
+			if r.Count > 0 && update.Less(&rec, &prev) {
+				return nil, 0, fmt.Errorf("runfile: rebuild run %d: records out of order", id)
+			}
+			if dataOff >= nextIdx {
+				r.index = append(r.index, indexEntry{key: rec.Key, off: dataOff})
+				nextIdx = (dataOff/int64(cfg.IndexGranularity) + 1) * int64(cfg.IndexGranularity)
+			}
+			if r.Count == 0 {
+				r.MinKey, r.MinTS, r.MaxTS = rec.Key, rec.TS, rec.TS
+			}
+			if rec.TS < r.MinTS {
+				r.MinTS = rec.TS
+			}
+			if rec.TS > r.MaxTS {
+				r.MaxTS = rec.TS
+			}
+			r.MaxKey = rec.Key
+			prev = rec
+			r.Count++
+			dataOff += int64(n)
+			buf = buf[n:]
+		}
+		if readOff >= size {
+			break
+		}
+		n := int64(cfg.IOSize)
+		if n > size-readOff {
+			n = size - readOff
+		}
+		chunk := make([]byte, n)
+		c, err := vol.ReadAt(now, chunk, off+readOff)
+		if err != nil {
+			return nil, 0, err
+		}
+		now = c.End
+		readOff += n
+		buf = append(buf, chunk...)
+	}
+	return r, now, nil
+}

@@ -1,0 +1,374 @@
+// Package runfile implements MaSM's materialized sorted runs (paper §3.1):
+// immutable sequences of update records in (key, timestamp) order stored on
+// the SSD, each with a read-only run index mapping keys to byte offsets so
+// a range scan retrieves only the SSD pages that overlap its key range.
+//
+// Runs are written strictly sequentially (design goal 2: no random SSD
+// writes) and never modified afterwards; they are deleted only when a
+// migration has folded their contents into the main data.
+package runfile
+
+import (
+	"fmt"
+	"sort"
+
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/update"
+)
+
+// Config fixes the physical layout of runs.
+type Config struct {
+	// IOSize is the unit of sequential SSD I/O when writing runs and when
+	// scanning large ranges (paper: 64 KB-sized I/Os to SSDs).
+	IOSize int
+	// IndexGranularity is the spacing, in bytes of run data, between
+	// consecutive run-index entries as built. Coarser effective
+	// granularities are obtained at scan time by subsampling, so building
+	// at fine granularity (4 KB, one entry per SSD page) supports both of
+	// the paper's configurations.
+	IndexGranularity int
+}
+
+// DefaultConfig matches the paper's prototype: 64 KB SSD I/O, fine-grain
+// (4 KB) index construction.
+func DefaultConfig() Config {
+	return Config{IOSize: 64 << 10, IndexGranularity: 4 << 10}
+}
+
+func (c *Config) validate() error {
+	if c.IOSize <= 0 {
+		return fmt.Errorf("runfile: non-positive I/O size %d", c.IOSize)
+	}
+	if c.IndexGranularity <= 0 || c.IndexGranularity > c.IOSize {
+		return fmt.Errorf("runfile: index granularity %d must be in (0, %d]", c.IndexGranularity, c.IOSize)
+	}
+	return nil
+}
+
+// indexEntry records the smallest key at or after a granule boundary and
+// the byte offset (record-aligned) where that key's records begin.
+type indexEntry struct {
+	key uint64
+	off int64
+}
+
+// Run is one immutable materialized sorted run plus its in-memory run
+// index. (The paper keeps run indexes cached in memory; their SSD space
+// overhead is negligible, §3.5.)
+type Run struct {
+	ID    int64
+	Off   int64 // byte offset of the run's data within the SSD volume
+	Size  int64 // data size in bytes
+	Count int64 // number of update records
+
+	MinKey, MaxKey uint64
+	MinTS, MaxTS   int64
+	// Passes is 1 for runs generated directly from the in-memory buffer
+	// and 2 for runs produced by merging 1-pass runs (paper §3.3).
+	Passes int
+
+	cfg   Config
+	vol   *storage.Volume
+	index []indexEntry
+}
+
+// IndexEntries returns the number of run-index entries (for space
+// accounting tests).
+func (r *Run) IndexEntries() int { return len(r.index) }
+
+// Writer streams update records in (key, ts) order into a new run,
+// writing sequentially in IOSize units and building the run index.
+type Writer struct {
+	cfg Config
+	vol *storage.Volume
+	id  int64
+	sw  *storage.SequentialWriter
+
+	base    int64
+	buf     []byte
+	written int64
+	count   int64
+	index   []indexEntry
+	nextIdx int64 // next granule boundary (bytes) needing an index entry
+
+	minKey, maxKey uint64
+	minTS, maxTS   int64
+	lastKey        uint64
+	lastTS         int64
+}
+
+// NewWriter starts writing a run with the given id at byte offset off of
+// vol, with local virtual time at.
+func NewWriter(vol *storage.Volume, off int64, at sim.Time, id int64, cfg Config) (*Writer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		cfg:  cfg,
+		vol:  vol,
+		id:   id,
+		sw:   storage.NewSequentialWriter(vol, off, at),
+		base: off,
+		buf:  make([]byte, 0, cfg.IOSize),
+	}, nil
+}
+
+// Append adds the next record, which must not sort before its predecessor.
+func (w *Writer) Append(r update.Record) error {
+	if w.count > 0 {
+		prev := update.Record{Key: w.lastKey, TS: w.lastTS}
+		if update.Less(&r, &prev) {
+			return fmt.Errorf("runfile: records out of order: (%d,%d) after (%d,%d)",
+				r.Key, r.TS, w.lastKey, w.lastTS)
+		}
+	}
+	recOff := w.written + int64(len(w.buf))
+	if recOff >= w.nextIdx {
+		w.index = append(w.index, indexEntry{key: r.Key, off: recOff})
+		w.nextIdx = recOff + int64(w.cfg.IndexGranularity)
+		w.nextIdx -= w.nextIdx % int64(w.cfg.IndexGranularity)
+		if w.nextIdx <= recOff {
+			w.nextIdx += int64(w.cfg.IndexGranularity)
+		}
+	}
+	w.buf = update.AppendEncode(w.buf, &r)
+	if w.count == 0 {
+		w.minKey, w.minTS = r.Key, r.TS
+		w.maxTS = r.TS
+	}
+	if r.TS < w.minTS {
+		w.minTS = r.TS
+	}
+	if r.TS > w.maxTS {
+		w.maxTS = r.TS
+	}
+	w.maxKey = r.Key
+	w.lastKey, w.lastTS = r.Key, r.TS
+	w.count++
+	for len(w.buf) >= w.cfg.IOSize {
+		if err := w.flushChunk(w.cfg.IOSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) flushChunk(n int) error {
+	if _, err := w.sw.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	w.written += int64(n)
+	w.buf = append(w.buf[:0], w.buf[n:]...)
+	return nil
+}
+
+// Close flushes the tail and returns the completed run and the virtual
+// time of the last write.
+func (w *Writer) Close(passes int) (*Run, sim.Time, error) {
+	if len(w.buf) > 0 {
+		if err := w.flushChunk(len(w.buf)); err != nil {
+			return nil, 0, err
+		}
+	}
+	r := &Run{
+		ID:     w.id,
+		Off:    w.base,
+		Size:   w.written,
+		Count:  w.count,
+		MinKey: w.minKey,
+		MaxKey: w.maxKey,
+		MinTS:  w.minTS,
+		MaxTS:  w.maxTS,
+		Passes: passes,
+		cfg:    w.cfg,
+		vol:    w.vol,
+		index:  w.index,
+	}
+	return r, w.sw.Time(), nil
+}
+
+// WriteRun materializes recs (already in (key, ts) order) as a run.
+func WriteRun(vol *storage.Volume, off int64, at sim.Time, id int64,
+	recs []update.Record, cfg Config) (*Run, sim.Time, error) {
+	w, err := NewWriter(vol, off, at, id, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			return nil, 0, err
+		}
+	}
+	return w.Close(1)
+}
+
+// scanBounds uses the run index, subsampled to effective granularity
+// gran, to bound the byte range that can contain keys in [begin, end].
+func (r *Run) scanBounds(begin, end uint64, gran int) (int64, int64) {
+	if r.Count == 0 || begin > r.MaxKey || end < r.MinKey {
+		return 0, 0
+	}
+	step := gran / r.cfg.IndexGranularity
+	if step < 1 {
+		step = 1
+	}
+	// Collect the subsampled entry list indices lazily via index math.
+	n := (len(r.index) + step - 1) / step
+	at := func(i int) indexEntry { return r.index[i*step] }
+	// start: last subsampled entry with key strictly below begin (records
+	// equal to begin may start in the preceding granule).
+	lo := sort.Search(n, func(i int) bool { return at(i).key >= begin })
+	startIdx := lo - 1
+	if startIdx < 0 {
+		startIdx = 0
+	}
+	start := at(startIdx).off
+	// limit: first subsampled entry with key strictly above end.
+	hi := sort.Search(n, func(i int) bool { return at(i).key > end })
+	var limit int64
+	if hi >= n {
+		limit = r.Size
+	} else {
+		limit = at(hi).off
+	}
+	return start, limit
+}
+
+// Scanner is a Run_scan operator (paper §3.2): it iterates the records of
+// one run that fall in [begin, end] with timestamps below the query's,
+// reading only the SSD pages the run index selects.
+type Scanner struct {
+	r          *Run
+	begin, end uint64
+	queryTS    int64
+	gran       int
+
+	off   int64 // next unread byte (absolute within run)
+	limit int64
+	buf   []byte // undecoded bytes carried between reads
+	now   sim.Time
+	err   error
+	done  bool
+
+	skipKey   uint64
+	skipTS    int64
+	skipValid bool
+}
+
+// Scan creates a scanner over [begin, end] for a query at queryTS, using
+// effective index granularity gran (bytes). gran selects between the
+// paper's coarse-grain and fine-grain run index configurations.
+func (r *Run) Scan(at sim.Time, begin, end uint64, queryTS int64, gran int) *Scanner {
+	start, limit := r.scanBounds(begin, end, gran)
+	return &Scanner{
+		r: r, begin: begin, end: end, queryTS: queryTS, gran: gran,
+		off: start, limit: limit, now: at,
+	}
+}
+
+// SkipTo positions the scanner just after record (key, ts); used when a
+// Run_scan replaces a flushed Mem_scan mid-query (paper §3.2).
+func (s *Scanner) SkipTo(key uint64, ts int64) {
+	s.skipKey, s.skipTS, s.skipValid = key, ts, true
+}
+
+// Time returns the scanner's local virtual time.
+func (s *Scanner) Time() sim.Time { return s.now }
+
+// SetTime advances the local clock.
+func (s *Scanner) SetTime(t sim.Time) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Err returns the first error encountered.
+func (s *Scanner) Err() error { return s.err }
+
+// ioSize returns the read unit: large sequential I/O when much data
+// remains, a single granule when the indexed window is small. This is what
+// makes the fine-grain index pay off for small ranges: the whole window
+// collapses to one 4 KB read per run.
+func (s *Scanner) ioSize() int64 {
+	remaining := s.limit - s.off
+	io := int64(s.r.cfg.IOSize)
+	if remaining < io {
+		// Round up to granule.
+		g := int64(s.gran)
+		n := (remaining + g - 1) / g * g
+		if n <= 0 {
+			n = g
+		}
+		if n > remaining {
+			n = remaining
+		}
+		return n
+	}
+	return io
+}
+
+// Next returns the next visible record.
+func (s *Scanner) Next() (update.Record, bool, error) {
+	if s.done || s.err != nil {
+		return update.Record{}, false, s.err
+	}
+	for {
+		// Decode whatever is buffered first.
+		for len(s.buf) > 0 {
+			rec, n, err := update.Decode(s.buf)
+			if err != nil {
+				// Partial record at buffer end: need more bytes.
+				break
+			}
+			s.buf = s.buf[n:]
+			if rec.Key > s.end {
+				s.done = true
+				return update.Record{}, false, nil
+			}
+			if rec.Key < s.begin || rec.TS >= s.queryTS {
+				continue
+			}
+			if s.skipValid {
+				cur := update.Record{Key: rec.Key, TS: rec.TS}
+				bound := update.Record{Key: s.skipKey, TS: s.skipTS}
+				if !update.Less(&bound, &cur) {
+					continue // at or before resume point
+				}
+			}
+			return rec, true, nil
+		}
+		if s.off >= s.limit {
+			if len(s.buf) > 0 {
+				// Index entries are record-aligned, so a partial record
+				// at the window end means corruption, not truncation.
+				s.err = fmt.Errorf("runfile: run %d: %d undecodable bytes at scan end", s.r.ID, len(s.buf))
+				return update.Record{}, false, s.err
+			}
+			s.done = true
+			return update.Record{}, false, nil
+		}
+		n := s.ioSize()
+		if s.off+n > s.limit {
+			n = s.limit - s.off
+		}
+		chunk := make([]byte, n)
+		c, err := s.r.vol.ReadAt(s.now, chunk, s.r.Off+s.off)
+		if err != nil {
+			s.err = err
+			return update.Record{}, false, err
+		}
+		s.now = c.End
+		s.off += n
+		s.buf = append(s.buf, chunk...)
+	}
+}
+
+// ReadCost estimates, without performing it, the number of SSD bytes a
+// scan of [begin, end] would read at granularity gran. Used by analytic
+// experiments (Fig 1) and by tests validating the low-query-overhead
+// analysis of §3.7.
+func (r *Run) ReadCost(begin, end uint64, gran int) int64 {
+	start, limit := r.scanBounds(begin, end, gran)
+	return limit - start
+}

@@ -1,0 +1,244 @@
+// Package secondary implements MaSM's secondary-index support (paper §5,
+// "Secondary Index").
+//
+// A secondary index on attribute Y answers index scans over a Y-range in
+// two steps: search the index for the matching record keys, then fetch
+// the records (sorted by key for disk-friendly access). With MaSM, two
+// complications arise:
+//
+//  1. Fetched records may have cached updates; each fetched record's key
+//     is looked up in the update cache and the updates merged in.
+//  2. Y itself may be modified by a cached update, so the base index
+//     alone is not enough. A *secondary update index* over the cached
+//     updates — an in-memory index on the unsorted buffer plus a
+//     read-only per-run index, which this prototype keeps in memory —
+//     finds update records carrying Y values in the requested range.
+//
+// The attribute Y is modelled as a fixed-width byte slice at a fixed
+// offset of the record body, which covers the common case of indexing a
+// column of a slotted row.
+package secondary
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// Attr describes the indexed attribute: Width bytes at byte offset Off of
+// the record body, compared lexicographically.
+type Attr struct {
+	Off   int
+	Width int
+}
+
+// Extract returns the attribute value of a record body, or nil if the
+// body is too short.
+func (a Attr) Extract(body []byte) []byte {
+	if a.Off+a.Width > len(body) {
+		return nil
+	}
+	return body[a.Off : a.Off+a.Width]
+}
+
+// touches reports whether a Modify update writes any byte of the
+// attribute.
+func (a Attr) touches(f update.Field) bool {
+	fEnd := int(f.Off) + len(f.Value)
+	return int(f.Off) < a.Off+a.Width && fEnd > a.Off
+}
+
+// entry is one (value, key) posting.
+type entry struct {
+	val []byte
+	key uint64
+}
+
+// Index is a secondary index over one table with a MaSM update cache.
+//
+// The base postings are built from the main data at construction (the
+// paper assumes an existing secondary index; rebuilding it from a scan is
+// the honest equivalent) and maintained on migration via Rebuild. The
+// update-side postings index every cached update that carries a Y value
+// (inserts, replaces, and modifies touching Y).
+type Index struct {
+	attr  Attr
+	store *masm.Store
+
+	base []entry // sorted by (val, key)
+	// updEntries indexes cached updates carrying Y values: sorted by
+	// (val, key, ts). Covers both SSD runs and the in-memory buffer —
+	// the paper's "read-only index on every materialized sorted run and
+	// an in-memory index on the unsorted updates", collapsed into one
+	// in-memory structure of the same content.
+	updEntries []updEntry
+	// touched records keys whose Y may have changed without a known new
+	// value falling in a searchable range (deletes, modifies of other
+	// fields); fetch-time merging resolves them.
+	updSeen map[uint64]bool
+}
+
+type updEntry struct {
+	val []byte
+	key uint64
+	ts  int64
+}
+
+// Build scans the table (charging simulated time) and constructs the
+// index. It must be called when the update cache is empty or after
+// observing all cached updates via Observe.
+func Build(at sim.Time, store *masm.Store, attr Attr) (*Index, sim.Time, error) {
+	if attr.Off < 0 || attr.Width <= 0 {
+		return nil, at, fmt.Errorf("secondary: bad attribute %+v", attr)
+	}
+	idx := &Index{attr: attr, store: store, updSeen: make(map[uint64]bool)}
+	sc := store.Table().NewScanner(at, 0, ^uint64(0))
+	for {
+		row, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if v := attr.Extract(row.Body); v != nil {
+			idx.base = append(idx.base, entry{val: append([]byte(nil), v...), key: row.Key})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, at, err
+	}
+	sortEntries(idx.base)
+	return idx, sc.Time(), nil
+}
+
+func sortEntries(es []entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if c := bytes.Compare(es[i].val, es[j].val); c != 0 {
+			return c < 0
+		}
+		return es[i].key < es[j].key
+	})
+}
+
+// Observe registers one cached update with the secondary update index.
+// Call it for every update applied to the store (e.g. from the same code
+// path that calls store.ApplyAuto).
+func (x *Index) Observe(rec update.Record) {
+	switch rec.Op {
+	case update.Insert, update.Replace:
+		if v := x.attr.Extract(rec.Payload); v != nil {
+			x.updEntries = append(x.updEntries, updEntry{
+				val: append([]byte(nil), v...), key: rec.Key, ts: rec.TS,
+			})
+		}
+		x.updSeen[rec.Key] = true
+	case update.Delete:
+		x.updSeen[rec.Key] = true
+	case update.Modify:
+		fields, err := rec.Fields()
+		if err != nil {
+			return
+		}
+		for _, f := range fields {
+			if x.attr.touches(f) {
+				x.updSeen[rec.Key] = true
+				// A modify that covers the whole attribute yields a
+				// searchable new value.
+				if int(f.Off) <= x.attr.Off && int(f.Off)+len(f.Value) >= x.attr.Off+x.attr.Width {
+					v := f.Value[x.attr.Off-int(f.Off) : x.attr.Off-int(f.Off)+x.attr.Width]
+					x.updEntries = append(x.updEntries, updEntry{
+						val: append([]byte(nil), v...), key: rec.Key, ts: rec.TS,
+					})
+				}
+				break
+			}
+		}
+	}
+}
+
+// Rebuild reconstructs the base postings after a migration folded cached
+// updates into the main data, and clears the update-side postings whose
+// timestamps the migration covered.
+func (x *Index) Rebuild(at sim.Time, migTS int64) (sim.Time, error) {
+	nx, end, err := Build(at, x.store, x.attr)
+	if err != nil {
+		return at, err
+	}
+	x.base = nx.base
+	kept := x.updEntries[:0]
+	for _, e := range x.updEntries {
+		if e.ts >= migTS {
+			kept = append(kept, e)
+		}
+	}
+	x.updEntries = kept
+	if len(kept) == 0 {
+		x.updSeen = make(map[uint64]bool)
+	}
+	return end, nil
+}
+
+// Scan performs an index scan for attribute values in [lo, hi]
+// (inclusive, lexicographic): it gathers candidate keys from the base
+// index and the secondary update index, sorts them in key order (the
+// paper's disk-friendly record-pointer sort), fetches the fresh version
+// of each record through the MaSM merge path, and re-checks the predicate
+// against the fresh value. fn receives rows in key order; returning false
+// stops early. Returns the completion time.
+func (x *Index) Scan(at sim.Time, lo, hi []byte, fn func(row table.Row) bool) (sim.Time, error) {
+	keys := make(map[uint64]bool)
+	// Base postings in range.
+	i := sort.Search(len(x.base), func(i int) bool { return bytes.Compare(x.base[i].val, lo) >= 0 })
+	for ; i < len(x.base) && bytes.Compare(x.base[i].val, hi) <= 0; i++ {
+		keys[x.base[i].key] = true
+	}
+	// Update-side postings in range (new/changed Y values).
+	for _, e := range x.updEntries {
+		if bytes.Compare(e.val, lo) >= 0 && bytes.Compare(e.val, hi) <= 0 {
+			keys[e.key] = true
+		}
+	}
+	if len(keys) == 0 {
+		return at, nil
+	}
+	sorted := make([]uint64, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	now := at
+	for _, key := range sorted {
+		q, err := x.store.NewQuery(now, key, key)
+		if err != nil {
+			return now, err
+		}
+		row, ok, err := q.Next()
+		if err != nil {
+			q.Close()
+			return now, err
+		}
+		now = q.Time()
+		q.Close()
+		if !ok {
+			continue // deleted since indexed
+		}
+		// Re-check the predicate on the fresh value: a cached update may
+		// have moved Y out of (or into) the range.
+		v := x.attr.Extract(row.Body)
+		if v == nil || bytes.Compare(v, lo) < 0 || bytes.Compare(v, hi) > 0 {
+			continue
+		}
+		if !fn(row) {
+			return now, nil
+		}
+	}
+	return now, nil
+}
+
+// Entries reports the base and update-side posting counts (for tests and
+// space accounting).
+func (x *Index) Entries() (base, upd int) { return len(x.base), len(x.updEntries) }

@@ -1,0 +1,266 @@
+package secondary
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// The indexed attribute: 4 bytes at offset 8 of the body.
+var attr = Attr{Off: 8, Width: 4}
+
+func body(key uint64, y uint32) []byte {
+	b := make([]byte, 40)
+	binary.LittleEndian.PutUint64(b[0:], key)
+	binary.BigEndian.PutUint32(b[8:], y) // big-endian: lexicographic == numeric
+	for i := 12; i < len(b); i++ {
+		b[i] = byte(key + uint64(i))
+	}
+	return b
+}
+
+func yval(y uint32) []byte {
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], y)
+	return v[:]
+}
+
+type env struct {
+	t     *testing.T
+	store *masm.Store
+	idx   *Index
+	now   sim.Time
+	// model: key -> y value (only live records)
+	model map[uint64]uint32
+}
+
+func newEnv(t *testing.T, n int) *env {
+	t.Helper()
+	hdd := sim.NewDevice(sim.Barracuda7200())
+	ssd := sim.NewDevice(sim.IntelX25E())
+	vol, err := storage.NewVolume(hdd, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, n)
+	bodies := make([][]byte, n)
+	model := make(map[uint64]uint32, n)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		y := uint32(i * 17 % 1000)
+		bodies[i] = body(keys[i], y)
+		model[keys[i]] = y
+	}
+	tbl, err := table.Load(vol, table.DefaultConfig(), keys, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssdVol, err := storage.NewVolume(ssd, 0, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := masm.DefaultConfig(4 << 20)
+	cfg.SSDPage = 4 << 10
+	cfg.Run.IOSize = 16 << 10
+	cfg.Run.IndexGranularity = 4 << 10
+	cfg.ScanGranularity = 4 << 10
+	store, err := masm.NewStore(cfg, tbl, ssdVol, &masm.Oracle{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, end, err := Build(0, store, attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{t: t, store: store, idx: idx, now: end, model: model}
+}
+
+// apply routes an update through the store and the index observer,
+// mirroring it into the model.
+func (e *env) apply(rec update.Record) {
+	e.t.Helper()
+	rec.TS = e.store.Oracle().Next()
+	end, err := e.store.Apply(e.now, rec)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	e.now = end
+	e.idx.Observe(rec)
+	switch rec.Op {
+	case update.Insert, update.Replace:
+		e.model[rec.Key] = binary.BigEndian.Uint32(rec.Payload[8:])
+	case update.Delete:
+		delete(e.model, rec.Key)
+	case update.Modify:
+		fields, _ := rec.Fields()
+		if old, ok := e.model[rec.Key]; ok {
+			b := body(rec.Key, old)
+			for _, f := range fields {
+				copy(b[f.Off:], f.Value)
+			}
+			e.model[rec.Key] = binary.BigEndian.Uint32(b[8:])
+		}
+	}
+}
+
+// verify checks an index scan over [lo, hi] against the model.
+func (e *env) verify(lo, hi uint32) {
+	e.t.Helper()
+	got := make(map[uint64]uint32)
+	var prev uint64
+	first := true
+	end, err := e.idx.Scan(e.now, yval(lo), yval(hi), func(row table.Row) bool {
+		if !first && row.Key <= prev {
+			e.t.Fatalf("index scan out of key order: %d after %d", row.Key, prev)
+		}
+		prev, first = row.Key, false
+		got[row.Key] = binary.BigEndian.Uint32(row.Body[8:])
+		return true
+	})
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	e.now = end
+	want := 0
+	for k, y := range e.model {
+		if y >= lo && y <= hi {
+			want++
+			gy, ok := got[k]
+			if !ok {
+				e.t.Fatalf("key %d (y=%d) missing from index scan [%d,%d]", k, y, lo, hi)
+			}
+			if gy != y {
+				e.t.Fatalf("key %d: y=%d, want %d", k, gy, y)
+			}
+		}
+	}
+	if len(got) != want {
+		e.t.Fatalf("index scan [%d,%d] returned %d rows, want %d", lo, hi, len(got), want)
+	}
+}
+
+func TestBaseIndexScan(t *testing.T) {
+	e := newEnv(t, 2000)
+	e.verify(100, 200)
+	e.verify(0, 999)
+	e.verify(500, 500)
+}
+
+func TestIndexSeesCachedInserts(t *testing.T) {
+	e := newEnv(t, 500)
+	e.apply(update.Record{Key: 9001, Op: update.Insert, Payload: body(9001, 123)})
+	e.verify(123, 123)
+	e.verify(0, 999)
+}
+
+func TestIndexDropsDeleted(t *testing.T) {
+	e := newEnv(t, 500)
+	// Key 2 has y = 0.
+	e.apply(update.Record{Key: 2, Op: update.Delete})
+	e.verify(0, 0)
+}
+
+func TestIndexTracksYModification(t *testing.T) {
+	e := newEnv(t, 500)
+	// Move key 4's y (originally 17) to 777: it must appear under 777 and
+	// vanish from 17's range.
+	e.apply(update.Record{Key: 4, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: 8, Value: yval(777)}})})
+	e.verify(777, 777)
+	e.verify(17, 17)
+}
+
+func TestIndexNonYModifyDoesNotDisturb(t *testing.T) {
+	e := newEnv(t, 500)
+	e.apply(update.Record{Key: 6, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: 20, Value: []byte("zz")}})})
+	e.verify(0, 999)
+}
+
+func TestIndexRandomWorkload(t *testing.T) {
+	e := newEnv(t, 1500)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1200; i++ {
+		key := uint64(rng.Intn(4000)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			e.apply(update.Record{Key: key, Op: update.Insert, Payload: body(key, uint32(rng.Intn(1000)))})
+		case 1:
+			e.apply(update.Record{Key: key, Op: update.Delete})
+		default:
+			e.apply(update.Record{Key: key, Op: update.Modify,
+				Payload: update.EncodeFields([]update.Field{{Off: 8, Value: yval(uint32(rng.Intn(1000)))}})})
+		}
+	}
+	e.verify(0, 999)
+	e.verify(250, 400)
+	e.verify(999, 999)
+}
+
+func TestIndexAfterMigrationRebuild(t *testing.T) {
+	e := newEnv(t, 1000)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 800; i++ {
+		key := uint64(rng.Intn(3000)) + 1
+		e.apply(update.Record{Key: key, Op: update.Insert, Payload: body(key, uint32(rng.Intn(1000)))})
+	}
+	end, rep, err := e.store.Migrate(e.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.now = end
+	end, err = e.idx.Rebuild(e.now, rep.MigTS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.now = end
+	if _, upd := e.idx.Entries(); upd != 0 {
+		t.Fatalf("%d update postings left after full migration rebuild", upd)
+	}
+	e.verify(0, 999)
+	// And stays correct for post-migration updates.
+	e.apply(update.Record{Key: 5555, Op: update.Insert, Payload: body(5555, 42)})
+	e.verify(42, 42)
+}
+
+func TestIndexScanChargesTime(t *testing.T) {
+	e := newEnv(t, 2000)
+	start := e.now
+	if _, err := e.idx.Scan(start, yval(100), yval(110), func(table.Row) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	end, err := e.idx.Scan(start, yval(100), yval(110), func(table.Row) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= start {
+		t.Fatal("index scan consumed no simulated time")
+	}
+}
+
+func TestAttrExtract(t *testing.T) {
+	b := body(2, 99)
+	if !bytes.Equal(attr.Extract(b), yval(99)) {
+		t.Fatal("extract broken")
+	}
+	if attr.Extract([]byte{1, 2, 3}) != nil {
+		t.Fatal("short body should extract nil")
+	}
+}
+
+func TestBuildRejectsBadAttr(t *testing.T) {
+	e := newEnv(t, 10)
+	if _, _, err := Build(0, e.store, Attr{Off: -1, Width: 4}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, _, err := Build(0, e.store, Attr{Off: 0, Width: 0}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}

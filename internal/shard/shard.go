@@ -1,0 +1,244 @@
+// Package shard implements the shared-nothing deployment the paper
+// describes in §5: the main data is range-partitioned across machine
+// nodes, each node has its own disk, SSD and MaSM store, incoming updates
+// are routed to the owning node, and analysis queries fan out and run in
+// parallel on every node they touch. "Because updates and queries are
+// eventually decomposed into operations on individual machine nodes, we
+// can apply MaSM algorithms on a per-machine-node basis."
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// Node is one shared-nothing machine: private devices, table, and MaSM
+// store, plus its own virtual timeline (nodes run in parallel).
+type Node struct {
+	ID    int
+	HDD   *sim.Device
+	SSD   *sim.Device
+	Table *table.Table
+	Store *masm.Store
+	// Low is the node's inclusive lower key bound; the node owns
+	// [Low, next node's Low).
+	Low uint64
+	now sim.Time
+}
+
+// Now returns the node's local virtual time.
+func (n *Node) Now() sim.Time { return n.now }
+
+// Cluster is a range-partitioned set of nodes.
+type Cluster struct {
+	nodes []*Node
+}
+
+// Config sizes a cluster.
+type Config struct {
+	Nodes     int
+	CachePer  int64 // SSD cache bytes per node
+	TableCfg  table.Config
+	StoreCfg  func(cacheBytes int64) masm.Config
+	BodySize  int
+	OverAlloc int64 // extra data-volume bytes per node for growth
+}
+
+// DefaultConfig returns a cluster configuration with per-node MaSM-M
+// caches.
+func DefaultConfig(nodes int, cachePer int64) Config {
+	return Config{
+		Nodes:    nodes,
+		CachePer: cachePer,
+		TableCfg: table.DefaultConfig(),
+		StoreCfg: func(cacheBytes int64) masm.Config {
+			cfg := masm.DefaultConfig(cacheBytes)
+			cfg.SSDPage = 4 << 10
+			cfg.Run.IOSize = 64 << 10
+			cfg.Run.IndexGranularity = 4 << 10
+			cfg.ScanGranularity = 4 << 10
+			return cfg
+		},
+		BodySize:  81,
+		OverAlloc: 32 << 20,
+	}
+}
+
+// Load builds a cluster by range-partitioning the given sorted records
+// evenly across nodes.
+func Load(cfg Config, keys []uint64, bodies [][]byte) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("shard: need at least one node")
+	}
+	if len(keys) != len(bodies) {
+		return nil, fmt.Errorf("shard: %d keys but %d bodies", len(keys), len(bodies))
+	}
+	c := &Cluster{}
+	per := (len(keys) + cfg.Nodes - 1) / cfg.Nodes
+	for i := 0; i < cfg.Nodes; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		node := &Node{
+			ID:  i,
+			HDD: sim.NewDevice(sim.Barracuda7200()),
+			SSD: sim.NewDevice(sim.IntelX25E()),
+		}
+		if lo < len(keys) {
+			node.Low = keys[lo]
+		} else {
+			node.Low = ^uint64(0)
+		}
+		if i == 0 {
+			node.Low = 0 // first node owns everything below the minimum
+		}
+		arena := storage.NewArena(node.HDD)
+		dataBytes := int64(hi-lo)*int64(cfg.BodySize+32)*2 + cfg.OverAlloc
+		vol, err := arena.Alloc(dataBytes)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := table.Load(vol, cfg.TableCfg, keys[lo:hi], bodies[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("shard: node %d: %w", i, err)
+		}
+		node.Table = tbl
+		scfg := cfg.StoreCfg(cfg.CachePer)
+		ssdVol, err := storage.NewVolume(node.SSD, 0, scfg.SSDCapacity*2)
+		if err != nil {
+			return nil, err
+		}
+		node.Store, err = masm.NewStore(scfg, tbl, ssdVol, &masm.Oracle{}, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// nodeFor routes a key to its owning node.
+func (c *Cluster) nodeFor(key uint64) *Node {
+	i := sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i].Low > key })
+	if i == 0 {
+		return c.nodes[0]
+	}
+	return c.nodes[i-1]
+}
+
+// Apply routes one well-formed update to its owning node's MaSM store.
+func (c *Cluster) Apply(rec update.Record) error {
+	n := c.nodeFor(rec.Key)
+	end, err := n.Store.ApplyAuto(n.now, rec)
+	if err != nil {
+		return err
+	}
+	n.now = end
+	return nil
+}
+
+// Scan runs a range scan across every node the range touches. Nodes scan
+// in parallel (each on its own devices); rows are delivered in global key
+// order by visiting nodes in partition order, and the reported duration
+// is the maximum node-local duration — the shared-nothing completion
+// time.
+func (c *Cluster) Scan(begin, end uint64, fn func(row table.Row) bool) (sim.Duration, error) {
+	var longest sim.Duration
+	for _, n := range c.nodes {
+		hiBound := ^uint64(0)
+		if n.ID+1 < len(c.nodes) {
+			hiBound = c.nodes[n.ID+1].Low - 1
+		}
+		if begin > hiBound || end < n.Low {
+			continue
+		}
+		q, err := n.Store.NewQuery(n.now, maxU64(begin, n.Low), minU64(end, hiBound))
+		if err != nil {
+			return longest, err
+		}
+		stop := false
+		for {
+			row, ok, err := q.Next()
+			if err != nil {
+				q.Close()
+				return longest, err
+			}
+			if !ok {
+				break
+			}
+			if !fn(row) {
+				stop = true
+				break
+			}
+		}
+		if d := q.Time().Sub(n.now); d > longest {
+			longest = d
+		}
+		n.now = q.Time()
+		q.Close()
+		if stop {
+			break
+		}
+	}
+	return longest, nil
+}
+
+// MigrateAll migrates every node's cache in parallel, returning the
+// longest node migration time.
+func (c *Cluster) MigrateAll() (sim.Duration, error) {
+	var longest sim.Duration
+	for _, n := range c.nodes {
+		end, _, err := n.Store.Migrate(n.now)
+		if err == masm.ErrActiveQueries || err == masm.ErrMigrationInProgress {
+			continue
+		}
+		if err != nil {
+			return longest, err
+		}
+		if d := end.Sub(n.now); d > longest {
+			longest = d
+		}
+		n.now = end
+	}
+	return longest, nil
+}
+
+// Stats aggregates per-node store statistics.
+func (c *Cluster) Stats() (total masm.Stats) {
+	for _, n := range c.nodes {
+		st := n.Store.Stats()
+		total.UpdatesAccepted += st.UpdatesAccepted
+		total.RecordWritesSSD += st.RecordWritesSSD
+		total.BytesWrittenSSD += st.BytesWrittenSSD
+		total.OnePassRuns += st.OnePassRuns
+		total.TwoPassMerges += st.TwoPassMerges
+		total.Migrations += st.Migrations
+		total.MigratedRecords += st.MigratedRecords
+	}
+	return total
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+func body(key uint64, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(key*31 + uint64(i))
+	}
+	return b
+}
+
+func loadCluster(t *testing.T, nodes, rows int) (*Cluster, map[uint64][]byte) {
+	t.Helper()
+	keys := make([]uint64, rows)
+	bodies := make([][]byte, rows)
+	model := make(map[uint64][]byte, rows)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		bodies[i] = body(keys[i], 81)
+		model[keys[i]] = bodies[i]
+	}
+	cfg := DefaultConfig(nodes, 2<<20)
+	c, err := Load(cfg, keys, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, model
+}
+
+func applyModel(t *testing.T, c *Cluster, model map[uint64][]byte, rec update.Record) {
+	t.Helper()
+	if err := c.Apply(rec); err != nil {
+		t.Fatal(err)
+	}
+	old, ok := model[rec.Key]
+	nb, exists := update.Apply(old, ok, &rec)
+	if exists {
+		model[rec.Key] = nb
+	} else {
+		delete(model, rec.Key)
+	}
+}
+
+func verify(t *testing.T, c *Cluster, model map[uint64][]byte, begin, end uint64) {
+	t.Helper()
+	got := make(map[uint64][]byte)
+	var prev uint64
+	first := true
+	if _, err := c.Scan(begin, end, func(row table.Row) bool {
+		if !first && row.Key <= prev {
+			t.Fatalf("global order broken: %d after %d", row.Key, prev)
+		}
+		prev, first = row.Key, false
+		got[row.Key] = append([]byte(nil), row.Body...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for k, v := range model {
+		if k < begin || k > end {
+			continue
+		}
+		want++
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("key %d mismatch", k)
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("scan [%d,%d]: %d rows, want %d", begin, end, len(got), want)
+	}
+}
+
+func TestClusterRoutingAndScan(t *testing.T) {
+	c, model := loadCluster(t, 4, 8000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		key := uint64(rng.Intn(20000)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			applyModel(t, c, model, update.Record{Key: key, Op: update.Insert, Payload: body(key+1, 81)})
+		case 1:
+			applyModel(t, c, model, update.Record{Key: key, Op: update.Delete})
+		default:
+			applyModel(t, c, model, update.Record{Key: key, Op: update.Modify,
+				Payload: update.EncodeFields([]update.Field{{Off: 3, Value: []byte{byte(i)}}})})
+		}
+	}
+	verify(t, c, model, 0, ^uint64(0))
+	verify(t, c, model, 3000, 9000) // straddles node boundaries
+	verify(t, c, model, 1, 1)
+}
+
+func TestClusterUpdatesLandOnOwningNode(t *testing.T) {
+	c, model := loadCluster(t, 4, 4000)
+	// Keys 2..2000 belong to node 0 (first quarter holds keys 2..2000).
+	applyModel(t, c, model, update.Record{Key: 100, Op: update.Delete})
+	if got := c.Nodes()[0].Store.Stats().UpdatesAccepted; got != 1 {
+		t.Fatalf("node 0 accepted %d updates, want 1", got)
+	}
+	for _, n := range c.Nodes()[1:] {
+		if got := n.Store.Stats().UpdatesAccepted; got != 0 {
+			t.Fatalf("node %d accepted %d updates, want 0", n.ID, got)
+		}
+	}
+}
+
+func TestClusterParallelScanFasterThanSerial(t *testing.T) {
+	// The point of shared nothing: N nodes scan their partitions in
+	// parallel, so the full scan completes in ~1/N the single-node time.
+	c1, _ := loadCluster(t, 1, 100000)
+	c4, _ := loadCluster(t, 4, 100000)
+	d1, err := c1.Scan(0, ^uint64(0), func(table.Row) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := c4.Scan(0, ^uint64(0), func(table.Row) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(d1) / float64(d4)
+	// The per-node initial seek is a fixed cost, so the speedup is a bit
+	// below the ideal 4x at this scale.
+	if speedup < 2.8 {
+		t.Fatalf("4-node speedup = %.2fx, want ~4x", speedup)
+	}
+}
+
+func TestClusterMigrateAll(t *testing.T) {
+	c, model := loadCluster(t, 3, 6000)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4000; i++ {
+		key := uint64(rng.Intn(12000)) + 1
+		applyModel(t, c, model, update.Record{Key: key, Op: update.Insert, Payload: body(key+2, 81)})
+	}
+	if _, err := c.MigrateAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Migrations != 3 {
+		t.Fatalf("migrations = %d, want one per node", st.Migrations)
+	}
+	for _, n := range c.Nodes() {
+		if n.Store.Runs() != 0 {
+			t.Fatalf("node %d still has %d runs", n.ID, n.Store.Runs())
+		}
+	}
+	verify(t, c, model, 0, ^uint64(0))
+}
+
+func TestClusterScanEarlyStop(t *testing.T) {
+	c, _ := loadCluster(t, 4, 4000)
+	n := 0
+	if _, err := c.Scan(0, ^uint64(0), func(table.Row) bool {
+		n++
+		return n < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("early stop after %d rows, want 10", n)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	if _, err := Load(DefaultConfig(0, 1<<20), nil, nil); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := Load(DefaultConfig(2, 1<<20), []uint64{1}, nil); err == nil {
+		t.Fatal("mismatched keys/bodies accepted")
+	}
+}

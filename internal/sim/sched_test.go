@@ -1,0 +1,149 @@
+package sim
+
+import "testing"
+
+func TestSchedulerRunDrainsAllActors(t *testing.T) {
+	mk := func(step Duration, n int) (*FuncActor, *int) {
+		var now Time
+		done := 0
+		left := n
+		return &FuncActor{
+			Now: func() Time { return now },
+			Work: func() bool {
+				now = now.Add(step)
+				done++
+				left--
+				return left > 0
+			},
+		}, &done
+	}
+	a, ca := mk(10*Millisecond, 5)
+	b, cb := mk(3*Millisecond, 7)
+	latest := NewScheduler(a, b).Run()
+	if *ca != 5 || *cb != 7 {
+		t.Fatalf("steps: a=%d b=%d, want 5/7", *ca, *cb)
+	}
+	if latest != Time(50*Millisecond) {
+		t.Fatalf("latest = %v, want 50ms", latest)
+	}
+}
+
+func TestSchedulerRunUntilDeadline(t *testing.T) {
+	var now Time
+	steps := 0
+	a := &FuncActor{
+		Now: func() Time { return now },
+		Work: func() bool {
+			now = now.Add(Millisecond)
+			steps++
+			return true
+		},
+	}
+	s := NewScheduler()
+	s.Add(a)
+	n := s.RunUntil(Time(10 * Millisecond))
+	if n != 10 || steps != 10 {
+		t.Fatalf("RunUntil executed %d/%d steps, want 10", n, steps)
+	}
+	// A second call resumes from the actor's time.
+	if n := s.RunUntil(Time(15 * Millisecond)); n != 5 {
+		t.Fatalf("resumed RunUntil executed %d, want 5", n)
+	}
+}
+
+func TestSchedulerRunUntilRetiresActors(t *testing.T) {
+	var now Time
+	a := &FuncActor{
+		Now: func() Time { return now },
+		Work: func() bool {
+			now = now.Add(Millisecond)
+			return false // one step only
+		},
+	}
+	s := NewScheduler(a)
+	if n := s.RunUntil(Time(Second)); n != 1 {
+		t.Fatalf("retired actor stepped %d times", n)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a, b := Time(5), Time(9)
+	if MaxTime(a, b) != b || MaxTime(b, a) != b {
+		t.Fatal("MaxTime broken")
+	}
+	if MinTime(a, b) != a || MinTime(b, a) != a {
+		t.Fatal("MinTime broken")
+	}
+	if Time(2*Second).Seconds() != 2 {
+		t.Fatal("Seconds broken")
+	}
+	if Time(Second).Sub(0) != Second {
+		t.Fatal("Sub broken")
+	}
+	if Time(Millisecond).String() != "1ms" {
+		t.Fatalf("String = %q", Time(Millisecond).String())
+	}
+}
+
+func TestDeviceKindString(t *testing.T) {
+	if HDD.String() != "hdd" || SSD.String() != "ssd" {
+		t.Fatal("kind strings broken")
+	}
+	if DeviceKind(9).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestDeviceParamsValidate(t *testing.T) {
+	p := Barracuda7200()
+	p.Capacity = 0
+	if p.Validate() == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	p = IntelX25E()
+	p.SeqReadBW = 0
+	if p.Validate() == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestDeviceResetStatsKeepsTimeline(t *testing.T) {
+	d := NewDevice(Barracuda7200())
+	c := d.Read(0, 0, 1<<20)
+	d.ResetStats()
+	if d.Stats().Reads != 0 {
+		t.Fatal("stats not reset")
+	}
+	if d.BusyUntil() != c.End {
+		t.Fatal("timeline reset with stats")
+	}
+	// Writes and reads still account after reset.
+	d.Write(c.End, 0, 4<<10)
+	if d.Stats().Writes != 1 {
+		t.Fatal("post-reset accounting broken")
+	}
+}
+
+func TestCompletionLatency(t *testing.T) {
+	c := Completion{Start: Time(10 * Millisecond), End: Time(30 * Millisecond)}
+	if c.Latency(Time(5*Millisecond)) != 25*Millisecond {
+		t.Fatalf("latency = %v", c.Latency(Time(5*Millisecond)))
+	}
+	if c.String() == "" {
+		t.Fatal("empty completion string")
+	}
+}
+
+func TestHDDNearSeekCheaperThanFar(t *testing.T) {
+	d := NewDevice(Barracuda7200())
+	// Position the head.
+	c := d.Read(0, 100<<20, 4<<10)
+	// Near write (same page region): rotation only.
+	near := d.Write(c.End, 100<<20, 4<<10)
+	// Far write.
+	far := d.Write(near.End, 10<<30, 4<<10)
+	if near.End.Sub(near.Start) >= far.End.Sub(far.Start) {
+		t.Fatalf("near repositioning (%v) not cheaper than far (%v)",
+			near.End.Sub(near.Start), far.End.Sub(far.Start))
+	}
+}

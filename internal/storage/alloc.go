@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"masm/internal/sim"
+)
+
+// Arena hands out non-overlapping volumes from a device, front to back.
+// It is the minimal "partition table" the prototype needs: the main data
+// file, the update-cache runs, and the log each get their own volume.
+type Arena struct {
+	mu   sync.Mutex
+	dev  *sim.Device
+	next int64
+}
+
+// NewArena creates an allocator over the whole device.
+func NewArena(dev *sim.Device) *Arena {
+	return &Arena{dev: dev}
+}
+
+// Alloc carves the next size bytes into a fresh volume.
+func (a *Arena) Alloc(size int64) (*Volume, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, err := NewVolume(a.dev, a.next, size)
+	if err != nil {
+		return nil, fmt.Errorf("storage: arena alloc %d bytes at %d: %w", size, a.next, err)
+	}
+	a.next += size
+	return v, nil
+}
+
+// Remaining reports how many bytes are still unallocated.
+func (a *Arena) Remaining() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dev.Params().Capacity - a.next
+}
+
+// SequentialWriter appends fixed-position writes to a volume, tracking the
+// write cursor and the virtual time of the last completion. MaSM's
+// materialized sorted runs are produced exclusively through this type,
+// which is how the implementation guarantees design goal 2 (no random SSD
+// writes): every write continues the previous one.
+type SequentialWriter struct {
+	vol *Volume
+	off int64
+	now sim.Time
+}
+
+// NewSequentialWriter starts writing at off with local time at.
+func NewSequentialWriter(vol *Volume, off int64, at sim.Time) *SequentialWriter {
+	return &SequentialWriter{vol: vol, off: off, now: at}
+}
+
+// Write appends p and advances the cursor and local clock.
+func (w *SequentialWriter) Write(p []byte) (sim.Completion, error) {
+	c, err := w.vol.WriteAt(w.now, p, w.off)
+	if err != nil {
+		return sim.Completion{}, err
+	}
+	w.off += int64(len(p))
+	w.now = c.End
+	return c, nil
+}
+
+// Offset returns the current write cursor.
+func (w *SequentialWriter) Offset() int64 { return w.off }
+
+// Time returns the writer's local time (completion of the last write).
+func (w *SequentialWriter) Time() sim.Time { return w.now }
+
+// SequentialReader reads forward through a volume region in fixed-size
+// I/Os, modelling the 1 MB prefetching range scans of the prototype
+// (paper §4.1: "a range scan performs 1MB-sized disk I/O reads").
+type SequentialReader struct {
+	vol   *Volume
+	off   int64
+	limit int64
+	ioLen int64
+	now   sim.Time
+}
+
+// NewSequentialReader reads [off, limit) in chunks of ioLen bytes.
+func NewSequentialReader(vol *Volume, off, limit, ioLen int64, at sim.Time) *SequentialReader {
+	if ioLen <= 0 {
+		panic("storage: non-positive I/O size")
+	}
+	return &SequentialReader{vol: vol, off: off, limit: limit, ioLen: ioLen, now: at}
+}
+
+// Next reads the next chunk into p (which must be at least ioLen long) and
+// reports how many bytes were read; zero at end of region.
+func (r *SequentialReader) Next(p []byte) (int, sim.Completion, error) {
+	if r.off >= r.limit {
+		return 0, sim.Completion{Start: r.now, End: r.now}, nil
+	}
+	n := min64(r.ioLen, r.limit-r.off)
+	c, err := r.vol.ReadAt(r.now, p[:n], r.off)
+	if err != nil {
+		return 0, sim.Completion{}, err
+	}
+	r.off += n
+	r.now = c.End
+	return int(n), c, nil
+}
+
+// Time returns the reader's local time.
+func (r *SequentialReader) Time() sim.Time { return r.now }
+
+// Offset returns the current read cursor.
+func (r *SequentialReader) Offset() int64 { return r.off }

@@ -1,0 +1,171 @@
+// Package storage provides byte-addressed volumes that combine real data
+// content (held in memory, sparsely allocated) with the timing model of a
+// simulated device. Every other layer of the system performs its I/O
+// through a Volume, so both the data it reads and the virtual time it pays
+// are accounted in one place.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"masm/internal/sim"
+)
+
+// chunkSize is the granularity of sparse allocation. One megabyte keeps the
+// map small for multi-gigabyte volumes while wasting little on small ones.
+const chunkSize = 1 << 20
+
+// Volume is a contiguous byte-addressable region on a simulated device.
+// Reads and writes move real bytes and charge simulated time on the
+// underlying device. A Volume is safe for concurrent use.
+type Volume struct {
+	dev  *sim.Device
+	base int64 // offset of this volume on the device
+	size int64
+
+	mu     sync.RWMutex
+	chunks map[int64][]byte
+}
+
+// NewVolume carves a volume of size bytes at offset base on dev.
+func NewVolume(dev *sim.Device, base, size int64) (*Volume, error) {
+	if base < 0 || size <= 0 || base+size > dev.Params().Capacity {
+		return nil, fmt.Errorf("storage: volume [%d,%d) exceeds device %q capacity %d",
+			base, base+size, dev.Params().Name, dev.Params().Capacity)
+	}
+	return &Volume{dev: dev, base: base, size: size, chunks: make(map[int64][]byte)}, nil
+}
+
+// Size returns the volume's capacity in bytes.
+func (v *Volume) Size() int64 { return v.size }
+
+// Device returns the underlying simulated device.
+func (v *Volume) Device() *sim.Device { return v.dev }
+
+// ReadAt reads len(p) bytes at off, issued at virtual time at, and returns
+// the request's completion. Unwritten regions read as zero.
+func (v *Volume) ReadAt(at sim.Time, p []byte, off int64) (sim.Completion, error) {
+	if err := v.check(off, int64(len(p))); err != nil {
+		return sim.Completion{}, err
+	}
+	v.copyOut(p, off)
+	return v.dev.Read(at, v.base+off, int64(len(p))), nil
+}
+
+// WriteAt writes len(p) bytes at off, issued at virtual time at.
+func (v *Volume) WriteAt(at sim.Time, p []byte, off int64) (sim.Completion, error) {
+	if err := v.check(off, int64(len(p))); err != nil {
+		return sim.Completion{}, err
+	}
+	v.copyIn(p, off)
+	return v.dev.Write(at, v.base+off, int64(len(p))), nil
+}
+
+// PeekAt copies bytes without charging any simulated time. It exists for
+// tests and for in-memory bookkeeping that does not correspond to device
+// I/O (e.g. verifying invariants).
+func (v *Volume) PeekAt(p []byte, off int64) error {
+	if err := v.check(off, int64(len(p))); err != nil {
+		return err
+	}
+	v.copyOut(p, off)
+	return nil
+}
+
+// PokeAt writes bytes without charging simulated time; the complement of
+// PeekAt, used by bulk loaders that model load time separately.
+func (v *Volume) PokeAt(p []byte, off int64) error {
+	if err := v.check(off, int64(len(p))); err != nil {
+		return err
+	}
+	v.copyIn(p, off)
+	return nil
+}
+
+// Discard drops the content of [off, off+length), freeing memory. Reads of
+// discarded regions return zeros. Used when migration frees old data
+// chunks (paper §3.2, in-place migration case ii).
+func (v *Volume) Discard(off, length int64) error {
+	if err := v.check(off, length); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	// Only whole chunks fully inside the range can be freed; partial
+	// overlaps are zeroed.
+	end := off + length
+	first := off / chunkSize
+	last := (end - 1) / chunkSize
+	for c := first; c <= last; c++ {
+		cs, ce := c*chunkSize, (c+1)*chunkSize
+		if cs >= off && ce <= end {
+			delete(v.chunks, c)
+			continue
+		}
+		if chunk, ok := v.chunks[c]; ok {
+			zs := max64(cs, off) - cs
+			ze := min64(ce, end) - cs
+			for i := zs; i < ze; i++ {
+				chunk[i] = 0
+			}
+		}
+	}
+	return nil
+}
+
+func (v *Volume) check(off, length int64) error {
+	if off < 0 || length < 0 || off+length > v.size {
+		return fmt.Errorf("storage: access [%d,%d) outside volume size %d", off, off+length, v.size)
+	}
+	return nil
+}
+
+func (v *Volume) copyOut(p []byte, off int64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for n := int64(0); n < int64(len(p)); {
+		c := (off + n) / chunkSize
+		co := (off + n) % chunkSize
+		span := min64(chunkSize-co, int64(len(p))-n)
+		if chunk, ok := v.chunks[c]; ok {
+			copy(p[n:n+span], chunk[co:co+span])
+		} else {
+			for i := n; i < n+span; i++ {
+				p[i] = 0
+			}
+		}
+		n += span
+	}
+}
+
+func (v *Volume) copyIn(p []byte, off int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for n := int64(0); n < int64(len(p)); {
+		c := (off + n) / chunkSize
+		co := (off + n) % chunkSize
+		span := min64(chunkSize-co, int64(len(p))-n)
+		chunk, ok := v.chunks[c]
+		if !ok {
+			chunk = make([]byte, chunkSize)
+			v.chunks[c] = chunk
+		}
+		copy(chunk[co:co+span], p[n:n+span])
+		n += span
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

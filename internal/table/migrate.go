@@ -1,0 +1,225 @@
+package table
+
+import (
+	"masm/internal/sim"
+	"masm/internal/update"
+)
+
+// ApplyResult summarizes one migration pass over the table.
+type ApplyResult struct {
+	PagesRead      int64
+	PagesWritten   int64
+	OverflowPages  int64
+	RecordsApplied int64
+	RowDelta       int64 // net inserts minus deletes
+}
+
+// ApplyStream is the table side of MaSM's in-place migration (paper §3.2):
+// a full table scan where each data page is merged with the cached updates
+// covering its key range and written back in place. Pages are processed in
+// batches of up to batchBytes of disk-contiguous pages, so the disk
+// alternates large sequential reads and large sequential writes — the
+// pattern behind the paper's ≈2.3× migration cost relative to a pure scan
+// (Fig 11).
+//
+// src must yield update records in (key, ts) order. Updates whose
+// timestamps are not newer than a page's timestamp are skipped, which
+// makes re-running an interrupted migration idempotent (crash recovery,
+// §3.6). Records that overflow their page are split into overflow pages
+// appended to the table (in-place migration case ii: old space is reused,
+// no second copy of the table is required).
+func (t *Table) ApplyStream(at sim.Time, migTS int64, src update.Iterator, batchBytes int) (sim.Time, ApplyResult, error) {
+	return t.ApplyStreamRange(at, migTS, src, batchBytes, 0, ^uint64(0))
+}
+
+// ApplyStreamRange is ApplyStream restricted to the pages covering
+// [begin, end] — the building block of incremental migration (§3.5):
+// migrating a portion of the table range at a time spreads the migration
+// cost across many operations. src must yield only updates with keys in
+// the covered range.
+func (t *Table) ApplyStreamRange(at sim.Time, migTS int64, src update.Iterator, batchBytes int, begin, end uint64) (sim.Time, ApplyResult, error) {
+	return t.ApplyStreamEmit(at, migTS, src, batchBytes, begin, end, nil)
+}
+
+// ApplyStreamEmit is ApplyStreamRange that additionally emits every
+// post-application record to emit (when non-nil), in key order — the
+// coordinated-scan optimization of §3.5: "we can combine the migration
+// with a table scan query in order to avoid the cost of performing a
+// table scan for migration purposes only". The emitted rows are exactly
+// what a fresh range scan at the migration timestamp would return.
+func (t *Table) ApplyStreamEmit(at sim.Time, migTS int64, src update.Iterator, batchBytes int, begin, end uint64, emit func(Row) bool) (sim.Time, ApplyResult, error) {
+	var res ApplyResult
+	emitStopped := false
+	emitPage := func(p *Page) {
+		if emit == nil || emitStopped {
+			return
+		}
+		for i := range p.Keys {
+			if p.Keys[i] < begin || p.Keys[i] > end {
+				continue
+			}
+			if !emit(Row{Key: p.Keys[i], Body: p.Bodies[i], PageTS: p.TS}) {
+				emitStopped = true
+				return
+			}
+		}
+	}
+
+	refs := t.snapshotRefs(begin, end)
+	if len(refs) == 0 {
+		return at, res, nil
+	}
+	// The exclusive upper key bound of the last covered page is the first
+	// key of the next page beyond the subset (∞ when the subset reaches
+	// the table end); updates up to that bound belong to the last page.
+	globalBound, haveGlobalBound := t.boundAfter(refs[len(refs)-1].firstKey)
+	pagesPerBatch := batchBytes / t.cfg.PageSize
+	if pagesPerBatch < 1 {
+		pagesPerBatch = 1
+	}
+
+	var pendingUpd *update.Record
+	updDone := false
+	nextUpd := func() (update.Record, bool, error) {
+		if pendingUpd != nil {
+			u := *pendingUpd
+			return u, true, nil
+		}
+		if updDone {
+			return update.Record{}, false, nil
+		}
+		u, ok, err := src.Next()
+		if err != nil {
+			return update.Record{}, false, err
+		}
+		if !ok {
+			updDone = true
+			return update.Record{}, false, nil
+		}
+		pendingUpd = &u
+		return u, true, nil
+	}
+	consumeUpd := func() { pendingUpd = nil }
+
+	var overflow []*Page
+	// Pages decoded from a batch alias the batch buffer, and Page.Encode
+	// zeroes its destination before writing; re-encoding therefore goes
+	// through a scratch page to avoid clobbering bodies that still alias
+	// the batch.
+	scratch := make([]byte, t.cfg.PageSize)
+	now := at
+	for i := 0; i < len(refs); {
+		// Collect a disk-contiguous batch.
+		n := 1
+		for i+n < len(refs) && n < pagesPerBatch &&
+			refs[i+n].pageNo == refs[i+n-1].pageNo+1 {
+			n++
+		}
+		first := refs[i].pageNo
+		buf := make([]byte, n*t.cfg.PageSize)
+		c, err := t.vol.ReadAt(now, buf, first*int64(t.cfg.PageSize))
+		if err != nil {
+			return now, res, err
+		}
+		now = c.End
+		res.PagesRead += int64(n)
+
+		dirty := false
+		for j := 0; j < n; j++ {
+			pbuf := buf[j*t.cfg.PageSize : (j+1)*t.cfg.PageSize]
+			// Upper key bound of this page: the first key of the next
+			// page in key order, or the bound beyond the covered subset.
+			var upper uint64 = ^uint64(0)
+			bounded := false
+			if i+j+1 < len(refs) {
+				upper = refs[i+j+1].firstKey
+				bounded = true
+			} else if haveGlobalBound {
+				upper = globalBound
+				bounded = true
+			}
+			// Gather this page's updates.
+			var upds []update.Record
+			for {
+				u, ok, err := nextUpd()
+				if err != nil {
+					return now, res, err
+				}
+				if !ok || (bounded && u.Key >= upper) {
+					break
+				}
+				consumeUpd()
+				upds = append(upds, u)
+			}
+			if len(upds) == 0 {
+				if emit != nil && !emitStopped {
+					p, err := DecodePage(pbuf)
+					if err != nil {
+						return now, res, err
+					}
+					emitPage(p)
+				}
+				continue
+			}
+			p, err := DecodePage(pbuf)
+			if err != nil {
+				return now, res, err
+			}
+			before := len(p.Keys)
+			ovfs := ApplyUpdatesToPage(p, upds, migTS, t.cfg.PageSize)
+			res.RecordsApplied += int64(len(upds))
+			after := len(p.Keys)
+			emitPage(p)
+			for _, ovf := range ovfs {
+				after += len(ovf.Keys)
+				// The split pages' bodies alias the batch buffer, which
+				// is rewritten below; own them before deferring the
+				// overflow writes.
+				for bi, b := range ovf.Bodies {
+					ovf.Bodies[bi] = append([]byte(nil), b...)
+				}
+				emitPage(ovf)
+				overflow = append(overflow, ovf)
+			}
+			res.RowDelta += int64(after - before)
+			if err := p.Encode(scratch); err != nil {
+				return now, res, err
+			}
+			copy(pbuf, scratch)
+			dirty = true
+		}
+		if dirty {
+			c, err := t.vol.WriteAt(now, buf, first*int64(t.cfg.PageSize))
+			if err != nil {
+				return now, res, err
+			}
+			now = c.End
+			res.PagesWritten += int64(n)
+		}
+		i += n
+	}
+	// Drain any updates beyond the last page boundary (possible only when
+	// the table was empty in that key region).
+	for {
+		u, ok, err := nextUpd()
+		if err != nil {
+			return now, res, err
+		}
+		if !ok {
+			break
+		}
+		consumeUpd()
+		_ = u
+	}
+	// Write the overflow pages and link them into key order.
+	for _, p := range overflow {
+		end, err := t.AddOverflow(now, p)
+		if err != nil {
+			return now, res, err
+		}
+		now = end
+		res.OverflowPages++
+	}
+	t.AdjustRows(res.RowDelta)
+	return now, res, nil
+}

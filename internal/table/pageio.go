@@ -1,0 +1,55 @@
+package table
+
+import (
+	"fmt"
+
+	"masm/internal/sim"
+)
+
+// PageForKey returns the number of the page whose key range covers key.
+func (t *Table) PageForKey(key uint64) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.refs) == 0 {
+		return -1
+	}
+	return t.refs[t.refIndexForKey(key)].pageNo
+}
+
+// ReadPageAt reads and decodes one page, charging simulated time; it is
+// the building block of the in-place-update baseline's random
+// read-modify-write I/Os (paper §2.2).
+func (t *Table) ReadPageAt(at sim.Time, pageNo int64) (*Page, sim.Time, error) {
+	p, c, err := t.readPage(at, pageNo)
+	if err != nil {
+		return nil, at, err
+	}
+	return p, c.End, nil
+}
+
+// WritePageAt encodes and writes one page in place, charging simulated
+// time.
+func (t *Table) WritePageAt(at sim.Time, pageNo int64, p *Page) (sim.Time, error) {
+	c, err := t.writePage(at, pageNo, p)
+	if err != nil {
+		return at, err
+	}
+	return c.End, nil
+}
+
+// LastKeyBound returns the exclusive upper key bound of the page (the
+// first key of the next page in key order), or max uint64 for the last
+// page. pageNo must be a live page.
+func (t *Table) LastKeyBound(pageNo int64) (uint64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, r := range t.refs {
+		if r.pageNo == pageNo {
+			if i+1 < len(t.refs) {
+				return t.refs[i+1].firstKey, nil
+			}
+			return ^uint64(0), nil
+		}
+	}
+	return 0, fmt.Errorf("table: page %d not found", pageNo)
+}

@@ -1,0 +1,234 @@
+package table
+
+import (
+	"sort"
+
+	"masm/internal/sim"
+)
+
+// Scanner is the Table_range_scan operator (paper §3.2): it returns the
+// records of [begin, end] in key order, reading the underlying pages with
+// large sequential I/Os whenever pages are contiguous on disk. It carries
+// its own virtual-time cursor so it can act as a sim.Actor leaf.
+//
+// The scanner consults the live page index at each batch rather than
+// snapshotting it, and enforces strictly increasing keys. This makes it
+// robust to a concurrent in-place migration splitting pages: an overflow
+// page inserted behind the cursor only holds keys the scanner already
+// returned (filtered by the key cursor), and one inserted ahead is simply
+// visited in key order.
+type Scanner struct {
+	t          *Table
+	begin, end uint64
+	// curFirstKey is the firstKey of the last page batch visited; the
+	// next batch starts at the first page with a strictly larger
+	// firstKey. started tracks whether any batch was visited.
+	curFirstKey uint64
+	startedPage bool
+	// nextKey is the lower bound (inclusive) on keys still to return.
+	nextKey uint64
+
+	// Current decoded batch of pages.
+	pages   []*Page
+	pageIdx int
+	recIdx  int
+	done    bool
+
+	now sim.Time
+	err error
+}
+
+// NewScanner starts a range scan of [begin, end] at virtual time at.
+func (t *Table) NewScanner(at sim.Time, begin, end uint64) *Scanner {
+	return &Scanner{
+		t:       t,
+		begin:   begin,
+		end:     end,
+		nextKey: begin,
+		now:     at,
+	}
+}
+
+// Time returns the scanner's local virtual time.
+func (s *Scanner) Time() sim.Time { return s.now }
+
+// SetTime advances the scanner's local clock (used when a parent operator
+// synchronizes children, e.g. after overlapping SSD reads).
+func (s *Scanner) SetTime(t sim.Time) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Err returns the first error encountered.
+func (s *Scanner) Err() error { return s.err }
+
+// nextBatchRefs picks the next disk-contiguous batch of page refs from the
+// live index, strictly after curFirstKey in key order and within the scan
+// range.
+func (s *Scanner) nextBatchRefs(pagesPerIO int) []pageRef {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	refs := s.t.refs
+	var lo int
+	if !s.startedPage {
+		lo = s.t.refIndexForKey(s.begin)
+	} else {
+		lo = sort.Search(len(refs), func(i int) bool { return refs[i].firstKey > s.curFirstKey })
+	}
+	if lo >= len(refs) || refs[lo].firstKey > s.end {
+		return nil
+	}
+	n := 1
+	for lo+n < len(refs) && n < pagesPerIO &&
+		refs[lo+n].pageNo == refs[lo+n-1].pageNo+1 &&
+		refs[lo+n].firstKey <= s.end {
+		n++
+	}
+	out := make([]pageRef, n)
+	copy(out, refs[lo:lo+n])
+	return out
+}
+
+// fetchBatch reads the next maximal contiguous run of pages, capped at the
+// scan I/O size, and decodes them.
+func (s *Scanner) fetchBatch() bool {
+	if s.err != nil || s.done {
+		return false
+	}
+	batch := s.nextBatchRefs(s.t.cfg.ScanIO / s.t.cfg.PageSize)
+	if len(batch) == 0 {
+		s.done = true
+		return false
+	}
+	first := batch[0].pageNo
+	buf := make([]byte, len(batch)*s.t.cfg.PageSize)
+	c, err := s.t.vol.ReadAt(s.now, buf, first*int64(s.t.cfg.PageSize))
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.now = c.End
+	s.pages = s.pages[:0]
+	for i := range batch {
+		p, err := DecodePage(buf[i*s.t.cfg.PageSize : (i+1)*s.t.cfg.PageSize])
+		if err != nil {
+			s.err = err
+			return false
+		}
+		s.pages = append(s.pages, p)
+	}
+	s.curFirstKey = batch[len(batch)-1].firstKey
+	s.startedPage = true
+	s.pageIdx = 0
+	s.recIdx = 0
+	return true
+}
+
+// Next returns the next row in the range, or ok=false at the end.
+func (s *Scanner) Next() (Row, bool) {
+	for {
+		if s.pageIdx < len(s.pages) {
+			p := s.pages[s.pageIdx]
+			for s.recIdx < len(p.Keys) {
+				i := s.recIdx
+				s.recIdx++
+				k := p.Keys[i]
+				if k < s.nextKey {
+					continue
+				}
+				if k > s.end {
+					// Keys beyond the range can still be followed by
+					// in-range keys on later pages only if this page
+					// ends the range; stop here.
+					s.done = true
+					return Row{}, false
+				}
+				s.nextKey = k + 1
+				return Row{Key: k, Body: p.Bodies[i], PageTS: p.TS}, true
+			}
+			s.pageIdx++
+			s.recIdx = 0
+			continue
+		}
+		if !s.fetchBatch() {
+			return Row{}, false
+		}
+	}
+}
+
+// PageScanner iterates pages (not records) of a key range — the shape
+// migration needs, since it applies updates to data pages in the buffer
+// pool and writes them back (paper §3.2, "In-Place Migration").
+type PageScanner struct {
+	t      *Table
+	refs   []pageRef
+	refIdx int
+	now    sim.Time
+	err    error
+}
+
+// NewPageScanner scans all pages covering [begin, end] in key order.
+func (t *Table) NewPageScanner(at sim.Time, begin, end uint64) *PageScanner {
+	return &PageScanner{t: t, refs: t.snapshotRefs(begin, end), now: at}
+}
+
+// Time returns the local virtual time.
+func (ps *PageScanner) Time() sim.Time { return ps.now }
+
+// SetTime advances the local clock.
+func (ps *PageScanner) SetTime(t sim.Time) {
+	if t > ps.now {
+		ps.now = t
+	}
+}
+
+// Err returns the first error encountered.
+func (ps *PageScanner) Err() error { return ps.err }
+
+// Next reads the next page, returning its number and decoded form.
+func (ps *PageScanner) Next() (int64, *Page, bool) {
+	if ps.err != nil || ps.refIdx >= len(ps.refs) {
+		return 0, nil, false
+	}
+	ref := ps.refs[ps.refIdx]
+	ps.refIdx++
+	p, c, err := ps.t.readPage(ps.now, ref.pageNo)
+	if err != nil {
+		ps.err = err
+		return 0, nil, false
+	}
+	ps.now = c.End
+	return ref.pageNo, p, true
+}
+
+// WriteBack writes a (possibly modified) page in place, charging simulated
+// time, and returns the completion time.
+func (t *Table) WriteBack(at sim.Time, pageNo int64, p *Page) (sim.Time, error) {
+	c, err := t.writePage(at, pageNo, p)
+	if err != nil {
+		return at, err
+	}
+	return c.End, nil
+}
+
+// AddOverflow allocates an overflow page holding p (already split to fit),
+// writes it, links it into key order, and returns the completion time.
+func (t *Table) AddOverflow(at sim.Time, p *Page) (sim.Time, error) {
+	t.mu.Lock()
+	pageNo := t.allocOverflow(p.Keys[0])
+	t.mu.Unlock()
+	c, err := t.writePage(at, pageNo, p)
+	if err != nil {
+		return at, err
+	}
+	return c.End, nil
+}
+
+// AdjustRows records a net change in row count after migration applies
+// inserts/deletes.
+func (t *Table) AdjustRows(delta int64) {
+	t.mu.Lock()
+	t.rows += delta
+	t.mu.Unlock()
+}

@@ -1,0 +1,396 @@
+package table
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/update"
+)
+
+func body(key uint64, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(key + uint64(i))
+	}
+	return b
+}
+
+func loadTable(t *testing.T, n int, stride uint64, bodySize int) *Table {
+	t.Helper()
+	dev := sim.NewDevice(sim.Barracuda7200())
+	vol, err := storage.NewVolume(dev, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, n)
+	bodies := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i+1) * stride
+		bodies[i] = body(keys[i], bodySize)
+	}
+	tbl, err := Load(vol, DefaultConfig(), keys, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestPageEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Page{TS: 77}
+	for k := uint64(10); k < 50; k += 10 {
+		p.Keys = append(p.Keys, k)
+		p.Bodies = append(p.Bodies, body(k, 20))
+	}
+	buf := make([]byte, 4096)
+	if err := p.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodePage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TS != 77 || len(q.Keys) != 4 {
+		t.Fatalf("decoded page ts=%d n=%d", q.TS, len(q.Keys))
+	}
+	for i := range q.Keys {
+		if q.Keys[i] != p.Keys[i] || !bytes.Equal(q.Bodies[i], p.Bodies[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestPageEncodeOverflowRejected(t *testing.T) {
+	p := &Page{}
+	p.Keys = append(p.Keys, 1)
+	p.Bodies = append(p.Bodies, make([]byte, 5000))
+	if err := p.Encode(make([]byte, 4096)); err == nil {
+		t.Fatal("oversized page encoded")
+	}
+}
+
+func TestLoadAndFullScan(t *testing.T) {
+	const n = 5000
+	tbl := loadTable(t, n, 2, 92)
+	sc := tbl.NewScanner(0, 0, ^uint64(0))
+	count := 0
+	var prev uint64
+	for {
+		row, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if count > 0 && row.Key <= prev {
+			t.Fatalf("keys out of order: %d after %d", row.Key, prev)
+		}
+		if !bytes.Equal(row.Body, body(row.Key, 92)) {
+			t.Fatalf("key %d body mismatch", row.Key)
+		}
+		prev = row.Key
+		count++
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if count != n {
+		t.Fatalf("scanned %d rows, want %d", count, n)
+	}
+	if sc.Time() <= 0 {
+		t.Fatal("scan charged no simulated time")
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tbl := loadTable(t, 10000, 2, 92)
+	for _, tc := range []struct{ begin, end uint64 }{
+		{100, 200},
+		{2, 2},
+		{1, 1},  // key that does not exist (odd)
+		{0, 10}, // partially before first key
+		{19990, 30000},
+	} {
+		sc := tbl.NewScanner(0, tc.begin, tc.end)
+		want := 0
+		for k := tc.begin; k <= tc.end && k <= 20000; k++ {
+			if k%2 == 0 && k >= 2 {
+				want++
+			}
+		}
+		got := 0
+		for {
+			row, ok := sc.Next()
+			if !ok {
+				break
+			}
+			if row.Key < tc.begin || row.Key > tc.end {
+				t.Fatalf("range [%d,%d]: got key %d", tc.begin, tc.end, row.Key)
+			}
+			got++
+		}
+		if got != want {
+			t.Fatalf("range [%d,%d]: got %d rows, want %d", tc.begin, tc.end, got, want)
+		}
+	}
+}
+
+func TestScanUsesLargeSequentialIO(t *testing.T) {
+	tbl := loadTable(t, 50000, 2, 92)
+	dev := tbl.Volume().Device()
+	dev.ResetStats()
+	sc := tbl.NewScanner(0, 0, ^uint64(0))
+	for {
+		if _, ok := sc.Next(); !ok {
+			break
+		}
+	}
+	st := dev.Stats()
+	if st.Reads == 0 {
+		t.Fatal("no reads recorded")
+	}
+	avg := st.BytesRead / st.Reads
+	if avg < 512<<10 {
+		t.Fatalf("average scan I/O = %d bytes, want >= 512KB", avg)
+	}
+	if st.Seeks > 2 {
+		t.Fatalf("full scan performed %d seeks, want <=2", st.Seeks)
+	}
+}
+
+func TestApplyUpdatesToPageSemantics(t *testing.T) {
+	p := &Page{TS: 0}
+	for k := uint64(10); k <= 40; k += 10 {
+		p.Keys = append(p.Keys, k)
+		p.Bodies = append(p.Bodies, body(k, 20))
+	}
+	upds := []update.Record{
+		{TS: 1, Key: 10, Op: update.Delete},
+		{TS: 2, Key: 15, Op: update.Insert, Payload: body(15, 20)},
+		{TS: 3, Key: 20, Op: update.Modify, Payload: update.EncodeFields([]update.Field{{Off: 0, Value: []byte("ZZ")}})},
+		{TS: 4, Key: 40, Op: update.Replace, Payload: body(99, 20)},
+	}
+	ovf := ApplyUpdatesToPage(p, upds, 5, 4096)
+	if ovf != nil {
+		t.Fatal("unexpected overflow")
+	}
+	if p.TS != 5 {
+		t.Fatalf("page ts = %d, want 5", p.TS)
+	}
+	wantKeys := []uint64{15, 20, 30, 40}
+	if len(p.Keys) != len(wantKeys) {
+		t.Fatalf("keys = %v, want %v", p.Keys, wantKeys)
+	}
+	for i, k := range wantKeys {
+		if p.Keys[i] != k {
+			t.Fatalf("keys = %v, want %v", p.Keys, wantKeys)
+		}
+	}
+	if p.Bodies[1][0] != 'Z' || p.Bodies[1][1] != 'Z' {
+		t.Fatalf("modify not applied: %v", p.Bodies[1][:4])
+	}
+	if !bytes.Equal(p.Bodies[3], body(99, 20)) {
+		t.Fatal("replace not applied")
+	}
+}
+
+func TestApplyUpdatesSkipsAlreadyApplied(t *testing.T) {
+	p := &Page{TS: 100, Keys: []uint64{10}, Bodies: [][]byte{body(10, 20)}}
+	upds := []update.Record{{TS: 50, Key: 10, Op: update.Delete}} // older than page
+	ApplyUpdatesToPage(p, upds, 100, 4096)
+	if len(p.Keys) != 1 {
+		t.Fatal("already-applied update re-applied")
+	}
+}
+
+func TestApplyUpdatesOverflowSplits(t *testing.T) {
+	p := &Page{TS: 0}
+	// Nearly fill a 4KB page.
+	for k := uint64(0); k < 36; k++ {
+		p.Keys = append(p.Keys, k*10)
+		p.Bodies = append(p.Bodies, body(k, 96))
+	}
+	var upds []update.Record
+	for k := uint64(0); k < 10; k++ {
+		upds = append(upds, update.Record{TS: int64(k + 1), Key: k*10 + 5, Op: update.Insert, Payload: body(k, 96)})
+	}
+	ovfs := ApplyUpdatesToPage(p, upds, 99, 4096)
+	if len(ovfs) == 0 {
+		t.Fatal("expected overflow")
+	}
+	if !p.FitsIn(4096) {
+		t.Fatal("kept page does not fit")
+	}
+	total := len(p.Keys)
+	lastKey := p.Keys[len(p.Keys)-1]
+	for _, ovf := range ovfs {
+		if !ovf.FitsIn(4096) {
+			t.Fatal("overflow page does not fit")
+		}
+		if ovf.Keys[0] <= lastKey {
+			t.Fatal("split does not preserve key order")
+		}
+		lastKey = ovf.Keys[len(ovf.Keys)-1]
+		total += len(ovf.Keys)
+	}
+	if total != 46 {
+		t.Fatalf("total records after split = %d, want 46", total)
+	}
+}
+
+func TestApplyStreamFullMigration(t *testing.T) {
+	const n = 20000
+	tbl := loadTable(t, n, 2, 92)
+	var upds []update.Record
+	ts := int64(1)
+	// Delete every 100th record, insert odd keys every 500, modify some.
+	for k := uint64(2); k <= 2*n; k += 200 {
+		upds = append(upds, update.Record{TS: ts, Key: k, Op: update.Delete})
+		ts++
+	}
+	inserted := 0
+	for k := uint64(501); k <= 2*n; k += 1000 {
+		upds = append(upds, update.Record{TS: ts, Key: k, Op: update.Insert, Payload: body(k, 92)})
+		ts++
+		inserted++
+	}
+	// Sort by key (they were appended per-kind).
+	sortRecs(upds)
+	migTS := ts
+	before := tbl.Rows()
+	_, res, err := tbl.ApplyStream(0, migTS, update.NewSliceIterator(upds), 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted := 0
+	for k := uint64(2); k <= 2*n; k += 200 {
+		deleted++
+	}
+	if want := before - int64(deleted) + int64(inserted); tbl.Rows() != want {
+		t.Fatalf("rows after migration = %d, want %d", tbl.Rows(), want)
+	}
+	if res.PagesRead == 0 || res.PagesWritten == 0 {
+		t.Fatalf("no page I/O recorded: %+v", res)
+	}
+	// Verify via scan.
+	sc := tbl.NewScanner(0, 0, ^uint64(0))
+	seen := make(map[uint64]bool)
+	for {
+		row, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if row.Key%200 == 2 && row.Key != 2 {
+			// deleted keys start at 2 and step 200: keys 2, 202, 402...
+		}
+		seen[row.Key] = true
+	}
+	for k := uint64(2); k <= 2*n; k += 200 {
+		if seen[k] {
+			t.Fatalf("deleted key %d still present", k)
+		}
+	}
+	for k := uint64(501); k <= 2*n; k += 1000 {
+		if !seen[k] {
+			t.Fatalf("inserted key %d missing", k)
+		}
+	}
+}
+
+func TestApplyStreamIdempotent(t *testing.T) {
+	tbl := loadTable(t, 1000, 2, 92)
+	upds := []update.Record{
+		{TS: 1, Key: 100, Op: update.Delete},
+		{TS: 2, Key: 101, Op: update.Insert, Payload: body(101, 92)},
+	}
+	if _, _, err := tbl.ApplyStream(0, 10, update.NewSliceIterator(upds), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Rows()
+	// Re-running the same migration (crash redo) must be a no-op.
+	if _, _, err := tbl.ApplyStream(0, 10, update.NewSliceIterator(upds), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != rows {
+		t.Fatalf("redo changed row count: %d -> %d", rows, tbl.Rows())
+	}
+}
+
+func sortRecs(recs []update.Record) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && update.Less(&recs[j], &recs[j-1]); j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+func TestOverflowPagePreservesScanOrder(t *testing.T) {
+	tbl := loadTable(t, 2000, 2, 92)
+	// Dense inserts into a narrow key range to force splits.
+	var upds []update.Record
+	ts := int64(1)
+	for k := uint64(101); k < 300; k += 2 {
+		upds = append(upds, update.Record{TS: ts, Key: k, Op: update.Insert, Payload: body(k, 92)})
+		ts++
+	}
+	if _, res, err := tbl.ApplyStream(0, ts, update.NewSliceIterator(upds), 1<<20); err != nil {
+		t.Fatal(err)
+	} else if res.OverflowPages == 0 {
+		t.Fatal("expected overflow pages")
+	}
+	sc := tbl.NewScanner(0, 0, ^uint64(0))
+	var prev uint64
+	first := true
+	for {
+		row, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if !first && row.Key <= prev {
+			t.Fatalf("scan out of order after split: %d after %d", row.Key, prev)
+		}
+		prev = row.Key
+		first = false
+	}
+}
+
+func TestLoadRejectsUnsortedKeys(t *testing.T) {
+	dev := sim.NewDevice(sim.Barracuda7200())
+	vol, _ := storage.NewVolume(dev, 0, 1<<20)
+	_, err := Load(vol, DefaultConfig(), []uint64{2, 1}, [][]byte{{1}, {2}})
+	if err == nil {
+		t.Fatal("unsorted load accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dev := sim.NewDevice(sim.Barracuda7200())
+	vol, _ := storage.NewVolume(dev, 0, 1<<20)
+	for i, cfg := range []Config{
+		{PageSize: 8, ScanIO: 1 << 20, FillFraction: 0.9},
+		{PageSize: 4096, ScanIO: 1000, FillFraction: 0.9},
+		{PageSize: 4096, ScanIO: 1 << 20, FillFraction: 0},
+	} {
+		if _, err := Load(vol, cfg, nil, nil); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func ExampleTable_NewScanner() {
+	dev := sim.NewDevice(sim.Barracuda7200())
+	vol, _ := storage.NewVolume(dev, 0, 1<<20)
+	tbl, _ := Load(vol, DefaultConfig(),
+		[]uint64{1, 2, 3}, [][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	sc := tbl.NewScanner(0, 2, 3)
+	for {
+		row, ok := sc.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("%d=%s\n", row.Key, row.Body)
+	}
+	// Output:
+	// 2=b
+	// 3=c
+}

@@ -1,0 +1,332 @@
+// Package txn provides transaction support over a MaSM store (paper
+// §3.6). MaSM itself guarantees serializability among individual queries
+// and updates via timestamps; this package extends that to general
+// transactions in the two ways the paper describes:
+//
+//   - Snapshot isolation: a transaction reads the snapshot at its start
+//     timestamp and buffers its own updates in a small private buffer,
+//     visible only to itself; at commit, the first committer wins and the
+//     private updates move to MaSM's global update buffer with the commit
+//     timestamp.
+//
+//   - Locking (two-phase locking): updates are buffered privately and
+//     become globally visible only when the protecting exclusive lock is
+//     released at commit, receiving their timestamp at that point.
+//
+// Physical interference is MaSM's department; this package is purely the
+// logical visibility layer on top.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// Mode selects a concurrency-control scheme.
+type Mode int
+
+const (
+	// Snapshot runs the transaction under snapshot isolation.
+	Snapshot Mode = iota
+	// Locking runs the transaction under two-phase locking.
+	Locking
+)
+
+// ErrWriteConflict aborts a snapshot transaction whose write set was
+// modified by a transaction that committed after this one began (first
+// committer wins).
+var ErrWriteConflict = errors.New("txn: write-write conflict (first committer wins)")
+
+// ErrLockConflict reports a lock request that conflicts with another
+// transaction. The simulation never blocks; callers abort or retry.
+var ErrLockConflict = errors.New("txn: lock conflict")
+
+// ErrDone reports use of a finished transaction.
+var ErrDone = errors.New("txn: transaction already committed or aborted")
+
+// Manager coordinates transactions over one MaSM store.
+type Manager struct {
+	store *masm.Store
+
+	mu sync.Mutex
+	// lastCommit tracks, per key, the latest commit timestamp — the
+	// validation state for first-committer-wins.
+	lastCommit map[uint64]int64
+	// locks maps keys to their lock state.
+	locks map[uint64]*lockState
+	seq   int64
+}
+
+type lockState struct {
+	sharedBy  map[int64]bool
+	exclusive int64 // txn id, 0 if none
+}
+
+// NewManager creates a transaction manager over store.
+func NewManager(store *masm.Store) *Manager {
+	return &Manager{
+		store:      store,
+		lastCommit: make(map[uint64]int64),
+		locks:      make(map[uint64]*lockState),
+	}
+}
+
+// Txn is one transaction.
+type Txn struct {
+	m       *Manager
+	id      int64
+	mode    Mode
+	startTS int64
+	// private is the transaction's own update buffer (paper: "a small
+	// private buffer for the updates performed by the transaction").
+	private []update.Record
+	writes  map[uint64]bool
+	held    map[uint64]bool // keys with any lock held (Locking mode)
+	done    bool
+}
+
+// Begin starts a transaction. The start timestamp fixes the snapshot the
+// transaction reads.
+func (m *Manager) Begin(mode Mode) *Txn {
+	m.mu.Lock()
+	m.seq++
+	id := m.seq
+	m.mu.Unlock()
+	return &Txn{
+		m:       m,
+		id:      id,
+		mode:    mode,
+		startTS: m.store.Oracle().Next(),
+		writes:  make(map[uint64]bool),
+		held:    make(map[uint64]bool),
+	}
+}
+
+// lock acquires a lock, upgrading shared→exclusive when possible.
+func (m *Manager) lock(t *Txn, key uint64, exclusive bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[key]
+	if ls == nil {
+		ls = &lockState{sharedBy: make(map[int64]bool)}
+		m.locks[key] = ls
+	}
+	if exclusive {
+		if ls.exclusive != 0 && ls.exclusive != t.id {
+			return ErrLockConflict
+		}
+		for id := range ls.sharedBy {
+			if id != t.id {
+				return ErrLockConflict
+			}
+		}
+		ls.exclusive = t.id
+	} else {
+		if ls.exclusive != 0 && ls.exclusive != t.id {
+			return ErrLockConflict
+		}
+		ls.sharedBy[t.id] = true
+	}
+	t.held[key] = true
+	return nil
+}
+
+func (m *Manager) unlockAll(t *Txn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range t.held {
+		ls := m.locks[key]
+		if ls == nil {
+			continue
+		}
+		delete(ls.sharedBy, t.id)
+		if ls.exclusive == t.id {
+			ls.exclusive = 0
+		}
+		if ls.exclusive == 0 && len(ls.sharedBy) == 0 {
+			delete(m.locks, key)
+		}
+	}
+	t.held = make(map[uint64]bool)
+}
+
+// Update buffers a well-formed update in the transaction's private
+// buffer. Under Locking, the key's exclusive lock is acquired first.
+func (t *Txn) Update(rec update.Record) error {
+	if t.done {
+		return ErrDone
+	}
+	if t.mode == Locking {
+		if err := t.m.lock(t, rec.Key, true); err != nil {
+			return err
+		}
+	}
+	// Private updates are ordered after everything the snapshot sees and
+	// among themselves by arrival; sequence them just above startTS.
+	rec.TS = t.startTS // placeholder; ordering within private is by index
+	t.private = append(t.private, rec)
+	t.writes[rec.Key] = true
+	return nil
+}
+
+// Scan reads [begin, end] at the transaction's snapshot, overlaying the
+// transaction's own private updates (the paper's extra Mem_scan operator
+// on the private buffer). fn is called per visible row; returning false
+// stops early. It returns the completion time of the scan.
+func (t *Txn) Scan(at sim.Time, begin, end uint64, fn func(row table.Row) bool) (sim.Time, error) {
+	if t.done {
+		return at, ErrDone
+	}
+	if t.mode == Locking {
+		// Shared-lock the scanned range's written keys is not enough for
+		// full rigor; for the prototype we shared-lock the range bounds
+		// as a coarse predicate substitute.
+		if err := t.m.lock(t, begin, false); err != nil {
+			return at, err
+		}
+	}
+	q, err := t.m.store.NewQueryAt(at, begin, end, t.startTS)
+	if err != nil {
+		return at, err
+	}
+	defer q.Close()
+	// Build the per-key overlay from the private buffer, applied in
+	// arrival order.
+	overlay := make(map[uint64][]update.Record)
+	var keys []uint64
+	for _, r := range t.private {
+		if r.Key < begin || r.Key > end {
+			continue
+		}
+		if _, ok := overlay[r.Key]; !ok {
+			keys = append(keys, r.Key)
+		}
+		overlay[r.Key] = append(overlay[r.Key], r)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ki := 0
+	emit := func(row table.Row) bool { return fn(row) }
+	for {
+		row, ok, err := q.Next()
+		if err != nil {
+			return q.Time(), err
+		}
+		if !ok {
+			break
+		}
+		// Emit private-only keys ordered before this row.
+		for ki < len(keys) && keys[ki] < row.Key {
+			if r, ok2 := t.applyOverlay(keys[ki], nil, false); ok2 {
+				if !emit(r) {
+					return q.Time(), nil
+				}
+			}
+			ki++
+		}
+		if ki < len(keys) && keys[ki] == row.Key {
+			r, ok2 := t.applyOverlay(row.Key, row.Body, true)
+			ki++
+			if ok2 && !emit(r) {
+				return q.Time(), nil
+			}
+			continue
+		}
+		if !emit(row) {
+			return q.Time(), nil
+		}
+	}
+	for ; ki < len(keys); ki++ {
+		if r, ok2 := t.applyOverlay(keys[ki], nil, false); ok2 {
+			if !emit(r) {
+				return q.Time(), nil
+			}
+		}
+	}
+	return q.Time(), nil
+}
+
+func (t *Txn) applyOverlay(key uint64, base []byte, exists bool) (table.Row, bool) {
+	body := base
+	for i := range t.private {
+		r := t.private[i]
+		if r.Key != key {
+			continue
+		}
+		body, exists = update.Apply(body, exists, &r)
+	}
+	if !exists {
+		return table.Row{}, false
+	}
+	return table.Row{Key: key, Body: body}, true
+}
+
+// Commit validates (Snapshot mode), assigns commit timestamps to the
+// private updates, and publishes them to MaSM's global update buffer. In
+// Locking mode the updates become visible exactly when the exclusive
+// locks are released — here, atomically with the publication.
+func (t *Txn) Commit(at sim.Time) (sim.Time, error) {
+	if t.done {
+		return at, ErrDone
+	}
+	m := t.m
+	if t.mode == Snapshot {
+		m.mu.Lock()
+		for key := range t.writes {
+			if m.lastCommit[key] > t.startTS {
+				m.mu.Unlock()
+				t.done = true
+				return at, fmt.Errorf("key %d: %w", key, ErrWriteConflict)
+			}
+		}
+		m.mu.Unlock()
+	}
+	now := at
+	var commitTS int64
+	for _, rec := range t.private {
+		rec.TS = m.store.Oracle().Next()
+		commitTS = rec.TS
+		end, err := m.store.Apply(now, rec)
+		if err != nil {
+			t.done = true
+			if t.mode == Locking {
+				m.unlockAll(t)
+			}
+			return at, err
+		}
+		now = end
+	}
+	if len(t.writes) > 0 && commitTS > 0 {
+		m.mu.Lock()
+		for key := range t.writes {
+			m.lastCommit[key] = commitTS
+		}
+		m.mu.Unlock()
+	}
+	if t.mode == Locking {
+		m.unlockAll(t)
+	}
+	t.done = true
+	return now, nil
+}
+
+// Abort discards the private buffer and releases locks.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.private = nil
+	if t.mode == Locking {
+		t.m.unlockAll(t)
+	}
+}
+
+// StartTS returns the transaction's snapshot timestamp.
+func (t *Txn) StartTS() int64 { return t.startTS }

@@ -1,0 +1,242 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+func body(key uint64, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(key*31 + uint64(i))
+	}
+	return b
+}
+
+func newStore(t *testing.T, nRows int) *masm.Store {
+	t.Helper()
+	hdd := sim.NewDevice(sim.Barracuda7200())
+	vol, err := storage.NewVolume(hdd, 0, 2<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, nRows)
+	bodies := make([][]byte, nRows)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		bodies[i] = body(keys[i], 92)
+	}
+	tbl, err := table.Load(vol, table.DefaultConfig(), keys, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd := sim.NewDevice(sim.IntelX25E())
+	ssdVol, err := storage.NewVolume(ssd, 0, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := masm.DefaultConfig(4 << 20)
+	cfg.SSDPage = 4 << 10
+	cfg.Run.IOSize = 16 << 10
+	cfg.Run.IndexGranularity = 4 << 10
+	cfg.ScanGranularity = 4 << 10
+	store, err := masm.NewStore(cfg, tbl, ssdVol, &masm.Oracle{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func scanAll(t *testing.T, tx *Txn) map[uint64][]byte {
+	t.Helper()
+	got := make(map[uint64][]byte)
+	if _, err := tx.Scan(0, 0, ^uint64(0), func(row table.Row) bool {
+		got[row.Key] = append([]byte(nil), row.Body...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestTxnReadsOwnWrites(t *testing.T) {
+	store := newStore(t, 100)
+	m := NewManager(store)
+	tx := m.Begin(Snapshot)
+	if err := tx.Update(update.Record{Key: 3, Op: update.Insert, Payload: []byte("mine")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(update.Record{Key: 4, Op: update.Delete}); err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, tx)
+	if !bytes.Equal(got[3], []byte("mine")) {
+		t.Fatalf("own insert invisible: %v", got[3])
+	}
+	if _, ok := got[4]; ok {
+		t.Fatal("own delete invisible")
+	}
+	// Other transactions do not see uncommitted writes.
+	tx2 := m.Begin(Snapshot)
+	got2 := scanAll(t, tx2)
+	if _, ok := got2[3]; ok {
+		t.Fatal("uncommitted write leaked")
+	}
+	if _, ok := got2[4]; !ok {
+		t.Fatal("uncommitted delete leaked")
+	}
+	tx.Abort()
+	tx2.Abort()
+}
+
+func TestTxnCommitPublishes(t *testing.T) {
+	store := newStore(t, 100)
+	m := NewManager(store)
+	tx := m.Begin(Snapshot)
+	tx.Update(update.Record{Key: 5, Op: update.Insert, Payload: []byte("pub")})
+	if _, err := tx.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := m.Begin(Snapshot)
+	got := scanAll(t, tx2)
+	if !bytes.Equal(got[5], []byte("pub")) {
+		t.Fatal("committed write not visible to later txn")
+	}
+	tx2.Abort()
+}
+
+func TestSnapshotIsolationStability(t *testing.T) {
+	store := newStore(t, 100)
+	m := NewManager(store)
+	reader := m.Begin(Snapshot)
+	writer := m.Begin(Snapshot)
+	writer.Update(update.Record{Key: 2, Op: update.Delete})
+	if _, err := writer.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	// The reader began before the writer committed: key 2 still visible.
+	got := scanAll(t, reader)
+	if _, ok := got[2]; !ok {
+		t.Fatal("snapshot not stable: committed delete visible to older txn")
+	}
+	reader.Abort()
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	store := newStore(t, 100)
+	m := NewManager(store)
+	a := m.Begin(Snapshot)
+	b := m.Begin(Snapshot)
+	a.Update(update.Record{Key: 10, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: 0, Value: []byte("A")}})})
+	b.Update(update.Record{Key: 10, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: 0, Value: []byte("B")}})})
+	if _, err := a.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Commit(0); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("second committer got %v, want ErrWriteConflict", err)
+	}
+	// Non-conflicting writer commits fine.
+	c := m.Begin(Snapshot)
+	c.Update(update.Record{Key: 12, Op: update.Delete})
+	if _, err := c.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockingConflicts(t *testing.T) {
+	store := newStore(t, 100)
+	m := NewManager(store)
+	a := m.Begin(Locking)
+	b := m.Begin(Locking)
+	if err := a.Update(update.Record{Key: 20, Op: update.Delete}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(update.Record{Key: 20, Op: update.Delete}); !errors.Is(err, ErrLockConflict) {
+		t.Fatalf("conflicting X lock got %v, want ErrLockConflict", err)
+	}
+	// After a commits (releasing locks), b can proceed.
+	if _, err := a.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(update.Record{Key: 20, Op: update.Insert, Payload: []byte("re")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	// Two-phase locking serialized a before b: final state is b's.
+	tx := m.Begin(Snapshot)
+	got := scanAll(t, tx)
+	if !bytes.Equal(got[20], []byte("re")) {
+		t.Fatalf("serialization broken: key 20 = %v", got[20])
+	}
+	tx.Abort()
+}
+
+func TestAbortDiscards(t *testing.T) {
+	store := newStore(t, 100)
+	m := NewManager(store)
+	tx := m.Begin(Locking)
+	tx.Update(update.Record{Key: 30, Op: update.Delete})
+	tx.Abort()
+	// Lock released: another txn may write.
+	tx2 := m.Begin(Locking)
+	if err := tx2.Update(update.Record{Key: 30, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: 0, Value: []byte("k")}})}); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+	// And the aborted delete never happened.
+	tx3 := m.Begin(Snapshot)
+	got := scanAll(t, tx3)
+	if _, ok := got[30]; !ok {
+		t.Fatal("aborted delete took effect")
+	}
+	tx3.Abort()
+}
+
+func TestDoneTxnRejected(t *testing.T) {
+	store := newStore(t, 10)
+	m := NewManager(store)
+	tx := m.Begin(Snapshot)
+	if _, err := tx.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(update.Record{Key: 2, Op: update.Delete}); !errors.Is(err, ErrDone) {
+		t.Fatalf("update after commit: %v", err)
+	}
+	if _, err := tx.Commit(0); !errors.Is(err, ErrDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestTxnScanRange(t *testing.T) {
+	store := newStore(t, 1000)
+	m := NewManager(store)
+	tx := m.Begin(Snapshot)
+	tx.Update(update.Record{Key: 101, Op: update.Insert, Payload: []byte("odd")})
+	n := 0
+	if _, err := tx.Scan(0, 100, 110, func(row table.Row) bool {
+		if row.Key < 100 || row.Key > 110 {
+			t.Fatalf("row %d outside range", row.Key)
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Evens 100..110 (6 rows) plus private 101.
+	if n != 7 {
+		t.Fatalf("scan saw %d rows, want 7", n)
+	}
+	tx.Abort()
+}

@@ -1,0 +1,88 @@
+package update
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format of an update record, used for the in-memory buffer pages,
+// the materialized sorted runs on SSD, and the redo log:
+//
+//	ts      int64  little-endian
+//	key     uint64 little-endian
+//	op      uint8
+//	plen    uint16 little-endian
+//	payload plen bytes
+const headerSize = 8 + 8 + 1 + 2
+
+// EncodedSize returns the wire size of r.
+func EncodedSize(r *Record) int { return headerSize + len(r.Payload) }
+
+// AppendEncode appends the wire form of r to dst and returns the extended
+// slice.
+func AppendEncode(dst []byte, r *Record) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(r.TS))
+	binary.LittleEndian.PutUint64(hdr[8:], r.Key)
+	hdr[16] = byte(r.Op)
+	if len(r.Payload) > 0xffff {
+		panic(fmt.Sprintf("update: payload too large: %d", len(r.Payload)))
+	}
+	binary.LittleEndian.PutUint16(hdr[17:], uint16(len(r.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Payload...)
+	return dst
+}
+
+// Decode parses one record from the front of p, returning the record and
+// the number of bytes consumed. The record's payload aliases p.
+func Decode(p []byte) (Record, int, error) {
+	if len(p) < headerSize {
+		return Record{}, 0, fmt.Errorf("update: short record header: %d bytes", len(p))
+	}
+	r := Record{
+		TS:  int64(binary.LittleEndian.Uint64(p[0:])),
+		Key: binary.LittleEndian.Uint64(p[8:]),
+		Op:  Op(p[16]),
+	}
+	plen := int(binary.LittleEndian.Uint16(p[17:]))
+	if len(p) < headerSize+plen {
+		return Record{}, 0, fmt.Errorf("update: short record payload: want %d have %d",
+			plen, len(p)-headerSize)
+	}
+	if plen > 0 {
+		r.Payload = p[headerSize : headerSize+plen : headerSize+plen]
+	}
+	if r.Op < Insert || r.Op > Replace {
+		return Record{}, 0, fmt.Errorf("update: bad op byte %d", p[16])
+	}
+	return r, headerSize + plen, nil
+}
+
+// Iterator yields a stream of update records in (key, ts) order. It is the
+// common currency between Mem_scan, Run_scan and Merge_updates operators.
+type Iterator interface {
+	// Next returns the next record, or ok=false at end of stream.
+	Next() (Record, bool, error)
+}
+
+// SliceIterator iterates over an in-memory slice of records.
+type SliceIterator struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceIterator returns an iterator over recs (not copied).
+func NewSliceIterator(recs []Record) *SliceIterator {
+	return &SliceIterator{recs: recs}
+}
+
+// Next implements Iterator.
+func (it *SliceIterator) Next() (Record, bool, error) {
+	if it.i >= len(it.recs) {
+		return Record{}, false, nil
+	}
+	r := it.recs[it.i]
+	it.i++
+	return r, true, nil
+}

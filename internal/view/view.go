@@ -1,0 +1,144 @@
+// Package view implements lazily maintained materialized views over a
+// MaSM store (paper §5, "Materialized Views"): instead of maintaining a
+// view eagerly on every update's critical path, maintenance is postponed
+// until the warehouse has free cycles or a query references the view —
+// and with MaSM, "it is straightforward to extend differential update
+// schemes to support lazy view maintenance, by treating the view
+// maintenance operations as normal queries."
+//
+// The prototype supports aggregate views: the key space is divided into
+// fixed-width buckets and the view maintains per-bucket COUNT and SUM of
+// a fixed-width integer attribute. Refresh runs a normal MaSM range scan
+// (so it sees all cached updates) and records the timestamp it saw;
+// staleness is the gap between that timestamp and the store's latest.
+package view
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+)
+
+// Aggregate is one lazily-maintained aggregate view.
+type Aggregate struct {
+	store *masm.Store
+	// attr: SUM is computed over a big-endian unsigned integer of Width
+	// bytes at byte offset Off of the record body.
+	attrOff, attrWidth int
+	bucketWidth        uint64
+
+	buckets []Bucket
+	// freshAsOf is the timestamp of the last refresh: the view reflects
+	// exactly the updates committed before it.
+	freshAsOf int64
+}
+
+// Bucket is one aggregate row of the view.
+type Bucket struct {
+	LowKey uint64
+	Count  int64
+	Sum    uint64
+}
+
+// New defines an aggregate view; it is stale (never refreshed) until the
+// first Refresh.
+func New(store *masm.Store, attrOff, attrWidth int, bucketWidth uint64) (*Aggregate, error) {
+	if attrWidth <= 0 || attrWidth > 8 {
+		return nil, fmt.Errorf("view: attribute width %d outside 1..8", attrWidth)
+	}
+	if bucketWidth == 0 {
+		return nil, fmt.Errorf("view: zero bucket width")
+	}
+	return &Aggregate{
+		store:       store,
+		attrOff:     attrOff,
+		attrWidth:   attrWidth,
+		bucketWidth: bucketWidth,
+	}, nil
+}
+
+// FreshAsOf returns the timestamp of the last refresh (0 = never).
+func (v *Aggregate) FreshAsOf() int64 { return v.freshAsOf }
+
+// Stale reports whether updates have committed since the last refresh.
+func (v *Aggregate) Stale() bool {
+	return v.store.Oracle().Last() > v.freshAsOf
+}
+
+// Refresh recomputes the view with a normal MaSM query over the full key
+// range — it therefore observes every cached update without touching the
+// update path at all (lazy maintenance). Returns the completion time.
+func (v *Aggregate) Refresh(at sim.Time) (sim.Time, error) {
+	q, err := v.store.NewQuery(at, 0, ^uint64(0))
+	if err != nil {
+		return at, err
+	}
+	defer q.Close()
+	var buckets []Bucket
+	for {
+		row, ok, err := q.Next()
+		if err != nil {
+			return at, err
+		}
+		if !ok {
+			break
+		}
+		low := row.Key / v.bucketWidth * v.bucketWidth
+		if len(buckets) == 0 || buckets[len(buckets)-1].LowKey != low {
+			buckets = append(buckets, Bucket{LowKey: low})
+		}
+		b := &buckets[len(buckets)-1]
+		b.Count++
+		b.Sum += v.extract(row.Body)
+	}
+	v.buckets = buckets
+	v.freshAsOf = q.TS()
+	return q.Time(), nil
+}
+
+func (v *Aggregate) extract(body []byte) uint64 {
+	if v.attrOff+v.attrWidth > len(body) {
+		return 0
+	}
+	var buf [8]byte
+	copy(buf[8-v.attrWidth:], body[v.attrOff:v.attrOff+v.attrWidth])
+	return binary.BigEndian.Uint64(buf[:])
+}
+
+// Query returns the view's buckets overlapping [begin, end], refreshing
+// first if the view is stale ("a query references the view" triggers
+// maintenance). Returns the buckets and the completion time.
+func (v *Aggregate) Query(at sim.Time, begin, end uint64) ([]Bucket, sim.Time, error) {
+	now := at
+	if v.Stale() {
+		t, err := v.Refresh(now)
+		if err != nil {
+			return nil, at, err
+		}
+		now = t
+	}
+	var out []Bucket
+	for _, b := range v.buckets {
+		if b.LowKey+v.bucketWidth <= begin || b.LowKey > end {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out, now, nil
+}
+
+// QueryStale is Query without the freshness check: it serves the possibly
+// outdated view instantly, the trade the paper's lazy-maintenance
+// discussion allows when the business tolerates staleness.
+func (v *Aggregate) QueryStale(begin, end uint64) []Bucket {
+	var out []Bucket
+	for _, b := range v.buckets {
+		if b.LowKey+v.bucketWidth <= begin || b.LowKey > end {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}

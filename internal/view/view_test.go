@@ -1,0 +1,186 @@
+package view
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// Records carry a big-endian uint32 "amount" at body offset 4.
+func body(key uint64, amount uint32) []byte {
+	b := make([]byte, 32)
+	binary.LittleEndian.PutUint32(b[0:], uint32(key))
+	binary.BigEndian.PutUint32(b[4:], amount)
+	return b
+}
+
+func newStore(t *testing.T, n int) *masm.Store {
+	t.Helper()
+	hdd := sim.NewDevice(sim.Barracuda7200())
+	ssd := sim.NewDevice(sim.IntelX25E())
+	vol, err := storage.NewVolume(hdd, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, n)
+	bodies := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		bodies[i] = body(keys[i], 10)
+	}
+	tbl, err := table.Load(vol, table.DefaultConfig(), keys, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssdVol, err := storage.NewVolume(ssd, 0, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := masm.DefaultConfig(4 << 20)
+	cfg.SSDPage = 4 << 10
+	cfg.Run.IOSize = 16 << 10
+	cfg.Run.IndexGranularity = 4 << 10
+	cfg.ScanGranularity = 4 << 10
+	store, err := masm.NewStore(cfg, tbl, ssdVol, &masm.Oracle{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func TestViewAggregates(t *testing.T) {
+	store := newStore(t, 1000) // keys 2..2000, amount 10 each
+	v, err := New(store, 4, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := v.Refresh(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Fatal("refresh consumed no time")
+	}
+	buckets, _, err := v.Query(end, 0, ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count, sum int64
+	for _, b := range buckets {
+		count += b.Count
+		sum += int64(b.Sum)
+	}
+	if count != 1000 || sum != 10000 {
+		t.Fatalf("count=%d sum=%d, want 1000/10000", count, sum)
+	}
+	// Bucket [500,1000) holds keys 500..998 even: 250 rows.
+	got, _, err := v.Query(end, 500, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Count != 250 {
+		t.Fatalf("bucket query = %+v, want one bucket of 250", got)
+	}
+}
+
+func TestViewLazyRefreshOnQuery(t *testing.T) {
+	store := newStore(t, 500)
+	v, _ := New(store, 4, 4, 100)
+	now, err := v.Refresh(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stale() {
+		t.Fatal("fresh view reports stale")
+	}
+	// An update makes the view stale; the next Query self-refreshes.
+	rec := update.Record{Key: 3, Op: update.Insert, Payload: body(3, 90)}
+	now, err = store.ApplyAuto(now, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Stale() {
+		t.Fatal("view not stale after update")
+	}
+	buckets, end, err := v.Query(now, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= now {
+		t.Fatal("lazy refresh consumed no time")
+	}
+	// Bucket [0,100): keys 2..98 even (49 rows à 10) plus key 3 (90).
+	if len(buckets) != 1 || buckets[0].Count != 50 || buckets[0].Sum != 49*10+90 {
+		t.Fatalf("bucket = %+v, want count=50 sum=580", buckets)
+	}
+	if v.Stale() {
+		t.Fatal("view stale right after lazy refresh")
+	}
+}
+
+func TestViewStaleServingIsInstant(t *testing.T) {
+	store := newStore(t, 500)
+	v, _ := New(store, 4, 4, 100)
+	now, err := v.Refresh(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ApplyAuto(now, update.Record{Key: 5, Op: update.Insert, Payload: body(5, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	stale := v.QueryStale(0, 99)
+	// Served without refresh: misses key 5, by design.
+	if len(stale) != 1 || stale[0].Count != 49 {
+		t.Fatalf("stale bucket = %+v, want pre-update count 49", stale)
+	}
+}
+
+func TestViewSeesDeletesAndModifies(t *testing.T) {
+	store := newStore(t, 200)
+	v, _ := New(store, 4, 4, 1000)
+	now := sim.Time(0)
+	var err error
+	if now, err = store.ApplyAuto(now, update.Record{Key: 2, Op: update.Delete}); err != nil {
+		t.Fatal(err)
+	}
+	// Change key 4's amount from 10 to 60: modify bytes [4,8).
+	var amt [4]byte
+	binary.BigEndian.PutUint32(amt[:], 60)
+	if now, err = store.ApplyAuto(now, update.Record{Key: 4, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: 4, Value: amt[:]}})}); err != nil {
+		t.Fatal(err)
+	}
+	buckets, _, err := v.Query(now, 0, ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count, sum int64
+	for _, b := range buckets {
+		count += b.Count
+		sum += int64(b.Sum)
+	}
+	if count != 199 {
+		t.Fatalf("count = %d, want 199 after delete", count)
+	}
+	if sum != 198*10+60 {
+		t.Fatalf("sum = %d, want %d after modify", sum, 198*10+60)
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	store := newStore(t, 10)
+	if _, err := New(store, 0, 0, 10); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := New(store, 0, 9, 10); err == nil {
+		t.Fatal("width 9 accepted")
+	}
+	if _, err := New(store, 0, 4, 0); err == nil {
+		t.Fatal("zero bucket accepted")
+	}
+}

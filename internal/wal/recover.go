@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// Recover replays a redo log and rebuilds a MaSM store: the crash-recovery
+// procedure of paper §3.6. It determines, from the log alone,
+//
+//   - which materialized sorted runs are live (flushed or merged, and not
+//     yet migrated),
+//   - which logged updates were still in the lost in-memory buffer (those
+//     not covered by any flush), and
+//   - whether a migration began without completing (in which case it is
+//     redone, idempotently).
+//
+// newLog becomes the rebuilt store's redo logger for subsequent activity.
+func Recover(cfg masm.Config, tbl *table.Table, ssd *storage.Volume,
+	oracle *masm.Oracle, logVol *storage.Volume, newLog masm.RedoLogger,
+	at sim.Time) (*masm.Store, sim.Time, error) {
+
+	entries, now, err := ReadAll(logVol, at)
+	if err != nil {
+		return nil, at, err
+	}
+
+	live := make(map[int64]masm.RunMeta)
+	var pending []update.Record
+	var redoMigration []int64
+
+	for _, e := range entries {
+		switch e.Kind {
+		case KindUpdate:
+			pending = append(pending, e.Rec)
+		case KindFlush:
+			live[e.Run.RunID] = e.Run
+			// Updates with timestamps ≤ MaxTS are durable in the run.
+			kept := pending[:0]
+			for _, r := range pending {
+				if r.TS > e.Run.MaxTS {
+					kept = append(kept, r)
+				}
+			}
+			pending = kept
+		case KindMerge:
+			for _, id := range e.Consumed {
+				delete(live, id)
+			}
+			live[e.Run.RunID] = e.Run
+		case KindMigrationBegin:
+			redoMigration = append([]int64(nil), e.RunIDs...)
+		case KindMigrationEnd:
+			for _, id := range redoMigration {
+				delete(live, id)
+			}
+			redoMigration = nil
+		}
+	}
+	runs := make([]masm.RunMeta, 0, len(live))
+	for _, rm := range live {
+		runs = append(runs, rm)
+	}
+	// If the new log reuses storage (or simply starts empty), checkpoint
+	// the recovered state into it first — run metadata, then the
+	// still-buffered updates — so a second crash recovers too. Restore's
+	// own activity (flushes, a redone migration) then appends after the
+	// checkpoint. Pending updates always carry timestamps above every
+	// live run's MaxTS, so replay ordering is preserved.
+	if l, ok := newLog.(*Log); ok && l != nil {
+		for _, rm := range runs {
+			if now, err = l.LogFlush(now, rm); err != nil {
+				return nil, now, err
+			}
+		}
+		for _, rec := range pending {
+			if now, err = l.LogUpdate(now, rec); err != nil {
+				return nil, now, err
+			}
+		}
+		if now, err = l.Sync(now); err != nil {
+			return nil, now, err
+		}
+	}
+	return masm.Restore(cfg, tbl, ssd, oracle, newLog, runs, pending, redoMigration, now)
+}

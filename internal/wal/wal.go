@@ -1,0 +1,281 @@
+// Package wal implements the redo log MaSM relies on for crash recovery
+// (paper §3.6). MaSM's recovery story is deliberately small: the main data
+// is never dirtied by un-logged changes (migration is redone idempotently
+// thanks to page timestamps), and the materialized sorted runs live on the
+// non-volatile SSD. Only the in-memory update buffer needs recovering, by
+// re-reading the update records from this log, and the run-set metadata,
+// by re-reading flush/merge/migration records.
+//
+// Entries are framed as [kind u8][len u32][payload]; a zero kind byte
+// terminates replay. Appends are buffered and written sequentially in
+// group-commit fashion.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/update"
+)
+
+// Kind identifies a log entry type.
+type Kind uint8
+
+const (
+	// KindEnd (zero) terminates replay.
+	KindEnd Kind = iota
+	// KindUpdate carries one incoming update record.
+	KindUpdate
+	// KindFlush records that a 1-pass materialized sorted run was
+	// created; updates with timestamps ≤ MaxTS are durable on the SSD.
+	KindFlush
+	// KindMerge records that 2-pass run Run replaced the Consumed runs.
+	KindMerge
+	// KindMigrationBegin records the migration timestamp and run set.
+	KindMigrationBegin
+	// KindMigrationEnd records that the migration completed.
+	KindMigrationEnd
+)
+
+// Entry is one decoded log record.
+type Entry struct {
+	Kind     Kind
+	Rec      update.Record // KindUpdate
+	Run      masm.RunMeta  // KindFlush, KindMerge
+	Consumed []int64       // KindMerge
+	MigTS    int64         // KindMigrationBegin/End
+	RunIDs   []int64       // KindMigrationBegin
+}
+
+// groupCommitBytes is the buffering threshold: entries are held in memory
+// and written to the log volume once this many bytes accumulate (or on
+// Sync). This models group commit; per-update synchronous commits would
+// be dominated by log latency in any real deployment too.
+const groupCommitBytes = 4 << 10
+
+// Log is an append-only redo log on a volume. It implements
+// masm.RedoLogger.
+type Log struct {
+	vol *storage.Volume
+	buf []byte
+	off int64
+}
+
+var _ masm.RedoLogger = (*Log)(nil)
+
+// Open creates a log writing from the start of vol.
+func Open(vol *storage.Volume) *Log {
+	return &Log{vol: vol}
+}
+
+func (l *Log) append(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
+	var hdr [5]byte
+	hdr[0] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, payload...)
+	if len(l.buf) >= groupCommitBytes {
+		return l.Sync(at)
+	}
+	return at, nil
+}
+
+// Sync forces buffered entries to the log volume, followed by an end
+// marker (not advancing the cursor) so replay never runs into stale bytes
+// from a previous log generation occupying the same volume.
+func (l *Log) Sync(at sim.Time) (sim.Time, error) {
+	if len(l.buf) == 0 {
+		return at, nil
+	}
+	payload := make([]byte, len(l.buf)+5)
+	copy(payload, l.buf)
+	c, err := l.vol.WriteAt(at, payload, l.off)
+	if err != nil {
+		return at, err
+	}
+	l.off += int64(len(l.buf))
+	l.buf = l.buf[:0]
+	return c.End, nil
+}
+
+// LogUpdate implements masm.RedoLogger.
+func (l *Log) LogUpdate(at sim.Time, rec update.Record) (sim.Time, error) {
+	return l.append(at, KindUpdate, update.AppendEncode(nil, &rec))
+}
+
+func encodeRunMeta(dst []byte, run masm.RunMeta) []byte {
+	var b [33]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(run.RunID))
+	binary.LittleEndian.PutUint64(b[8:], uint64(run.Off))
+	binary.LittleEndian.PutUint64(b[16:], uint64(run.Size))
+	binary.LittleEndian.PutUint64(b[24:], uint64(run.MaxTS))
+	b[32] = byte(run.Passes)
+	return append(dst, b[:]...)
+}
+
+func decodeRunMeta(p []byte) (masm.RunMeta, []byte, error) {
+	if len(p) < 33 {
+		return masm.RunMeta{}, nil, fmt.Errorf("wal: short run meta")
+	}
+	return masm.RunMeta{
+		RunID:  int64(binary.LittleEndian.Uint64(p[0:])),
+		Off:    int64(binary.LittleEndian.Uint64(p[8:])),
+		Size:   int64(binary.LittleEndian.Uint64(p[16:])),
+		MaxTS:  int64(binary.LittleEndian.Uint64(p[24:])),
+		Passes: int(p[32]),
+	}, p[33:], nil
+}
+
+func encodeIDs(dst []byte, ids []int64) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(ids)))
+	dst = append(dst, n[:]...)
+	for _, id := range ids {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(id))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func decodeIDs(p []byte) ([]int64, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("wal: short id list")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) < 8*n {
+		return nil, nil, fmt.Errorf("wal: truncated id list")
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return ids, p[8*n:], nil
+}
+
+// LogFlush implements masm.RedoLogger.
+func (l *Log) LogFlush(at sim.Time, run masm.RunMeta) (sim.Time, error) {
+	return l.append(at, KindFlush, encodeRunMeta(nil, run))
+}
+
+// LogMerge implements masm.RedoLogger.
+func (l *Log) LogMerge(at sim.Time, run masm.RunMeta, consumed []int64) (sim.Time, error) {
+	return l.append(at, KindMerge, encodeIDs(encodeRunMeta(nil, run), consumed))
+}
+
+// LogMigrationBegin implements masm.RedoLogger.
+func (l *Log) LogMigrationBegin(at sim.Time, migTS int64, runIDs []int64) (sim.Time, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
+	t, err := l.append(at, KindMigrationBegin, encodeIDs(b[:], runIDs))
+	if err != nil {
+		return at, err
+	}
+	// Migration boundaries are forced to disk: recovery must know about a
+	// migration that may have dirtied data pages.
+	return l.Sync(t)
+}
+
+// LogMigrationEnd implements masm.RedoLogger.
+func (l *Log) LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
+	t, err := l.append(at, KindMigrationEnd, b[:])
+	if err != nil {
+		return at, err
+	}
+	return l.Sync(t)
+}
+
+// ReadAll replays the log from vol, returning the decoded entries. Only
+// entries that reached the volume are seen — precisely the crash
+// semantics: buffered-but-unsynced tail entries are lost with the crash.
+func ReadAll(vol *storage.Volume, at sim.Time) ([]Entry, sim.Time, error) {
+	var entries []Entry
+	var off int64
+	now := at
+	hdr := make([]byte, 5)
+	for off+5 <= vol.Size() {
+		c, err := vol.ReadAt(now, hdr, off)
+		if err != nil {
+			return nil, now, err
+		}
+		now = c.End
+		kind := Kind(hdr[0])
+		if kind == KindEnd {
+			break
+		}
+		plen := int64(binary.LittleEndian.Uint32(hdr[1:]))
+		if off+5+plen > vol.Size() {
+			break // torn tail
+		}
+		payload := make([]byte, plen)
+		if plen > 0 {
+			c, err = vol.ReadAt(now, payload, off+5)
+			if err != nil {
+				return nil, now, err
+			}
+			now = c.End
+		}
+		off += 5 + plen
+		e, err := decodeEntry(kind, payload)
+		if err != nil {
+			return nil, now, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, now, nil
+}
+
+func decodeEntry(kind Kind, p []byte) (Entry, error) {
+	e := Entry{Kind: kind}
+	switch kind {
+	case KindUpdate:
+		rec, _, err := update.Decode(p)
+		if err != nil {
+			return e, err
+		}
+		// Own the payload: p is a fresh buffer per entry, but be safe.
+		rec.Payload = append([]byte(nil), rec.Payload...)
+		e.Rec = rec
+	case KindFlush:
+		run, _, err := decodeRunMeta(p)
+		if err != nil {
+			return e, err
+		}
+		e.Run = run
+	case KindMerge:
+		run, rest, err := decodeRunMeta(p)
+		if err != nil {
+			return e, err
+		}
+		ids, _, err := decodeIDs(rest)
+		if err != nil {
+			return e, err
+		}
+		e.Run = run
+		e.Consumed = ids
+	case KindMigrationBegin:
+		if len(p) < 8 {
+			return e, fmt.Errorf("wal: short migration begin")
+		}
+		e.MigTS = int64(binary.LittleEndian.Uint64(p))
+		ids, _, err := decodeIDs(p[8:])
+		if err != nil {
+			return e, err
+		}
+		e.RunIDs = ids
+	case KindMigrationEnd:
+		if len(p) < 8 {
+			return e, fmt.Errorf("wal: short migration end")
+		}
+		e.MigTS = int64(binary.LittleEndian.Uint64(p))
+	default:
+		return e, fmt.Errorf("wal: unknown entry kind %d", kind)
+	}
+	return e, nil
+}

@@ -1,0 +1,77 @@
+package masm
+
+import (
+	"masm/internal/table"
+	"masm/internal/txn"
+	"masm/internal/update"
+)
+
+// TxMode selects the concurrency-control scheme for a transaction
+// (paper §3.6).
+type TxMode int
+
+const (
+	// TxSnapshot runs the transaction under snapshot isolation with
+	// first-committer-wins conflict resolution.
+	TxSnapshot TxMode = TxMode(txn.Snapshot)
+	// TxLocking runs the transaction under two-phase locking.
+	TxLocking TxMode = TxMode(txn.Locking)
+)
+
+// Tx is a transaction over the database: reads see the snapshot at Begin
+// plus the transaction's own writes; writes stay in a private buffer until
+// Commit publishes them to the MaSM update cache.
+type Tx struct {
+	db *DB
+	t  *txn.Txn
+}
+
+// Insert buffers an insertion in the transaction.
+func (tx *Tx) Insert(key uint64, body []byte) error {
+	return tx.t.Update(update.Record{Key: key, Op: update.Insert, Payload: append([]byte(nil), body...)})
+}
+
+// Delete buffers a deletion in the transaction.
+func (tx *Tx) Delete(key uint64) error {
+	return tx.t.Update(update.Record{Key: key, Op: update.Delete})
+}
+
+// Modify buffers a field modification in the transaction.
+func (tx *Tx) Modify(key uint64, off int, val []byte) error {
+	return tx.t.Update(update.Record{Key: key, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: uint16(off), Value: append([]byte(nil), val...)}})})
+}
+
+// Scan reads [begin, end] at the transaction's snapshot, overlaid with its
+// own writes.
+func (tx *Tx) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) error {
+	tx.db.mu.Lock()
+	at := tx.db.now
+	tx.db.mu.Unlock()
+	end2, err := tx.t.Scan(at, begin, end, func(row table.Row) bool {
+		return fn(row.Key, row.Body)
+	})
+	tx.db.mu.Lock()
+	if end2 > tx.db.now {
+		tx.db.now = end2
+	}
+	tx.db.mu.Unlock()
+	return err
+}
+
+// Commit validates and publishes the transaction's writes. Under
+// TxSnapshot it returns txn.ErrWriteConflict if another transaction
+// committed a conflicting write first.
+func (tx *Tx) Commit() error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	end, err := tx.t.Commit(tx.db.now)
+	if err != nil {
+		return err
+	}
+	tx.db.now = end
+	return nil
+}
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() { tx.t.Abort() }
