@@ -1,0 +1,32 @@
+package masm
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestEverythingBuilds is the smoke test keeping examples/* and cmd/*
+// buildable: `go build ./...` must succeed for the whole module, so a
+// refactor of the library cannot silently break the binaries and examples
+// (which have no test files of their own).
+func TestEverythingBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping build smoke test in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cmd := exec.Command(goBin, "build", "./...")
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./... failed: %v\n%s", err, out)
+	}
+	cmd = exec.Command(goBin, "vet", "./...")
+	cmd.Dir = "."
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./... failed: %v\n%s", err, out)
+	}
+}

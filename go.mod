@@ -1,0 +1,3 @@
+module masm
+
+go 1.24

@@ -34,8 +34,14 @@ type Migration struct {
 	s     *Store
 	migTS int64
 	runs  []*runfile.Run
-	at    sim.Time
-	done  bool
+	// pending carries buffered updates below migTS that could not be
+	// flushed to a run (exhausted SSD extent allocator): they are merged
+	// into the migration directly from memory. The records stay in the
+	// buffer — visible to concurrent queries — until the migration
+	// completes and the pages carry their effects.
+	pending []update.Record
+	at      sim.Time
+	done    bool
 }
 
 // BeginMigration logs the migration timestamp and the IDs of the current
@@ -48,7 +54,7 @@ func (s *Store) BeginMigration(at sim.Time) (*Migration, error) {
 		return nil, ErrMigrationInProgress
 	}
 	migTS := s.oracle.Next()
-	for _, qts := range s.activeQueries {
+	for _, qts := range s.readerTSsLocked() {
 		if qts < migTS {
 			s.mu.Unlock()
 			return nil, ErrActiveQueries
@@ -58,14 +64,26 @@ func (s *Store) BeginMigration(at sim.Time) (*Migration, error) {
 	// a run so that the set R covers every update with ts < migTS. This
 	// is what entitles migrated pages to carry the timestamp migTS: a
 	// page stamp of migTS asserts "all cached updates below migTS are
-	// applied here".
+	// applied here". When the flush fails — an exhausted extent
+	// allocator, exactly the state migration exists to clear — the
+	// buffered records are carried into the migration merge directly
+	// from memory instead (they remain in the buffer, still visible to
+	// concurrent queries, until the migrated pages absorb them).
+	var pending []update.Record
 	t, err := s.flushLocked(at, migTS)
 	if err != nil {
-		s.mu.Unlock()
-		return nil, err
+		pending = s.buf.Drain(migTS)
+		s.buf.Restore(pending)
+	} else {
+		at = t
 	}
-	at = t
 	runsR := append([]*runfile.Run(nil), s.runs...)
+	// Pin the migrating run set: the migration reads these runs' extents
+	// outside the latch, and a concurrent query-setup merge must not free
+	// them underneath it. Unpinned on completion or abort.
+	for _, r := range runsR {
+		s.pins[r.ID]++
+	}
 	s.migrating = true
 	s.mu.Unlock()
 
@@ -76,12 +94,12 @@ func (s *Store) BeginMigration(at sim.Time) (*Migration, error) {
 		}
 		t, err := s.log.LogMigrationBegin(at, migTS, ids)
 		if err != nil {
-			s.abort()
+			s.abortMigration(runsR)
 			return nil, err
 		}
 		at = t
 	}
-	return &Migration{s: s, migTS: migTS, runs: runsR, at: at}, nil
+	return &Migration{s: s, migTS: migTS, runs: runsR, pending: pending, at: at}, nil
 }
 
 // MigTS returns the migration's timestamp.
@@ -105,20 +123,25 @@ func (m *Migration) RunWithScan(fn func(row table.Row) bool) (sim.Time, *Migrate
 		return m.at, nil, errors.New("masm: migration already completed")
 	}
 	s := m.s
-	if len(m.runs) == 0 {
+	if len(m.runs) == 0 && len(m.pending) == 0 {
 		m.done = true
-		s.abort()
+		s.abortMigration(nil)
 		return m.at, &MigrateReport{MigTS: m.migTS}, nil
 	}
-	end, rep, err := s.migrateRuns(m.at, m.migTS, m.runs, fn)
+	end, rep, err := s.migrateRuns(m.at, m.migTS, m.runs, m.pending, fn)
 	if err != nil {
-		s.abort()
+		// The abort drops the migration's run pins, so the migration is
+		// finished for good: a retry would read unpinned extents and
+		// double-unpin on success. Callers must BeginMigration again.
+		m.done = true
+		s.abortMigration(m.runs)
 		return m.at, nil, err
 	}
 	if s.log != nil {
 		t, err := s.log.LogMigrationEnd(end, m.migTS)
 		if err != nil {
-			s.abort()
+			m.done = true
+			s.abortMigration(m.runs)
 			return m.at, nil, err
 		}
 		end = t
@@ -140,7 +163,16 @@ func (m *Migration) RunWithScan(fn func(row table.Row) bool) (sim.Time, *Migrate
 	}
 	s.runs = kept
 	for _, r := range m.runs {
+		s.runBytes -= r.Size
+		s.unpinRunLocked(r.ID)
 		s.releaseRunLocked(r)
+	}
+	if len(m.pending) > 0 {
+		// The memory-migrated records are now applied to pages stamped
+		// migTS; drop them from the buffer (scans ahead of the drop read
+		// the fresh pages, and the page-timestamp check keeps any record
+		// still buffered from double-applying either way).
+		s.buf.Drain(m.migTS)
 	}
 	s.stats.Migrations++
 	s.stats.MigratedRecords += rep.RecordsApplied
@@ -150,23 +182,31 @@ func (m *Migration) RunWithScan(fn func(row table.Row) bool) (sim.Time, *Migrate
 	return end, rep, nil
 }
 
-func (s *Store) abort() {
+// abortMigration clears the in-flight flag and drops the pins taken on
+// the migrating run set.
+func (s *Store) abortMigration(pinned []*runfile.Run) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range pinned {
+		s.unpinRunLocked(r.ID)
+	}
 	s.migrating = false
-	s.mu.Unlock()
 }
 
 // migrateRuns merges the run set and applies it to the table, optionally
 // emitting the fresh rows (coordinated scan). The SSD reads of the run
 // scanners overlap the disk scan; the returned time is the later of the
 // two.
-func (s *Store) migrateRuns(at sim.Time, migTS int64, runsR []*runfile.Run, emit func(table.Row) bool) (sim.Time, *MigrateReport, error) {
-	iters := make([]update.Iterator, len(runsR))
+func (s *Store) migrateRuns(at sim.Time, migTS int64, runsR []*runfile.Run, pending []update.Record, emit func(table.Row) bool) (sim.Time, *MigrateReport, error) {
+	iters := make([]update.Iterator, 0, len(runsR)+1)
 	scanners := make([]*runfile.Scanner, len(runsR))
 	for i, r := range runsR {
 		sc := r.Scan(at, 0, ^uint64(0), migTS, s.cfg.Run.IOSize)
 		scanners[i] = sc
-		iters[i] = sc
+		iters = append(iters, sc)
+	}
+	if len(pending) > 0 {
+		iters = append(iters, &sliceIter{recs: pending})
 	}
 	merger, err := extsort.NewMerger(iters...)
 	if err != nil {
@@ -180,6 +220,22 @@ func (s *Store) migrateRuns(at sim.Time, migTS int64, runsR []*runfile.Run, emit
 		end = sim.MaxTime(end, sc.Time())
 	}
 	return end, &MigrateReport{MigTS: migTS, RunsMigrated: len(runsR), ApplyResult: res}, nil
+}
+
+// sliceIter iterates an in-memory, (key, ts)-sorted record slice — the
+// memory-resident leg of an exhausted-cache migration.
+type sliceIter struct {
+	recs []update.Record
+	i    int
+}
+
+func (it *sliceIter) Next() (update.Record, bool, error) {
+	if it.i >= len(it.recs) {
+		return update.Record{}, false, nil
+	}
+	r := it.recs[it.i]
+	it.i++
+	return r, true, nil
 }
 
 // MigratePortion performs one step of incremental migration (paper §3.5,
@@ -200,7 +256,7 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 		return at, false, ErrMigrationInProgress
 	}
 	migTS := s.oracle.Next()
-	for _, qts := range s.activeQueries {
+	for _, qts := range s.readerTSsLocked() {
 		if qts < migTS {
 			s.mu.Unlock()
 			return at, false, ErrActiveQueries
@@ -215,6 +271,9 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 	}
 	at = t
 	runsR := append([]*runfile.Run(nil), s.runs...)
+	for _, r := range runsR {
+		s.pins[r.ID]++
+	}
 	begin := s.portionCursor
 	if begin == 0 {
 		s.sweepFloorTS = migTS
@@ -235,7 +294,7 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 		// Portions log full begin/end pairs: an interrupted portion redoes
 		// as a (larger, idempotent) full migration on recovery.
 		if at, err = s.log.LogMigrationBegin(at, migTS, ids); err != nil {
-			s.abort()
+			s.abortMigration(runsR)
 			return at, false, err
 		}
 	}
@@ -248,12 +307,12 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 	}
 	merger, err := extsort.NewMerger(iters...)
 	if err != nil {
-		s.abort()
+		s.abortMigration(runsR)
 		return at, false, err
 	}
 	end, res, err := s.tbl.ApplyStreamRange(at, migTS, merger, s.cfg.MigrateBatch, begin, rangeEnd)
 	if err != nil {
-		s.abort()
+		s.abortMigration(runsR)
 		return at, false, err
 	}
 	for _, sc := range scanners {
@@ -261,12 +320,15 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 	}
 	if s.log != nil {
 		if end, err = s.log.LogMigrationEnd(end, migTS); err != nil {
-			s.abort()
+			s.abortMigration(runsR)
 			return at, false, err
 		}
 	}
 
 	s.mu.Lock()
+	for _, r := range runsR {
+		s.unpinRunLocked(r.ID)
+	}
 	s.stats.MigratedRecords += res.RecordsApplied
 	if last {
 		// Sweep complete: every run whose newest record predates the
@@ -275,6 +337,7 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 		kept := s.runs[:0]
 		for _, r := range s.runs {
 			if r.MaxTS < floor {
+				s.runBytes -= r.Size
 				s.releaseRunLocked(r)
 			} else {
 				kept = append(kept, r)

@@ -50,28 +50,49 @@ type Query struct {
 // NewQuery performs the table-range-scan setup of Fig 8 and returns the
 // operator tree. It assigns the query a fresh timestamp, flushes the
 // update buffer if it holds at least S pages, and merges the earliest
-// 1-pass runs while more runs exist than query memory pages.
+// 1-pass runs while more runs exist than query memory pages. The
+// timestamp is issued under the store latch, atomically with the query's
+// reader registration, so a concurrent migration can never slip between
+// the two and bake newer updates into pages this query will read.
 func (s *Store) NewQuery(at sim.Time, begin, end uint64) (*Query, error) {
-	return s.NewQueryAt(at, begin, end, s.oracle.Next())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.newQueryLocked(at, begin, end, s.oracle.Next())
 }
 
 // NewQueryAt is NewQuery with an explicit query timestamp: the query sees
 // exactly the updates committed before qts. Transactions use this to read
-// at their snapshot (paper §3.6); qts must come from the store's oracle.
+// at their snapshot (paper §3.6); qts must come from the store's oracle,
+// and — for the same stamp-vs-register race NewQuery avoids — must be
+// protected by a registered reader (a Snapshot) if writers or migrations
+// run concurrently.
 func (s *Store) NewQueryAt(at sim.Time, begin, end uint64, qts int64) (*Query, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.newQueryLocked(at, begin, end, qts)
+}
+
+// newQueryLocked is the table-range-scan setup; caller holds s.mu.
+func (s *Store) newQueryLocked(at sim.Time, begin, end uint64, qts int64) (*Query, error) {
 
 	// Fig 8 lines 1–4: materialize a run if the buffer holds ≥ S pages.
+	// The flush and the merges below are memory-budget optimizations, not
+	// correctness requirements: when they fail (typically an exhausted
+	// extent allocator while migration is held off by readers), the query
+	// proceeds against the unflushed buffer and the larger run set, so
+	// reads stay available under cache pressure; a failed flush restores
+	// its records to the buffer.
 	if s.buf.Bytes() >= s.cfg.SPages()*s.cfg.SSDPage {
-		t, err := s.flushLocked(at, memtable.MaxDrain)
-		if err != nil {
-			return nil, err
+		if t, err := s.flushLocked(at, memtable.MaxDrain); err == nil {
+			at = t
 		}
-		at = t
 	}
-	// Fig 8 lines 5–8: bound run count by the available query pages.
-	for len(s.runs) > s.cfg.QueryPages() {
+	// Fig 8 lines 5–8: bound run count by the available query pages. While
+	// a migration is in flight the merge is skipped: the earliest runs are
+	// exactly the ones the migration is reading and about to delete, so
+	// merging them would waste SSD writes (the paper's migration thread is
+	// the only other writer of the run set).
+	for len(s.runs) > s.cfg.QueryPages() && !s.migrating {
 		n := s.cfg.NMerge()
 		if avail := s.onePassCountLocked(); avail >= 2 && n > avail {
 			n = avail
@@ -81,7 +102,7 @@ func (s *Store) NewQueryAt(at sim.Time, begin, end uint64, qts int64) (*Query, e
 		}
 		t, err := s.mergeRunsLocked(at, n)
 		if err != nil {
-			return nil, err
+			break
 		}
 		at = t
 	}
@@ -103,15 +124,22 @@ func (s *Store) NewQueryAt(at sim.Time, begin, end uint64, qts int64) (*Query, e
 		s.pins[r.ID]++
 		q.pinnedRuns = append(q.pinnedRuns, r.ID)
 	}
+	_, flushEpoch := s.buf.Epochs()
 	q.mem = &memScanIter{
 		q:        q,
 		ms:       s.buf.Scan(begin, end, qts),
 		at:       at,
 		maxRunID: s.nextRunID - 1,
+		epoch0:   flushEpoch,
 	}
 	iters = append(iters, q.mem)
 	merger, err := extsort.NewMerger(iters...)
 	if err != nil {
+		// The query never registers, so Close cannot run: drop the run
+		// pins taken above or the runs' extents leak when later retired.
+		for _, id := range q.pinnedRuns {
+			s.unpinRunLocked(id)
+		}
 		return nil, err
 	}
 	q.upd = merger
@@ -256,14 +284,7 @@ func (q *Query) Close() {
 		delete(s.activeQueries, q)
 	}
 	for _, id := range q.pinnedRuns {
-		s.pins[id]--
-		if s.pins[id] <= 0 {
-			delete(s.pins, id)
-			if r, ok := s.dead[id]; ok {
-				delete(s.dead, id)
-				s.releaseRunLocked(r)
-			}
-		}
+		s.unpinRunLocked(id)
 	}
 }
 
@@ -325,6 +346,7 @@ type memScanIter struct {
 	rs       *runfile.Scanner
 	at       sim.Time
 	maxRunID int64 // newest run that existed when the query started
+	epoch0   int64 // memtable flush epoch when the query started
 }
 
 // Next implements update.Iterator.
@@ -338,38 +360,85 @@ func (m *memScanIter) Next() (update.Record, bool, error) {
 	if !flushed {
 		return rec, ok, nil
 	}
-	// The buffer was drained into a new run. Find the earliest run newer
-	// than the query's snapshot: it holds every record this scan had not
-	// yet returned (all visible records were in the buffer at query
-	// start, and the first post-snapshot flush drained them all).
+	// The buffer was drained into a new run. The first post-snapshot
+	// flush drained every record this scan had not yet returned (all its
+	// visible records were in the buffer at query start), so the exact
+	// replacement is the run recorded for the first flush epoch after the
+	// query's — chased through any merges that have since absorbed it.
+	// An ID-ordering heuristic is not enough: concurrent query-setup
+	// merges mint fresh IDs interleaved with flushes, and latching onto a
+	// merge product that excludes the flush run would silently drop
+	// committed-before-scan records. The run is pinned in the same latch
+	// hold that finds it — otherwise a concurrent merge could consume it
+	// and free its extent before this scan opens it.
 	s := m.q.s
 	s.mu.Lock()
 	var target *runfile.Run
-	for _, r := range s.runs {
-		if r.ID > m.maxRunID {
-			if target == nil || r.ID < target.ID {
-				target = r
+	_, cur := s.buf.Epochs()
+	for e := m.epoch0 + 1; e <= cur; e++ {
+		id, ok := s.flushRunByEpoch[e]
+		if !ok {
+			continue // an empty drain bumped the epoch without a run
+		}
+		for {
+			if target = s.runByIDLocked(id); target != nil {
+				break
+			}
+			next, merged := s.mergedInto[id]
+			if !merged {
+				break
+			}
+			id = next
+		}
+		break
+	}
+	if target == nil {
+		// Fallback (tracking pruned or flush predates it): earliest live
+		// run newer than the query's snapshot.
+		for _, r := range s.runs {
+			if r.ID > m.maxRunID {
+				if target == nil || r.ID < target.ID {
+					target = r
+				}
 			}
 		}
 	}
-	s.mu.Unlock()
 	if target == nil {
-		// Flush raced with migration deleting the run; every remaining
-		// visible record was migrated into pages this query cannot be
-		// reading (migration waits for older queries), so end the scan.
-		return update.Record{}, false, nil
+		// No replacement run exists: the flush failed and restored the
+		// records to the buffer (a successful flush always registers its
+		// run, and migration cannot delete runs while this reader is
+		// open). Re-open the memtable scan and resume past the last
+		// returned record.
+		lastKey, lastTS, started := m.ms.Resume()
+		m.ms = s.buf.Scan(m.q.begin, m.q.end, m.q.ts)
+		s.mu.Unlock()
+		for started {
+			rec, ok, fl := m.ms.Next()
+			if fl {
+				return m.Next() // flushed again underneath; resolve again
+			}
+			if !ok {
+				return update.Record{}, false, nil
+			}
+			if rec.Key > lastKey || (rec.Key == lastKey && rec.TS > lastTS) {
+				return rec, true, nil
+			}
+		}
+		return m.Next()
 	}
-	m.rs = target.Scan(m.at, m.q.begin, m.q.end, m.q.ts, s.cfg.ScanGranularity)
-	if key, ts, started := m.ms.Resume(); started {
-		m.rs.SkipTo(key, ts)
-	}
-	s.mu.Lock()
+	s.pins[target.ID]++
+	m.q.pinnedRuns = append(m.q.pinnedRuns, target.ID)
 	if _, ok := s.activeQueries[m.q]; ok {
 		m.q.pinnedPages++
 		s.queryPagesInUse++
 	}
-	s.pins[target.ID]++
-	m.q.pinnedRuns = append(m.q.pinnedRuns, target.ID)
+	gran := s.cfg.ScanGranularity
 	s.mu.Unlock()
+	// Pinned: the extent stays allocated even if a merge retires the run
+	// (it is parked in the dead set until the pin drains).
+	m.rs = target.Scan(m.at, m.q.begin, m.q.end, m.q.ts, gran)
+	if key, ts, started := m.ms.Resume(); started {
+		m.rs.SkipTo(key, ts)
+	}
 	return m.Next()
 }

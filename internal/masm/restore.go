@@ -46,6 +46,7 @@ func Restore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 		}
 		s.extents[rm.RunID] = extent{off: rm.Off, size: extSize}
 		s.runs = append(s.runs, run)
+		s.runBytes += run.Size
 		if rm.RunID >= s.nextRunID {
 			s.nextRunID = rm.RunID + 1
 		}

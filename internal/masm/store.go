@@ -76,9 +76,13 @@ type Store struct {
 	oracle *Oracle
 	log    RedoLogger
 
-	mu        sync.Mutex
-	buf       *memtable.Buffer
-	runs      []*runfile.Run // oldest first
+	mu   sync.Mutex
+	buf  *memtable.Buffer
+	runs []*runfile.Run // oldest first
+	// runBytes is the summed Size of s.runs, maintained at every run-set
+	// mutation so the per-update cache-fill check is O(1) instead of a
+	// walk of the run list under the latch.
+	runBytes  int64
 	alloc     *extentAlloc
 	nextRunID int64
 	// queryPagesInUse counts memory pages pinned by open queries'
@@ -87,10 +91,25 @@ type Store struct {
 	queryPagesInUse int
 	stolenPages     int
 	activeQueries   map[*Query]int64 // open query -> its timestamp
-	// pins counts open queries holding each run; dead parks migrated runs
-	// whose extents cannot be reclaimed until their pins drain.
+	// snaps tracks open Snapshots -> their timestamps. Snapshots are
+	// readers for the purposes of the §3.5 merge-safety policy and the
+	// migration wait, even while they have no query open.
+	snaps map[*Snapshot]int64
+	// pins counts open queries and snapshots holding each run; dead parks
+	// migrated runs whose extents cannot be reclaimed until their pins
+	// drain.
 	pins map[int64]int
 	dead map[int64]*runfile.Run
+	// flushRunByEpoch maps the memtable's flush epoch to the run that
+	// flush produced, and mergedInto maps a retired run's ID to the merge
+	// product that absorbed it. Together they let a scan whose Mem_scan
+	// was flushed out from under it find its exact replacement run — the
+	// run holding the records it had not yet returned — even when
+	// concurrent query-setup merges mint newer run IDs around the flush.
+	// Both maps are pruned whenever no query is active (later readers
+	// only ever need entries created after they start).
+	flushRunByEpoch map[int64]int64
+	mergedInto      map[int64]int64
 	// extents records the allocated extent per run ID. Allocation happens
 	// before the run is written, so (especially for 2-pass merges, whose
 	// output shrinks under duplicate combining) the extent may be larger
@@ -126,11 +145,14 @@ func NewStore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 		// over-provisioned relative to the logical cache capacity; the
 		// transient space lets 2-pass merges write their output before
 		// the input runs are released, as real SSDs over-provision flash.
-		alloc:         newExtentAlloc(ssd.Size()),
-		activeQueries: make(map[*Query]int64),
-		pins:          make(map[int64]int),
-		dead:          make(map[int64]*runfile.Run),
-		extents:       make(map[int64]extent),
+		alloc:           newExtentAlloc(ssd.Size()),
+		activeQueries:   make(map[*Query]int64),
+		snaps:           make(map[*Snapshot]int64),
+		pins:            make(map[int64]int),
+		dead:            make(map[int64]*runfile.Run),
+		extents:         make(map[int64]extent),
+		flushRunByEpoch: make(map[int64]int64),
+		mergedInto:      make(map[int64]int64),
 	}
 	return s, nil
 }
@@ -181,11 +203,7 @@ func (s *Store) CachedBytes() int64 {
 }
 
 func (s *Store) cachedBytesLocked() int64 {
-	n := int64(s.buf.Bytes())
-	for _, r := range s.runs {
-		n += r.Size
-	}
-	return n
+	return int64(s.buf.Bytes()) + s.runBytes
 }
 
 // Fill returns the cache occupancy fraction of the SSD capacity.
@@ -204,14 +222,100 @@ func (s *Store) ShouldMigrate() bool {
 // timestamp from the store's oracle (use ApplyAuto for the common case).
 // at is the caller's virtual time; the returned time includes any redo
 // logging and buffer-flush I/O triggered by this update.
+//
+// Apply with a pre-stamped record is only sound when the caller already
+// holds the timestamp-publication order — single-threaded use and crash
+// recovery. Concurrent writers must use ApplyAuto or ApplyBatchAuto,
+// which assign the timestamp and publish the record atomically under the
+// store latch, so a snapshot or migration timestamp issued by another
+// goroutine can never land between a record's stamping and its
+// publication (which would make the record invisible to a reader that
+// should see it, or worse, let a migration stamp pages past it).
 func (s *Store) Apply(at sim.Time, rec update.Record) (sim.Time, error) {
 	if rec.TS <= 0 {
 		return at, fmt.Errorf("masm: update without timestamp")
 	}
-	if update.EncodedSize(&rec) > s.cfg.SPages()*s.cfg.SSDPage {
-		return at, fmt.Errorf("masm: update record of %d bytes exceeds the %d-byte update buffer",
-			update.EncodedSize(&rec), s.cfg.SPages()*s.cfg.SSDPage)
+	if err := s.checkRecordSize(&rec); err != nil {
+		return at, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(at, rec)
+}
+
+// ApplyAuto assigns a fresh commit timestamp and caches the update, both
+// atomically under the store latch.
+func (s *Store) ApplyAuto(at sim.Time, rec update.Record) (sim.Time, error) {
+	if err := s.checkRecordSize(&rec); err != nil {
+		return at, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.TS = s.oracle.Next()
+	return s.applyLocked(at, rec)
+}
+
+// ApplyAutoHint is ApplyAuto, additionally reporting whether the cache
+// sits at or above the migration threshold — an O(1) computation under
+// the latch the apply already holds, so hot write paths that want to
+// nudge a background migrator need not re-acquire the latch to find out.
+func (s *Store) ApplyAutoHint(at sim.Time, rec update.Record) (end sim.Time, shouldMigrate bool, err error) {
+	if err := s.checkRecordSize(&rec); err != nil {
+		return at, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.TS = s.oracle.Next()
+	end, err = s.applyLocked(at, rec)
+	if err != nil {
+		return end, false, err
+	}
+	fill := float64(s.cachedBytesLocked()) / float64(s.cfg.SSDCapacity)
+	return end, fill >= s.cfg.MigrateThreshold, nil
+}
+
+// ApplyBatchAuto stamps consecutive commit timestamps onto a group of
+// records and publishes them under one latch hold: on success, a
+// concurrent snapshot sees all of them or none. Transaction commit uses
+// it to publish a private write set (paper §3.6). It returns the last
+// (largest) timestamp assigned.
+//
+// On error a stamped prefix of the batch may already be published (e.g.
+// when a mid-batch buffer flush fails); lastTS then reports the largest
+// stamped timestamp so the caller can account for the prefix — Commit
+// uses it to keep first-committer-wins validation conservative.
+func (s *Store) ApplyBatchAuto(at sim.Time, recs []update.Record) (lastTS int64, end sim.Time, err error) {
+	for i := range recs {
+		if err := s.checkRecordSize(&recs[i]); err != nil {
+			return 0, at, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range recs {
+		recs[i].TS = s.oracle.Next()
+		lastTS = recs[i].TS
+		t, err := s.applyLocked(at, recs[i])
+		if err != nil {
+			return lastTS, at, err
+		}
+		at = t
+	}
+	return lastTS, at, nil
+}
+
+// checkRecordSize rejects records that could never fit the update buffer.
+func (s *Store) checkRecordSize(rec *update.Record) error {
+	if update.EncodedSize(rec) > s.cfg.SPages()*s.cfg.SSDPage {
+		return fmt.Errorf("masm: update record of %d bytes exceeds the %d-byte update buffer",
+			update.EncodedSize(rec), s.cfg.SPages()*s.cfg.SSDPage)
+	}
+	return nil
+}
+
+// applyLocked logs and buffers one stamped record. Caller holds s.mu.
+// Logging under the latch keeps the redo log in timestamp order.
+func (s *Store) applyLocked(at sim.Time, rec update.Record) (sim.Time, error) {
 	if s.log != nil {
 		t, err := s.log.LogUpdate(at, rec)
 		if err != nil {
@@ -219,8 +323,6 @@ func (s *Store) Apply(at sim.Time, rec update.Record) (sim.Time, error) {
 		}
 		at = t
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for !s.buf.Append(rec) {
 		// Buffer full. Steal an idle query page if one exists (Fig 8,
 		// Incoming Updates lines 2–3), otherwise materialize a 1-pass run
@@ -241,12 +343,6 @@ func (s *Store) Apply(at sim.Time, rec update.Record) (sim.Time, error) {
 	return at, nil
 }
 
-// ApplyAuto assigns a fresh commit timestamp and caches the update.
-func (s *Store) ApplyAuto(at sim.Time, rec update.Record) (sim.Time, error) {
-	rec.TS = s.oracle.Next()
-	return s.Apply(at, rec)
-}
-
 // flushLocked drains buffered records with timestamps below beforeTS into
 // a new 1-pass materialized sorted run. Caller holds s.mu.
 func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
@@ -264,16 +360,28 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 	extSize := roundUp(size, int64(s.cfg.SSDPage))
 	off, err := s.alloc.alloc(extSize)
 	if err != nil {
+		// Put the drained records back: they were acknowledged to their
+		// writers and must stay readable. The buffer overfills past its
+		// capacity until migration frees SSD space.
+		s.buf.Restore(recs)
 		return at, err
 	}
 	id := s.nextRunID
 	s.nextRunID++
 	run, end, err := runfile.WriteRun(s.ssd, off, at, id, recs, s.cfg.Run)
 	if err != nil {
+		s.buf.Restore(recs)
+		s.alloc.release(off, extSize)
 		return at, err
 	}
 	s.extents[id] = extent{off: off, size: extSize}
 	s.runs = append(s.runs, run)
+	s.runBytes += run.Size
+	if len(s.activeQueries) > 0 {
+		_, fe := s.buf.Epochs()
+		s.flushRunByEpoch[fe] = id
+	}
+	s.pruneScanTrackingLocked()
 	s.stats.OnePassRuns++
 	s.stats.RecordWritesSSD += run.Count
 	s.stats.BytesWrittenSSD += run.Size
@@ -312,17 +420,30 @@ func (s *Store) combineLocked(recs []update.Record) []update.Record {
 	return out
 }
 
-// mergePolicyLocked returns the §3.5 safety policy: two updates with
-// timestamps t1 < t2 may merge iff no active query has timestamp t with
-// t1 < t ≤ t2. Caller holds s.mu; the returned closure snapshots the
-// active set.
-func (s *Store) mergePolicyLocked() extsort.MergePolicy {
-	if len(s.activeQueries) == 0 {
-		return extsort.MergeAll
+// readerTSsLocked returns the timestamps of every active reader: open
+// queries and open snapshots. Caller holds s.mu.
+func (s *Store) readerTSsLocked() []int64 {
+	if len(s.activeQueries) == 0 && len(s.snaps) == 0 {
+		return nil
 	}
-	qts := make([]int64, 0, len(s.activeQueries))
+	qts := make([]int64, 0, len(s.activeQueries)+len(s.snaps))
 	for _, ts := range s.activeQueries {
 		qts = append(qts, ts)
+	}
+	for _, ts := range s.snaps {
+		qts = append(qts, ts)
+	}
+	return qts
+}
+
+// mergePolicyLocked returns the §3.5 safety policy: two updates with
+// timestamps t1 < t2 may merge iff no active reader (query or snapshot)
+// has timestamp t with t1 < t ≤ t2. Caller holds s.mu; the returned
+// closure snapshots the active set.
+func (s *Store) mergePolicyLocked() extsort.MergePolicy {
+	qts := s.readerTSsLocked()
+	if len(qts) == 0 {
+		return extsort.MergeAll
 	}
 	return func(older, newer int64) bool {
 		for _, t := range qts {
@@ -455,8 +576,16 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	s.runs = append(kept, nil)
 	copy(s.runs[first+1:], s.runs[first:len(s.runs)-1])
 	s.runs[first] = merged
+	s.runBytes += merged.Size
+	if len(s.activeQueries) > 0 {
+		for _, o := range olds {
+			s.mergedInto[o.ID] = id
+		}
+	}
+	s.pruneScanTrackingLocked()
 	s.extents[id] = extent{off: off, size: extSize}
 	for _, o := range olds {
+		s.runBytes -= o.Size
 		s.releaseRunLocked(o)
 	}
 	s.stats.TwoPassMerges++
@@ -478,7 +607,7 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 }
 
 // releaseRunLocked frees the extent behind a run (or parks it in dead if
-// still pinned by open queries). Caller holds s.mu.
+// still pinned by open queries or snapshots). Caller holds s.mu.
 func (s *Store) releaseRunLocked(r *runfile.Run) {
 	if s.pins[r.ID] > 0 {
 		s.dead[r.ID] = r
@@ -487,6 +616,63 @@ func (s *Store) releaseRunLocked(r *runfile.Run) {
 	if e, ok := s.extents[r.ID]; ok {
 		s.alloc.release(e.off, e.size)
 		delete(s.extents, r.ID)
+	}
+}
+
+// pruneScanTrackingLocked drops flush/merge tracking entries no active
+// query can ever look up — epochs at or before every open query's start
+// epoch, and run IDs at or before every open query's initial newest run —
+// bounding both maps under sustained overlapping scan traffic. Caller
+// holds s.mu.
+func (s *Store) pruneScanTrackingLocked() {
+	if len(s.activeQueries) == 0 {
+		clear(s.flushRunByEpoch)
+		clear(s.mergedInto)
+		return
+	}
+	minEpoch := int64(1) << 62
+	minRunID := int64(1) << 62
+	for q := range s.activeQueries {
+		if q.mem.epoch0 < minEpoch {
+			minEpoch = q.mem.epoch0
+		}
+		if q.mem.maxRunID < minRunID {
+			minRunID = q.mem.maxRunID
+		}
+	}
+	for e := range s.flushRunByEpoch {
+		if e <= minEpoch {
+			delete(s.flushRunByEpoch, e)
+		}
+	}
+	for id := range s.mergedInto {
+		if id <= minRunID {
+			delete(s.mergedInto, id)
+		}
+	}
+}
+
+// runByIDLocked returns the live run with the given ID, or nil. Caller
+// holds s.mu.
+func (s *Store) runByIDLocked(id int64) *runfile.Run {
+	for _, r := range s.runs {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// unpinRunLocked drops one pin on a run, releasing a parked dead run whose
+// pins have drained. Caller holds s.mu.
+func (s *Store) unpinRunLocked(id int64) {
+	s.pins[id]--
+	if s.pins[id] <= 0 {
+		delete(s.pins, id)
+		if r, ok := s.dead[id]; ok {
+			delete(s.dead, id)
+			s.releaseRunLocked(r)
+		}
 	}
 }
 

@@ -139,6 +139,19 @@ func (b *Buffer) Drain(beforeTS int64) []update.Record {
 	return out
 }
 
+// Restore re-appends records that a failed flush could not materialize,
+// ignoring the capacity limit (the buffer is simply considered full until
+// the next successful flush). The records re-enter as an unsorted tail;
+// the next Sort/Scan re-sorts them.
+func (b *Buffer) Restore(recs []update.Record) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range recs {
+		b.recs = append(b.recs, recs[i])
+		b.bytes += update.EncodedSize(&recs[i])
+	}
+}
+
 // MaxDrain drains every record regardless of timestamp.
 const MaxDrain = int64(1<<63 - 1)
 

@@ -1,0 +1,190 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"masm/internal/sim"
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// scanChunkRows is the granularity of the producer→consumer handoff in
+// ScanParallel: each per-node scan goroutine ships rows to the emitter in
+// chunks of this many, bounding memory and amortizing channel overhead.
+const scanChunkRows = 2048
+
+// nodeStream is one node's side of a parallel fan-out scan. dur and err
+// are written by the producer before it closes ch, so the consumer may
+// read them after the channel is drained.
+type nodeStream struct {
+	ch  chan []table.Row
+	dur sim.Duration
+	err error
+}
+
+// ScanParallel runs a range scan fanned out across every node the range
+// touches, one goroutine per node — the paper's §5 deployment executed for
+// real: "analysis queries fan out and run in parallel on every node they
+// touch". Each node owns private devices and a private MaSM store, so the
+// per-node scans share nothing and overlap both their simulated I/O and
+// their host-CPU merge work (the wall-clock win needs GOMAXPROCS > 1;
+// the virtual-time answer is identical to Scan's either way).
+//
+// Rows are delivered to fn in global key order: node i's rows stream out
+// in bounded chunks as they are produced, while nodes > i are still
+// scanning. fn returning false stops emission and asks the remaining node
+// scans to abandon early (best effort). The reported duration is the
+// longest node-local scan — the shared-nothing completion time.
+//
+// fn is called from the calling goroutine only; it needs no locking of
+// its own.
+func (c *Cluster) ScanParallel(begin, end uint64, fn func(row table.Row) bool) (sim.Duration, error) {
+	var stopped atomic.Bool
+	streams := make([]*nodeStream, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		lo, hi, ok := c.span(n, begin, end)
+		if !ok {
+			continue
+		}
+		st := &nodeStream{ch: make(chan []table.Row, 4)}
+		streams = append(streams, st)
+		go n.scanRange(st, lo, hi, &stopped)
+	}
+
+	var longest sim.Duration
+	var firstErr error
+	for _, st := range streams {
+		for chunk := range st.ch {
+			if firstErr != nil || stopped.Load() {
+				continue // drain so the producer can finish
+			}
+			for _, row := range chunk {
+				if !fn(row) {
+					stopped.Store(true)
+					break
+				}
+			}
+		}
+		if st.err != nil && firstErr == nil {
+			firstErr = st.err
+			stopped.Store(true)
+		}
+		if st.dur > longest {
+			longest = st.dur
+		}
+	}
+	return longest, firstErr
+}
+
+// scanRange produces one node's sub-range into st in chunks, checking the
+// shared stop flag between chunks so an abandoned fan-out does not scan to
+// the end. The node latch is held only to read and advance the node clock,
+// never across a channel send or the scan itself — the per-node store is
+// internally latched, and holding n.mu while blocked on a full channel
+// would deadlock a consumer callback that touches this node.
+func (n *Node) scanRange(st *nodeStream, lo, hi uint64, stopped *atomic.Bool) {
+	defer close(st.ch)
+	start := n.Now()
+	q, err := n.Store.NewQuery(start, lo, hi)
+	if err != nil {
+		st.err = err
+		return
+	}
+	defer q.Close()
+	chunk := make([]table.Row, 0, scanChunkRows)
+	for !stopped.Load() {
+		row, ok, err := q.Next()
+		if err != nil {
+			st.err = err
+			return
+		}
+		if !ok {
+			break
+		}
+		// Row bodies alias per-batch scan buffers and freshly merged
+		// update payloads; neither is recycled, so they stay valid across
+		// the handoff and need no defensive copy here.
+		chunk = append(chunk, row)
+		if len(chunk) == scanChunkRows {
+			st.ch <- chunk
+			chunk = make([]table.Row, 0, scanChunkRows)
+		}
+	}
+	if len(chunk) > 0 {
+		st.ch <- chunk
+	}
+	n.advanceNow(q.Time())
+	st.dur = q.Time().Sub(start)
+}
+
+// fanOut runs fn once per node concurrently and reduces the results to
+// the longest node-local duration and the first error.
+func (c *Cluster) fanOut(fn func(i int, n *Node) (sim.Duration, error)) (sim.Duration, error) {
+	durs := make([]sim.Duration, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			durs[i], errs[i] = fn(i, n)
+		}(i, n)
+	}
+	wg.Wait()
+	var longest sim.Duration
+	for _, d := range durs {
+		if d > longest {
+			longest = d
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return longest, err
+		}
+	}
+	return longest, nil
+}
+
+// ApplyBatch routes a batch of well-formed updates to their owning nodes
+// and applies each node's share in its own goroutine — the routed update
+// batches of §5. Updates for the same node keep their order within the
+// batch; updates for different nodes commit independently (each node has
+// a private timestamp oracle, exactly the paper's per-machine-node MaSM).
+// The returned duration is the longest node-local apply time.
+func (c *Cluster) ApplyBatch(recs []update.Record) (sim.Duration, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	groups := make([][]update.Record, len(c.nodes))
+	for _, r := range recs {
+		i := c.nodeIndexFor(r.Key)
+		groups[i] = append(groups[i], r)
+	}
+	return c.fanOut(func(i int, n *Node) (sim.Duration, error) {
+		g := groups[i]
+		if len(g) == 0 {
+			return 0, nil
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		start := n.now
+		for _, r := range g {
+			end, err := n.Store.ApplyAuto(n.now, r)
+			if err != nil {
+				return 0, err
+			}
+			n.now = end
+		}
+		return n.now.Sub(start), nil
+	})
+}
+
+// MigrateAllParallel migrates every node's cache concurrently, one
+// goroutine per node, returning the longest node migration time. Nodes
+// blocked by active queries are skipped, as in MigrateAll.
+func (c *Cluster) MigrateAllParallel() (sim.Duration, error) {
+	return c.fanOut(func(_ int, n *Node) (sim.Duration, error) {
+		return n.migrate()
+	})
+}

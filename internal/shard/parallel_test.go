@@ -1,0 +1,314 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"masm/internal/table"
+	"masm/internal/update"
+)
+
+// verifyParallel is verify using the goroutine-parallel fan-out path.
+func verifyParallel(t *testing.T, c *Cluster, model map[uint64][]byte, begin, end uint64) {
+	t.Helper()
+	got := make(map[uint64][]byte)
+	var prev uint64
+	first := true
+	if _, err := c.ScanParallel(begin, end, func(row table.Row) bool {
+		if !first && row.Key <= prev {
+			t.Fatalf("global order broken: %d after %d", row.Key, prev)
+		}
+		prev, first = row.Key, false
+		got[row.Key] = append([]byte(nil), row.Body...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for k, v := range model {
+		if k < begin || k > end {
+			continue
+		}
+		want++
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("key %d mismatch", k)
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("parallel scan [%d,%d]: %d rows, want %d", begin, end, len(got), want)
+	}
+}
+
+func TestScanParallelMatchesSequential(t *testing.T) {
+	c, model := loadCluster(t, 4, 8000)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		key := uint64(rng.Intn(20000)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			applyModel(t, c, model, update.Record{Key: key, Op: update.Insert, Payload: body(key+1, 81)})
+		case 1:
+			applyModel(t, c, model, update.Record{Key: key, Op: update.Delete})
+		default:
+			applyModel(t, c, model, update.Record{Key: key, Op: update.Modify,
+				Payload: update.EncodeFields([]update.Field{{Off: 3, Value: []byte{byte(i)}}})})
+		}
+	}
+	verifyParallel(t, c, model, 0, ^uint64(0))
+	verifyParallel(t, c, model, 3000, 9000) // straddles node boundaries
+	verifyParallel(t, c, model, 1, 1)
+}
+
+func TestScanParallelEarlyStop(t *testing.T) {
+	c, _ := loadCluster(t, 4, 4000)
+	n := 0
+	if _, err := c.ScanParallel(0, ^uint64(0), func(table.Row) bool {
+		n++
+		return n < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("early stop after %d rows, want 10", n)
+	}
+}
+
+func TestApplyBatchRoutesAndPreservesOrder(t *testing.T) {
+	c, model := loadCluster(t, 4, 8000)
+	rng := rand.New(rand.NewSource(11))
+	// Batches with multiple updates to the same key exercise intra-node
+	// ordering: the last write in the batch must win.
+	for round := 0; round < 20; round++ {
+		batch := make([]update.Record, 0, 300)
+		for i := 0; i < 300; i++ {
+			key := uint64(rng.Intn(20000)) + 1
+			var rec update.Record
+			switch rng.Intn(3) {
+			case 0:
+				rec = update.Record{Key: key, Op: update.Insert, Payload: body(key+uint64(round), 81)}
+			case 1:
+				rec = update.Record{Key: key, Op: update.Delete}
+			default:
+				rec = update.Record{Key: key, Op: update.Modify,
+					Payload: update.EncodeFields([]update.Field{{Off: 5, Value: []byte{byte(round)}}})}
+			}
+			batch = append(batch, rec)
+		}
+		if _, err := c.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		for i := range batch {
+			rec := batch[i]
+			old, ok := model[rec.Key]
+			nb, exists := update.Apply(old, ok, &rec)
+			if exists {
+				model[rec.Key] = nb
+			} else {
+				delete(model, rec.Key)
+			}
+		}
+	}
+	verify(t, c, model, 0, ^uint64(0))
+	verifyParallel(t, c, model, 0, ^uint64(0))
+}
+
+func TestMigrateAllParallel(t *testing.T) {
+	c, model := loadCluster(t, 3, 6000)
+	rng := rand.New(rand.NewSource(13))
+	batch := make([]update.Record, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		key := uint64(rng.Intn(12000)) + 1
+		batch = append(batch, update.Record{Key: key, Op: update.Insert, Payload: body(key+2, 81)})
+	}
+	if _, err := c.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		model[batch[i].Key] = batch[i].Payload
+	}
+	if _, err := c.MigrateAllParallel(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Migrations != 3 {
+		t.Fatalf("migrations = %d, want one per node", st.Migrations)
+	}
+	for _, n := range c.Nodes() {
+		if n.Store.Runs() != 0 {
+			t.Fatalf("node %d still has %d runs", n.ID, n.Store.Runs())
+		}
+	}
+	verifyParallel(t, c, model, 0, ^uint64(0))
+}
+
+// TestClusterConcurrentScansAndBatches hammers a cluster with concurrent
+// parallel scans, update batches and migrations from many goroutines; run
+// under -race it checks the fan-out layer's synchronization, and every
+// scan must deliver strictly increasing keys.
+func TestClusterConcurrentScansAndBatches(t *testing.T) {
+	c, _ := loadCluster(t, 4, 8000)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for round := 0; round < 10; round++ {
+				batch := make([]update.Record, 0, 200)
+				for i := 0; i < 200; i++ {
+					key := uint64(rng.Intn(20000)) + 1
+					batch = append(batch, update.Record{Key: key, Op: update.Insert, Payload: body(key, 81)})
+				}
+				if _, err := c.ApplyBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w + 100))
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				var prev uint64
+				first := true
+				if _, err := c.ScanParallel(0, ^uint64(0), func(row table.Row) bool {
+					if !first && row.Key <= prev {
+						t.Errorf("order broken: %d after %d", row.Key, prev)
+						return false
+					}
+					prev, first = row.Key, false
+					return true
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := c.MigrateAllParallel(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestScanParallelReentrantCallback: ScanParallel documents that fn may
+// call back into the cluster. An fn that applies an update routed to a
+// node that is still scanning must not deadlock (producers must not hold
+// node latches across channel sends).
+func TestScanParallelReentrantCallback(t *testing.T) {
+	c, _ := loadCluster(t, 4, 8000)
+	done := make(chan error, 1)
+	go func() {
+		i := 0
+		_, err := c.ScanParallel(0, ^uint64(0), func(row table.Row) bool {
+			// Route updates at every node, including ones still producing.
+			key := uint64((i%4)*4000 + 1)
+			i++
+			if err := c.Apply(update.Record{Key: key, Op: update.Delete}); err != nil {
+				t.Error(err)
+				return false
+			}
+			c.Nodes()[i%4].Now()
+			return true
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("ScanParallel deadlocked on a re-entrant callback")
+	}
+}
+
+func benchCluster(b *testing.B, nodes, rows int) *Cluster {
+	b.Helper()
+	keys := make([]uint64, rows)
+	bodies := make([][]byte, rows)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		bodies[i] = body(keys[i], 81)
+	}
+	c, err := Load(DefaultConfig(nodes, 2<<20), keys, bodies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Sprinkle cached updates so scans exercise the merge path.
+	rng := rand.New(rand.NewSource(3))
+	batch := make([]update.Record, 0, rows/4)
+	for i := 0; i < rows/4; i++ {
+		key := uint64(rng.Intn(rows*2)) + 1
+		batch = append(batch, update.Record{Key: key, Op: update.Insert, Payload: body(key, 81)})
+	}
+	if _, err := c.ApplyBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkClusterScanSequential vs BenchmarkClusterScanParallel: the
+// wall-clock win of goroutine-parallel shard fan-out on a 4-node cluster.
+func BenchmarkClusterScanSequential(b *testing.B) {
+	c := benchCluster(b, 4, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := c.Scan(0, ^uint64(0), func(table.Row) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterScanParallel(b *testing.B) {
+	c := benchCluster(b, 4, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := c.ScanParallel(0, ^uint64(0), func(table.Row) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterApplySequential(b *testing.B) {
+	c := benchCluster(b, 4, 20000)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(rng.Intn(40000)) + 1
+		if err := c.Apply(update.Record{Key: key, Op: update.Insert, Payload: body(key, 81)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterApplyBatchParallel(b *testing.B) {
+	c := benchCluster(b, 4, 20000)
+	rng := rand.New(rand.NewSource(5))
+	const batchSize = 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		batch := make([]update.Record, 0, batchSize)
+		for j := 0; j < batchSize; j++ {
+			key := uint64(rng.Intn(40000)) + 1
+			batch = append(batch, update.Record{Key: key, Op: update.Insert, Payload: body(key, 81)})
+		}
+		if _, err := c.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"masm/internal/masm"
 	"masm/internal/sim"
@@ -19,7 +20,10 @@ import (
 )
 
 // Node is one shared-nothing machine: private devices, table, and MaSM
-// store, plus its own virtual timeline (nodes run in parallel).
+// store, plus its own virtual timeline (nodes run in parallel). The
+// node-level mutex serializes operations on one node; operations on
+// different nodes are independent by construction and run concurrently
+// (see ScanParallel, ApplyBatch).
 type Node struct {
 	ID    int
 	HDD   *sim.Device
@@ -29,11 +33,27 @@ type Node struct {
 	// Low is the node's inclusive lower key bound; the node owns
 	// [Low, next node's Low).
 	Low uint64
+
+	mu  sync.Mutex
 	now sim.Time
 }
 
 // Now returns the node's local virtual time.
-func (n *Node) Now() sim.Time { return n.now }
+func (n *Node) Now() sim.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// advanceNow raises the node clock to at least t; concurrent operations
+// race to push it forward and it never moves backward.
+func (n *Node) advanceNow(t sim.Time) {
+	n.mu.Lock()
+	if t > n.now {
+		n.now = t
+	}
+	n.mu.Unlock()
+}
 
 // Cluster is a range-partitioned set of nodes.
 type Cluster struct {
@@ -128,18 +148,25 @@ func Load(cfg Config, keys []uint64, bodies [][]byte) (*Cluster, error) {
 // Nodes returns the cluster's nodes.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
-// nodeFor routes a key to its owning node.
-func (c *Cluster) nodeFor(key uint64) *Node {
+// nodeIndexFor routes a key to the index of its owning node.
+func (c *Cluster) nodeIndexFor(key uint64) int {
 	i := sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i].Low > key })
 	if i == 0 {
-		return c.nodes[0]
+		return 0
 	}
-	return c.nodes[i-1]
+	return i - 1
+}
+
+// nodeFor routes a key to its owning node.
+func (c *Cluster) nodeFor(key uint64) *Node {
+	return c.nodes[c.nodeIndexFor(key)]
 }
 
 // Apply routes one well-formed update to its owning node's MaSM store.
 func (c *Cluster) Apply(rec update.Record) error {
 	n := c.nodeFor(rec.Key)
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	end, err := n.Store.ApplyAuto(n.now, rec)
 	if err != nil {
 		return err
@@ -148,22 +175,38 @@ func (c *Cluster) Apply(rec update.Record) error {
 	return nil
 }
 
-// Scan runs a range scan across every node the range touches. Nodes scan
-// in parallel (each on its own devices); rows are delivered in global key
-// order by visiting nodes in partition order, and the reported duration
-// is the maximum node-local duration — the shared-nothing completion
-// time.
+// span returns the sub-range of [begin, end] owned by node n, and whether
+// it is non-empty.
+func (c *Cluster) span(n *Node, begin, end uint64) (lo, hi uint64, ok bool) {
+	hiBound := ^uint64(0)
+	if n.ID+1 < len(c.nodes) {
+		hiBound = c.nodes[n.ID+1].Low - 1
+	}
+	if begin > hiBound || end < n.Low {
+		return 0, 0, false
+	}
+	return maxU64(begin, n.Low), minU64(end, hiBound), true
+}
+
+// Scan runs a range scan across every node the range touches, one node at
+// a time in partition order — the sequential fan-out baseline. Rows are
+// delivered in global key order, and the reported duration is the maximum
+// node-local duration — the shared-nothing completion time on the virtual
+// timeline. ScanParallel is the goroutine-parallel equivalent that also
+// overlaps the nodes' real (host CPU) work.
+//
+// fn runs with no node latch held (the per-node store is internally
+// latched), so it may call back into the cluster — Apply, Now, even
+// another Scan — exactly as with ScanParallel.
 func (c *Cluster) Scan(begin, end uint64, fn func(row table.Row) bool) (sim.Duration, error) {
 	var longest sim.Duration
 	for _, n := range c.nodes {
-		hiBound := ^uint64(0)
-		if n.ID+1 < len(c.nodes) {
-			hiBound = c.nodes[n.ID+1].Low - 1
-		}
-		if begin > hiBound || end < n.Low {
+		lo, hi, ok := c.span(n, begin, end)
+		if !ok {
 			continue
 		}
-		q, err := n.Store.NewQuery(n.now, maxU64(begin, n.Low), minU64(end, hiBound))
+		start := n.Now()
+		q, err := n.Store.NewQuery(start, lo, hi)
 		if err != nil {
 			return longest, err
 		}
@@ -182,10 +225,10 @@ func (c *Cluster) Scan(begin, end uint64, fn func(row table.Row) bool) (sim.Dura
 				break
 			}
 		}
-		if d := q.Time().Sub(n.now); d > longest {
+		if d := q.Time().Sub(start); d > longest {
 			longest = d
 		}
-		n.now = q.Time()
+		n.advanceNow(q.Time())
 		q.Close()
 		if stop {
 			break
@@ -194,24 +237,39 @@ func (c *Cluster) Scan(begin, end uint64, fn func(row table.Row) bool) (sim.Dura
 	return longest, nil
 }
 
-// MigrateAll migrates every node's cache in parallel, returning the
-// longest node migration time.
+// MigrateAll migrates every node's cache, one node after another,
+// returning the longest node migration time on the virtual timeline.
+// MigrateAllParallel overlaps the nodes' host-CPU work too.
 func (c *Cluster) MigrateAll() (sim.Duration, error) {
 	var longest sim.Duration
 	for _, n := range c.nodes {
-		end, _, err := n.Store.Migrate(n.now)
-		if err == masm.ErrActiveQueries || err == masm.ErrMigrationInProgress {
-			continue
-		}
+		d, err := n.migrate()
 		if err != nil {
 			return longest, err
 		}
-		if d := end.Sub(n.now); d > longest {
+		if d > longest {
 			longest = d
 		}
-		n.now = end
 	}
 	return longest, nil
+}
+
+// migrate runs one node's migration, returning the node-local duration.
+// Nodes blocked by active queries or an in-flight migration report zero.
+// The node latch guards only the clock reads — the store serializes
+// migrations itself — so updates routed to this node keep flowing while
+// it migrates (migration off the update path).
+func (n *Node) migrate() (sim.Duration, error) {
+	start := n.Now()
+	end, _, err := n.Store.Migrate(start)
+	if err == masm.ErrActiveQueries || err == masm.ErrMigrationInProgress {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n.advanceNow(end)
+	return end.Sub(start), nil
 }
 
 // Stats aggregates per-node store statistics.

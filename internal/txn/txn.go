@@ -55,6 +55,12 @@ var ErrDone = errors.New("txn: transaction already committed or aborted")
 type Manager struct {
 	store *masm.Store
 
+	// commitMu serializes whole commits: first-committer-wins validation
+	// and the publication of the write set must be atomic with respect to
+	// other commits, or two concurrent committers of the same key could
+	// both pass validation.
+	commitMu sync.Mutex
+
 	mu sync.Mutex
 	// lastCommit tracks, per key, the latest commit timestamp — the
 	// validation state for first-committer-wins.
@@ -84,6 +90,11 @@ type Txn struct {
 	id      int64
 	mode    Mode
 	startTS int64
+	// snap pins the transaction's reader view in the store from Begin to
+	// Commit/Abort, so migration waits for the transaction and the §3.5
+	// combining policy respects its timestamp. A transaction must end in
+	// Commit or Abort, or it blocks migration indefinitely.
+	snap *masm.Snapshot
 	// private is the transaction's own update buffer (paper: "a small
 	// private buffer for the updates performed by the transaction").
 	private []update.Record
@@ -93,20 +104,29 @@ type Txn struct {
 }
 
 // Begin starts a transaction. The start timestamp fixes the snapshot the
-// transaction reads.
+// transaction reads; the store pins it (timestamp issue and reader
+// registration are atomic) until the transaction ends.
 func (m *Manager) Begin(mode Mode) *Txn {
 	m.mu.Lock()
 	m.seq++
 	id := m.seq
 	m.mu.Unlock()
+	snap := m.store.Snapshot()
 	return &Txn{
 		m:       m,
 		id:      id,
 		mode:    mode,
-		startTS: m.store.Oracle().Next(),
+		startTS: snap.TS(),
+		snap:    snap,
 		writes:  make(map[uint64]bool),
 		held:    make(map[uint64]bool),
 	}
+}
+
+// finish marks the transaction done and releases its pinned snapshot.
+func (t *Txn) finish() {
+	t.done = true
+	t.snap.Close()
 }
 
 // lock acquires a lock, upgrading shared→exclusive when possible.
@@ -192,7 +212,7 @@ func (t *Txn) Scan(at sim.Time, begin, end uint64, fn func(row table.Row) bool) 
 			return at, err
 		}
 	}
-	q, err := t.m.store.NewQueryAt(at, begin, end, t.startTS)
+	q, err := t.snap.NewQuery(at, begin, end)
 	if err != nil {
 		return at, err
 	}
@@ -276,31 +296,44 @@ func (t *Txn) Commit(at sim.Time) (sim.Time, error) {
 		return at, ErrDone
 	}
 	m := t.m
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
 	if t.mode == Snapshot {
 		m.mu.Lock()
 		for key := range t.writes {
 			if m.lastCommit[key] > t.startTS {
 				m.mu.Unlock()
-				t.done = true
+				t.finish()
 				return at, fmt.Errorf("key %d: %w", key, ErrWriteConflict)
 			}
 		}
 		m.mu.Unlock()
 	}
-	now := at
-	var commitTS int64
-	for _, rec := range t.private {
-		rec.TS = m.store.Oracle().Next()
-		commitTS = rec.TS
-		end, err := m.store.Apply(now, rec)
-		if err != nil {
-			t.done = true
-			if t.mode == Locking {
-				m.unlockAll(t)
+	// Publish the private write set under one store-latch hold: a
+	// concurrent snapshot sees the whole commit or none of it, and a
+	// migration timestamp can never split it.
+	commitTS, now, err := m.store.ApplyBatchAuto(at, t.private)
+	if err != nil {
+		// A stamped prefix of the write set may already be published.
+		// Record the whole write set under the largest stamped timestamp
+		// anyway: over-marking unpublished keys only causes spurious
+		// conflicts, while under-marking would let a later transaction
+		// that began before this one pass validation and silently
+		// overwrite the published prefix.
+		if commitTS > 0 {
+			m.mu.Lock()
+			for key := range t.writes {
+				if m.lastCommit[key] < commitTS {
+					m.lastCommit[key] = commitTS
+				}
 			}
-			return at, err
+			m.mu.Unlock()
 		}
-		now = end
+		t.finish()
+		if t.mode == Locking {
+			m.unlockAll(t)
+		}
+		return at, err
 	}
 	if len(t.writes) > 0 && commitTS > 0 {
 		m.mu.Lock()
@@ -312,7 +345,7 @@ func (t *Txn) Commit(at sim.Time) (sim.Time, error) {
 	if t.mode == Locking {
 		m.unlockAll(t)
 	}
-	t.done = true
+	t.finish()
 	return now, nil
 }
 
@@ -321,7 +354,7 @@ func (t *Txn) Abort() {
 	if t.done {
 		return
 	}
-	t.done = true
+	t.finish()
 	t.private = nil
 	if t.mode == Locking {
 		t.m.unlockAll(t)

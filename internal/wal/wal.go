@@ -14,6 +14,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"masm/internal/masm"
 	"masm/internal/sim"
@@ -57,8 +58,11 @@ type Entry struct {
 const groupCommitBytes = 4 << 10
 
 // Log is an append-only redo log on a volume. It implements
-// masm.RedoLogger.
+// masm.RedoLogger. It is safe for concurrent use: appends from concurrent
+// updaters are serialized by an internal latch, preserving the group-commit
+// batching.
 type Log struct {
+	mu  sync.Mutex
 	vol *storage.Volume
 	buf []byte
 	off int64
@@ -72,13 +76,20 @@ func Open(vol *storage.Volume) *Log {
 }
 
 func (l *Log) append(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(at, kind, payload)
+}
+
+// appendLocked buffers one entry; caller holds l.mu.
+func (l *Log) appendLocked(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
 	var hdr [5]byte
 	hdr[0] = byte(kind)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
 	if len(l.buf) >= groupCommitBytes {
-		return l.Sync(at)
+		return l.syncLocked(at)
 	}
 	return at, nil
 }
@@ -87,6 +98,13 @@ func (l *Log) append(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
 // marker (not advancing the cursor) so replay never runs into stale bytes
 // from a previous log generation occupying the same volume.
 func (l *Log) Sync(at sim.Time) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked(at)
+}
+
+// syncLocked is Sync with l.mu held.
+func (l *Log) syncLocked(at sim.Time) (sim.Time, error) {
 	if len(l.buf) == 0 {
 		return at, nil
 	}
@@ -171,24 +189,28 @@ func (l *Log) LogMerge(at sim.Time, run masm.RunMeta, consumed []int64) (sim.Tim
 func (l *Log) LogMigrationBegin(at sim.Time, migTS int64, runIDs []int64) (sim.Time, error) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
-	t, err := l.append(at, KindMigrationBegin, encodeIDs(b[:], runIDs))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, err := l.appendLocked(at, KindMigrationBegin, encodeIDs(b[:], runIDs))
 	if err != nil {
 		return at, err
 	}
 	// Migration boundaries are forced to disk: recovery must know about a
 	// migration that may have dirtied data pages.
-	return l.Sync(t)
+	return l.syncLocked(t)
 }
 
 // LogMigrationEnd implements masm.RedoLogger.
 func (l *Log) LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
-	t, err := l.append(at, KindMigrationEnd, b[:])
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, err := l.appendLocked(at, KindMigrationEnd, b[:])
 	if err != nil {
 		return at, err
 	}
-	return l.Sync(t)
+	return l.syncLocked(t)
 }
 
 // ReadAll replays the log from vol, returning the decoded entries. Only

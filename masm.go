@@ -17,10 +17,32 @@
 //	db.Scan(0, 100, func(key uint64, body []byte) bool { ... return true })
 //	db.Migrate() // fold cached updates back into the main data
 //
+// # Concurrency and snapshot isolation
+//
+// DB is safe for concurrent use by multiple goroutines, and reads do not
+// block writes: the facade holds no lock while a scan iterates. Every
+// Scan (and every Snapshot) captures a consistent logical view of the
+// database — a fresh read timestamp plus a refcount-pinned set of the
+// SSD-resident sorted runs — and merges rows outside any lock. The
+// semantics are snapshot isolation in the paper's timestamp sense (§3.2):
+//
+//   - A scan observes exactly the updates whose Insert/Delete/Modify (or
+//     transaction Commit) call returned before the scan started, and none
+//     that were applied after it started. Updates concurrent with the
+//     scan's start may or may not be observed, but each update is atomic:
+//     a row is never seen half-modified, and keys arrive in strictly
+//     increasing order.
+//   - Snapshot pins a view explicitly, so several scans can read the same
+//     consistent state while updates continue to stream in; Migrate waits
+//     for open scans and snapshots older than its timestamp.
+//   - Background migration (StartMigrationScheduler) runs off the update
+//     path and observes the same rules.
+//
 // Lower-level building blocks live in the internal packages: the device
 // and timing model (internal/sim), the table heap (internal/table), the
 // materialized sorted runs (internal/runfile), the MaSM algorithms
-// (internal/masm), the baselines the paper compares against
+// (internal/masm), the shared-nothing cluster with parallel shard fan-out
+// (internal/shard), the baselines the paper compares against
 // (internal/inplace, internal/iu, internal/lsm), the redo log
 // (internal/wal), transactions (internal/txn), and the full benchmark
 // harness regenerating every figure (internal/bench).
@@ -29,7 +51,9 @@ package masm
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	core "masm/internal/masm"
 	"masm/internal/sim"
@@ -84,9 +108,26 @@ type Stats struct {
 	DiskBytesRead   int64
 }
 
-// DB is an open MaSM-backed warehouse table.
+// clock is a monotone virtual clock: concurrent operations race to push it
+// forward, and it never moves backward. It replaces the old big-lock
+// serialization of the facade's single `now` field.
+type clock struct{ t atomic.Int64 }
+
+func (c *clock) now() sim.Time { return sim.Time(c.t.Load()) }
+
+// advance raises the clock to at least t.
+func (c *clock) advance(t sim.Time) {
+	for {
+		cur := c.t.Load()
+		if int64(t) <= cur || c.t.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// DB is an open MaSM-backed warehouse table. All methods are safe for
+// concurrent use; see the package comment for the isolation semantics.
 type DB struct {
-	mu     sync.Mutex
 	cfg    Config
 	hdd    *sim.Device
 	ssd    *sim.Device
@@ -96,12 +137,33 @@ type DB struct {
 	logVol *storage.Volume
 	log    *wal.Log
 	txns   *txn.Manager
-	now    sim.Time
+
+	clock clock
+	// mu guards the lifecycle state (closed, sched). Operations hold the
+	// read side only long enough to check closed; Close and Crash take the
+	// write side. The engine beneath is internally latched.
+	mu     sync.RWMutex
 	closed bool
+	sched  *MigrationScheduler
 }
 
 // ErrClosed reports use of a closed DB.
 var ErrClosed = errors.New("masm: database closed")
+
+// ErrActiveQueries is returned by Migrate, ScanAndMigrate and MigrateStep
+// while scans, snapshots or transactions older than the migration
+// timestamp are still open. It means "retry after they close", not
+// failure; MigrateIfNeeded and the MigrationScheduler absorb it.
+var ErrActiveQueries = core.ErrActiveQueries
+
+// ErrMigrationInProgress is returned by migration entry points while
+// another migration is running. Like ErrActiveQueries it is a transient,
+// retry-later condition.
+var ErrMigrationInProgress = core.ErrMigrationInProgress
+
+// ErrSnapshotClosed is returned by reads through a Snapshot that has been
+// Closed; take a fresh Snapshot to read current data.
+var ErrSnapshotClosed = core.ErrSnapshotClosed
 
 // Open bulk-loads a table from records in strictly increasing key order
 // and attaches a MaSM update cache to it.
@@ -207,41 +269,76 @@ func (db *DB) Modify(key uint64, off int, val []byte) error {
 }
 
 func (db *DB) apply(rec update.Record) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
-	end, err := db.store.ApplyAuto(db.now, rec)
+	end, shouldMigrate, err := db.store.ApplyAutoHint(db.clock.now(), rec)
 	if err != nil {
 		return err
 	}
-	db.now = end
+	db.clock.advance(end)
+	// Nudge the background migration scheduler off the update path when
+	// the cache crosses its threshold; the hint is O(1) and came from the
+	// latch the apply already held, so it costs no extra round trip.
+	if shouldMigrate && db.sched != nil {
+		db.sched.Kick()
+	}
 	return nil
+}
+
+// Snapshot pins a consistent logical view of the database: every scan
+// opened from it sees exactly the updates applied before the snapshot was
+// taken, regardless of concurrent writers. Close must be called when done;
+// an open snapshot blocks migration.
+func (db *DB) Snapshot() (*Snapshot, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	snap := &Snapshot{db: db, snap: db.store.Snapshot()}
+	// Safety net mirroring Begin's: a Snapshot abandoned without Close
+	// would block migration and pin SSD run extents for the DB's
+	// lifetime. Close is idempotent, so the cleanup is a no-op for
+	// properly closed snapshots.
+	runtime.AddCleanup(snap, func(sn *core.Snapshot) { sn.Close() }, snap.snap)
+	return snap, nil
 }
 
 // Scan calls fn for every live record with key in [begin, end], in key
 // order, reflecting every update committed before the scan started. fn
 // returning false stops the scan early. The scanned bytes come from large
 // sequential disk reads merged with the SSD-cached updates — the paper's
-// replacement for Table_range_scan.
+// replacement for Table_range_scan. Scan holds no lock while iterating:
+// concurrent Insert/Delete/Modify proceed unblocked and are invisible to
+// this scan (snapshot isolation).
 func (db *DB) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) error {
-	db.mu.Lock()
+	db.mu.RLock()
 	if db.closed {
-		db.mu.Unlock()
+		db.mu.RUnlock()
 		return ErrClosed
 	}
-	q, err := db.store.NewQuery(db.now, begin, end)
-	db.mu.Unlock()
+	// A single scan needs no Snapshot wrapper: NewQuery issues the read
+	// timestamp and registers the query atomically under the store latch,
+	// which is the same isolation a one-shot snapshot would pin, without
+	// double-pinning the run set on the hottest read path. Snapshot exists
+	// for callers that want several reads of one consistent view.
+	q, err := db.store.NewQuery(db.clock.now(), begin, end)
+	db.mu.RUnlock()
 	if err != nil {
 		return err
 	}
+	return db.drainQuery(q, fn)
+}
+
+// drainQuery iterates a query to completion (or early stop), advancing
+// the virtual clock and closing the query — the shared tail of DB.Scan
+// and Snapshot.Scan.
+func (db *DB) drainQuery(q *core.Query, fn func(key uint64, body []byte) bool) error {
 	defer func() {
-		db.mu.Lock()
-		if q.Time() > db.now {
-			db.now = q.Time()
-		}
-		db.mu.Unlock()
+		db.clock.advance(q.Time())
 		q.Close()
 	}()
 	for {
@@ -275,53 +372,58 @@ func (db *DB) Get(key uint64) ([]byte, bool, error) {
 // (batched) by default; an update is guaranteed to survive Crash only
 // after a Sync (or after enough later traffic flushed its batch).
 func (db *DB) Sync() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
 	if db.log == nil {
 		return nil
 	}
-	end, err := db.log.Sync(db.now)
+	end, err := db.log.Sync(db.clock.now())
 	if err != nil {
 		return err
 	}
-	db.now = end
+	db.clock.advance(end)
 	return nil
 }
 
 // Flush forces the in-memory update buffer into a materialized sorted run
 // on the SSD.
 func (db *DB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
-	end, err := db.store.Flush(db.now)
+	end, err := db.store.Flush(db.clock.now())
 	if err != nil {
 		return err
 	}
-	db.now = end
+	db.clock.advance(end)
 	return nil
 }
 
 // Migrate folds every cached update back into the main data, in place,
-// and deletes the materialized runs. Queries may run concurrently at the
-// engine level; through this facade, Migrate is serialized with other
-// calls.
+// and deletes the materialized runs. It runs concurrently with incoming
+// updates, but waits for scans and snapshots older than its timestamp
+// (returning an error while they are open, like the engine's
+// BeginMigration).
 func (db *DB) Migrate() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
 	if db.closed {
+		db.mu.RUnlock()
 		return ErrClosed
 	}
-	end, _, err := db.store.Migrate(db.now)
+	// Drop the lifecycle lock before the long table rewrite, as Scan does:
+	// holding it would let a concurrent Close (a queued writer) stall every
+	// new operation behind this migration.
+	db.mu.RUnlock()
+	end, _, err := db.store.Migrate(db.clock.now())
 	if err != nil {
 		return err
 	}
-	db.now = end
+	db.clock.advance(end)
 	return nil
 }
 
@@ -332,12 +434,13 @@ func (db *DB) Migrate() error {
 // twice. fn returning false stops the stream; the migration still
 // completes.
 func (db *DB) ScanAndMigrate(fn func(key uint64, body []byte) bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
 	if db.closed {
+		db.mu.RUnlock()
 		return ErrClosed
 	}
-	mig, err := db.store.BeginMigration(db.now)
+	mig, err := db.store.BeginMigration(db.clock.now())
+	db.mu.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -347,7 +450,7 @@ func (db *DB) ScanAndMigrate(fn func(key uint64, body []byte) bool) error {
 	if err != nil {
 		return err
 	}
-	db.now = end
+	db.clock.advance(end)
 	return nil
 }
 
@@ -357,48 +460,69 @@ func (db *DB) ScanAndMigrate(fn func(key uint64, body []byte) bool) error {
 // small operations). It reports whether this step completed a full sweep
 // of the table, after which fully-applied runs are deleted.
 func (db *DB) MigrateStep(portionPages int) (sweepDone bool, err error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
 	if db.closed {
+		db.mu.RUnlock()
 		return false, ErrClosed
 	}
-	end, done, err := db.store.MigratePortion(db.now, portionPages)
+	db.mu.RUnlock()
+	end, done, err := db.store.MigratePortion(db.clock.now(), portionPages)
 	if err != nil {
 		return false, err
 	}
-	db.now = end
+	db.clock.advance(end)
 	return done, nil
 }
 
 // MigrateIfNeeded migrates when cache occupancy exceeds the configured
-// threshold; it reports whether a migration ran.
+// threshold; it reports whether a migration ran. It is a no-op (false,
+// nil) while open scans or an in-flight migration block it.
 func (db *DB) MigrateIfNeeded() (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
 	if db.closed {
+		db.mu.RUnlock()
 		return false, ErrClosed
 	}
-	end, ran, err := db.store.MigrateIfNeeded(db.now)
+	db.mu.RUnlock()
+	end, ran, err := db.store.MigrateIfNeeded(db.clock.now())
 	if err != nil {
 		return false, err
 	}
-	db.now = end
+	db.clock.advance(end)
 	return ran, nil
 }
 
 // Begin starts a transaction. TxSnapshot gives snapshot isolation with
-// first-committer-wins; TxLocking gives two-phase locking.
-func (db *DB) Begin(mode TxMode) *Tx {
-	return &Tx{db: db, t: db.txns.Begin(txn.Mode(mode))}
+// first-committer-wins; TxLocking gives two-phase locking. The
+// transaction pins its begin-time snapshot in the engine, so it must end
+// in Commit or Abort — and, like any reader, an open transaction makes
+// migration wait (the paper's rule, §3.2): under continuously overlapping
+// transactions, leave gaps or bound transaction lifetimes so migration
+// can run.
+func (db *DB) Begin(mode TxMode) (*Tx, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	tx := &Tx{db: db, t: db.txns.Begin(txn.Mode(mode))}
+	// Safety net for abandoned transactions: an unreferenced Tx that never
+	// reached Commit or Abort would pin its snapshot (and Locking-mode
+	// locks) forever, permanently blocking migration. Abort is idempotent,
+	// so the cleanup is a no-op for properly finished transactions.
+	runtime.AddCleanup(tx, func(t *txn.Txn) { t.Abort() }, tx.t)
+	return tx, nil
 }
 
 // Elapsed returns the simulated time consumed by all operations so far.
-func (db *DB) Elapsed() sim.Duration { return sim.Duration(db.now) }
+// With concurrent callers it reports the furthest point any operation has
+// reached on the shared virtual timeline.
+func (db *DB) Elapsed() sim.Duration { return sim.Duration(db.clock.now()) }
 
 // Stats returns a snapshot of engine counters.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	st := db.store.Stats()
 	ssd := db.ssd.Stats()
 	hdd := db.hdd.Stats()
@@ -416,29 +540,46 @@ func (db *DB) Stats() Stats {
 	}
 }
 
-// Close marks the database closed. (All state is in memory; nothing to
-// release beyond preventing further use.)
+// Close marks the database closed and stops the background migration
+// scheduler, if one is running. Close is idempotent. In-flight operations
+// started before Close may still complete.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.closed = true
+	sched := db.sched
+	db.sched = nil
+	db.mu.Unlock()
+	// Stop outside the lock: the scheduler goroutine takes the read lock.
+	if sched != nil {
+		sched.Stop()
+	}
 	return nil
 }
 
 // Crash simulates a failure: every volatile structure (the in-memory
 // update buffer, run metadata, run indexes) is dropped, and a new DB is
 // rebuilt from the redo log, the SSD-resident runs, and the main data
-// (paper §3.6). The original DB becomes unusable.
+// (paper §3.6). The original DB becomes unusable; the caller must ensure
+// no operations are in flight (as with a real crash, concurrent work is
+// torn off mid-step).
 func (db *DB) Crash() (*DB, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if db.log == nil {
+		db.mu.Unlock()
 		return nil, errors.New("masm: crash recovery requires the redo log")
 	}
 	db.closed = true
+	sched := db.sched
+	db.sched = nil
+	now := db.clock.now()
+	db.mu.Unlock()
+	if sched != nil {
+		sched.Stop()
+	}
 	// Force no sync: entries not yet written are genuinely lost, exactly
 	// as a crash would lose them.
 	newDB := &DB{
@@ -448,8 +589,8 @@ func (db *DB) Crash() (*DB, error) {
 		tbl:    db.tbl,
 		oracle: &core.Oracle{},
 		logVol: db.logVol,
-		now:    db.now,
 	}
+	newDB.clock.advance(now)
 	// Recovery writes a fresh log after replay. Reuse the same volume:
 	// the new log overwrites from the start after replay completes, which
 	// is safe because Restore re-persists nothing until new activity
@@ -457,7 +598,7 @@ func (db *DB) Crash() (*DB, error) {
 	// reuses the region and re-logs the recovered buffer.
 	ssdVol := db.storeSSDVol()
 	newLog := wal.Open(db.logVol)
-	store, end, err := wal.Recover(coreConfig(db.cfg), db.tbl, ssdVol, newDB.oracle, db.logVol, newLog, db.now)
+	store, end, err := wal.Recover(coreConfig(db.cfg), db.tbl, ssdVol, newDB.oracle, db.logVol, newLog, now)
 	if err != nil {
 		return nil, err
 	}
@@ -466,7 +607,7 @@ func (db *DB) Crash() (*DB, error) {
 	newDB.log = newLog
 	newDB.store = store
 	newDB.txns = txn.NewManager(store)
-	newDB.now = end
+	newDB.clock.advance(end)
 	return newDB, nil
 }
 

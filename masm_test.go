@@ -221,7 +221,10 @@ func TestClosedDB(t *testing.T) {
 func TestTransactionsEndToEnd(t *testing.T) {
 	db := loadDB(t, 500, smallCfg())
 	defer db.Close()
-	tx := db.Begin(TxSnapshot)
+	tx, err := db.Begin(TxSnapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := tx.Insert(7, []byte("seven")); err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +250,11 @@ func TestTransactionsEndToEnd(t *testing.T) {
 		t.Fatal("committed insert invisible")
 	}
 	// Write-write conflict.
-	a, b := db.Begin(TxSnapshot), db.Begin(TxSnapshot)
+	a, errA := db.Begin(TxSnapshot)
+	b, errB := db.Begin(TxSnapshot)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	a.Modify(8, 0, []byte("A"))
 	b.Modify(8, 0, []byte("B"))
 	if err := a.Commit(); err != nil {

@@ -1,0 +1,146 @@
+package masm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MigrationScheduler runs migration off the update path: a background
+// goroutine watches the update cache's fill level and folds cached updates
+// back into the main data whenever occupancy crosses the configured
+// MigrateThreshold — the paper's migration thread (§3.2), which "migrates
+// when the system load is low or when updates reach e.g. 90% of the SSD
+// size". Writers nudge it when their update tips the cache over the
+// threshold, and a ticker retries while older scans temporarily block
+// migration.
+//
+// Obtain one with DB.StartMigrationScheduler. Stop is idempotent and is
+// invoked automatically by DB.Close.
+type MigrationScheduler struct {
+	db       *DB
+	interval time.Duration
+	kick     chan struct{}
+	quit     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	ran      atomic.Int64
+	failed   atomic.Value // errBox
+}
+
+// errBox gives every stored error the same concrete type: atomic.Value
+// panics when consecutive stores carry inconsistently typed values.
+type errBox struct{ err error }
+
+// DefaultMigrationInterval is the polling cadence used when
+// StartMigrationScheduler is given a non-positive interval. Kicks from
+// writers make the scheduler responsive regardless; the ticker exists to
+// retry while open scans block migration.
+const DefaultMigrationInterval = 50 * time.Millisecond
+
+// StartMigrationScheduler starts (or returns the already-running)
+// background migration scheduler. interval is the retry/poll cadence; a
+// non-positive value selects DefaultMigrationInterval. When a scheduler
+// is already running, it is returned as-is and its original cadence is
+// kept — Stop it first to change the interval. After Stop, a new
+// scheduler may be started.
+func (db *DB) StartMigrationScheduler(interval time.Duration) (*MigrationScheduler, error) {
+	if interval <= 0 {
+		interval = DefaultMigrationInterval
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if db.sched != nil {
+		// A scheduler that is stopped or mid-Stop (quit closed, loop not
+		// yet exited) must not be handed out as running — replace it. The
+		// old loop exits on its own; a momentary overlap is harmless since
+		// the store serializes migrations, and the old Stop's detach is
+		// conditional on db.sched still pointing at it.
+		select {
+		case <-db.sched.quit:
+		default:
+			return db.sched, nil
+		}
+	}
+	ms := &MigrationScheduler{
+		db:       db,
+		interval: interval,
+		kick:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	db.sched = ms
+	go ms.loop()
+	return ms, nil
+}
+
+func (ms *MigrationScheduler) loop() {
+	defer close(ms.done)
+	tick := time.NewTicker(ms.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ms.quit:
+			return
+		case <-tick.C:
+		case <-ms.kick:
+		}
+		// MigrateIfNeeded already absorbs the transient blocked-by-readers
+		// and migration-in-flight conditions into (false, nil).
+		ran, err := ms.db.MigrateIfNeeded()
+		if errors.Is(err, ErrClosed) {
+			return
+		}
+		if err != nil {
+			// Record the failure but keep running: a transient error (e.g.
+			// one redo-log write) must not silently end background
+			// migration for the DB's lifetime while writes keep filling
+			// the cache. The next tick retries.
+			ms.failed.Store(errBox{err})
+			continue
+		}
+		if ran {
+			ms.ran.Add(1)
+		}
+	}
+}
+
+// Kick asks the scheduler to check the cache fill now instead of waiting
+// for the next tick. It never blocks.
+func (ms *MigrationScheduler) Kick() {
+	select {
+	case ms.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Migrations returns how many migrations the scheduler has run.
+func (ms *MigrationScheduler) Migrations() int64 { return ms.ran.Load() }
+
+// Err returns the most recent unexpected migration error, if any. The
+// scheduler keeps retrying after errors; Err lets callers surface them.
+func (ms *MigrationScheduler) Err() error {
+	if b, ok := ms.failed.Load().(errBox); ok {
+		return b.err
+	}
+	return nil
+}
+
+// Stop halts the scheduler and waits for its goroutine to exit, then
+// detaches it from the DB so a later StartMigrationScheduler starts a
+// fresh one instead of returning this dead instance. Stop is idempotent
+// and safe to call concurrently with DB.Close.
+func (ms *MigrationScheduler) Stop() {
+	ms.stopOnce.Do(func() { close(ms.quit) })
+	<-ms.done
+	db := ms.db
+	db.mu.Lock()
+	if db.sched == ms {
+		db.sched = nil
+	}
+	db.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+package masm
+
+import (
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestMigrationSchedulerTriggers: filling the cache past the threshold
+// makes the background scheduler migrate without any explicit Migrate
+// call from the update path.
+func TestMigrationSchedulerTriggers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 1 << 20
+	cfg.MigrateThreshold = 0.05
+	db := loadStressDB(t, 1000, cfg)
+	defer db.Close()
+	ms, err := db.StartMigrationScheduler(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := uint64(i%3000) + 1
+		if err := db.Insert(key, stressBody(key, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "background migration", func() bool { return ms.Migrations() >= 1 })
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Migrations < 1 {
+		t.Fatalf("stats report %d migrations", st.Migrations)
+	}
+}
+
+// TestMigrationSchedulerStartStop: double Start returns the same
+// scheduler, Stop is idempotent, and Close both stops the scheduler and
+// stays idempotent itself.
+func TestMigrationSchedulerStartStop(t *testing.T) {
+	db := loadStressDB(t, 200, DefaultConfig())
+	ms1, err := db.StartMigrationScheduler(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := db.StartMigrationScheduler(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms1 != ms2 {
+		t.Fatal("second Start created a second scheduler")
+	}
+	ms1.Stop()
+	ms1.Stop() // idempotent
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := db.StartMigrationScheduler(0); err != ErrClosed {
+		t.Fatalf("Start on closed DB: err = %v, want ErrClosed", err)
+	}
+	if _, err := db.Begin(TxSnapshot); err != ErrClosed {
+		t.Fatalf("Begin on closed DB: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseStopsScheduler: Close alone halts the scheduler goroutine.
+func TestCloseStopsScheduler(t *testing.T) {
+	db := loadStressDB(t, 200, DefaultConfig())
+	ms, err := db.StartMigrationScheduler(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { ms.Stop(); close(done) }() // returns promptly iff the loop exited
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scheduler still running after Close")
+	}
+}

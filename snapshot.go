@@ -1,0 +1,67 @@
+package masm
+
+import (
+	"runtime"
+	"sync"
+
+	core "masm/internal/masm"
+)
+
+// Snapshot is a pinned, consistent view of the database at one point in
+// the update timeline. Scans opened from it all observe the same state:
+// exactly the updates applied before the snapshot was taken, none after.
+// Concurrent writers proceed unblocked while a snapshot is open; migration
+// waits for it.
+//
+// A Snapshot must be Closed when no longer needed — an open snapshot pins
+// SSD run extents and blocks migration.
+type Snapshot struct {
+	db        *DB
+	snap      *core.Snapshot
+	closeOnce sync.Once
+}
+
+// TS returns the snapshot's read timestamp on the engine's commit
+// timeline.
+func (s *Snapshot) TS() int64 { return s.snap.TS() }
+
+// Scan calls fn for every live record with key in [begin, end] as of the
+// snapshot, in key order. fn returning false stops the scan early. Any
+// number of Scans may run from one snapshot, concurrently or sequentially;
+// they all see identical data.
+func (s *Snapshot) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) error {
+	db := s.db
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	q, err := s.snap.NewQuery(db.clock.now(), begin, end)
+	db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	err = db.drainQuery(q, fn)
+	runtime.KeepAlive(s) // see DB.Snapshot's AddCleanup
+	return err
+}
+
+// Get returns the version of one record as of the snapshot, or ok=false
+// if it did not exist then.
+func (s *Snapshot) Get(key uint64) ([]byte, bool, error) {
+	var body []byte
+	found := false
+	err := s.Scan(key, key, func(_ uint64, b []byte) bool {
+		body = append([]byte(nil), b...)
+		found = true
+		return false
+	})
+	return body, found, err
+}
+
+// Close releases the snapshot's pins and unblocks migration. Close is
+// idempotent; scans already running from this snapshot finish normally.
+func (s *Snapshot) Close() {
+	s.closeOnce.Do(func() { s.snap.Close() })
+	runtime.KeepAlive(s) // see DB.Snapshot's AddCleanup
+}

@@ -1,6 +1,8 @@
 package masm
 
 import (
+	"runtime"
+
 	"masm/internal/table"
 	"masm/internal/txn"
 	"masm/internal/update"
@@ -28,50 +30,77 @@ type Tx struct {
 
 // Insert buffers an insertion in the transaction.
 func (tx *Tx) Insert(key uint64, body []byte) error {
-	return tx.t.Update(update.Record{Key: key, Op: update.Insert, Payload: append([]byte(nil), body...)})
+	err := tx.t.Update(update.Record{Key: key, Op: update.Insert, Payload: append([]byte(nil), body...)})
+	runtime.KeepAlive(tx) // see Begin's AddCleanup: tx must outlive the inner call
+	return err
 }
 
 // Delete buffers a deletion in the transaction.
 func (tx *Tx) Delete(key uint64) error {
-	return tx.t.Update(update.Record{Key: key, Op: update.Delete})
+	err := tx.t.Update(update.Record{Key: key, Op: update.Delete})
+	runtime.KeepAlive(tx)
+	return err
 }
 
 // Modify buffers a field modification in the transaction.
 func (tx *Tx) Modify(key uint64, off int, val []byte) error {
-	return tx.t.Update(update.Record{Key: key, Op: update.Modify,
+	err := tx.t.Update(update.Record{Key: key, Op: update.Modify,
 		Payload: update.EncodeFields([]update.Field{{Off: uint16(off), Value: append([]byte(nil), val...)}})})
+	runtime.KeepAlive(tx)
+	return err
 }
 
 // Scan reads [begin, end] at the transaction's snapshot, overlaid with its
-// own writes.
+// own writes. It holds no database-wide lock while iterating.
 func (tx *Tx) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) error {
-	tx.db.mu.Lock()
-	at := tx.db.now
-	tx.db.mu.Unlock()
-	end2, err := tx.t.Scan(at, begin, end, func(row table.Row) bool {
+	tx.db.mu.RLock()
+	if tx.db.closed {
+		tx.db.mu.RUnlock()
+		return ErrClosed
+	}
+	tx.db.mu.RUnlock()
+	end2, err := tx.t.Scan(tx.db.clock.now(), begin, end, func(row table.Row) bool {
 		return fn(row.Key, row.Body)
 	})
-	tx.db.mu.Lock()
-	if end2 > tx.db.now {
-		tx.db.now = end2
-	}
-	tx.db.mu.Unlock()
+	tx.db.clock.advance(end2)
+	runtime.KeepAlive(tx)
 	return err
 }
 
 // Commit validates and publishes the transaction's writes. Under
 // TxSnapshot it returns txn.ErrWriteConflict if another transaction
-// committed a conflicting write first.
+// committed a conflicting write first. The transaction manager serializes
+// commits with each other (first-committer-wins needs an atomic
+// validate-and-publish) but not with scans or standalone updates.
+//
+// A Commit that fails partway through publication (e.g. the update cache
+// is exhausted mid-batch) may leave a stamped prefix of its writes
+// applied — there is no undo log to roll them back. First-committer-wins
+// validation stays sound (the write set is conservatively recorded), and
+// migration is the way to clear the exhaustion.
 func (tx *Tx) Commit() error {
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	end, err := tx.t.Commit(tx.db.now)
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
+	if tx.db.closed {
+		// Abort rather than bail: a bare return would leak the
+		// transaction's pinned snapshot and, in Locking mode, its key
+		// locks, since callers are not required to Abort after a failed
+		// Commit.
+		tx.t.Abort()
+		return ErrClosed
+	}
+	end, err := tx.t.Commit(tx.db.clock.now())
 	if err != nil {
+		runtime.KeepAlive(tx)
 		return err
 	}
-	tx.db.now = end
+	tx.db.clock.advance(end)
+	runtime.KeepAlive(tx)
 	return nil
 }
 
 // Abort discards the transaction.
-func (tx *Tx) Abort() { tx.t.Abort() }
+func (tx *Tx) Abort() {
+	tx.t.Abort()
+	runtime.KeepAlive(tx) // see Begin's AddCleanup
+}
