@@ -8,6 +8,13 @@
 //	masmbench -exp all -short
 //	masmbench -exp fig12 -table 128MB -cache 8MB
 //	masmbench -shardbench -nodes 4 -rows 200000
+//	masmbench -durabench -backend file -rows 200000
+//
+// The paper experiments always run on the simulated in-memory backend —
+// their figures are virtual-time measurements and do not depend on the
+// host. -durabench instead measures host wall-clock: update ingestion
+// with group commit on the chosen backend (-backend sim|file), and, for
+// the file backend, a hard stop plus full directory recovery.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"masm"
 	"masm/internal/bench"
 	"masm/internal/shard"
 	"masm/internal/table"
@@ -36,7 +44,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		shardBnc = flag.Bool("shardbench", false, "run the shared-nothing fan-out benchmark instead of a paper experiment")
 		nodes    = flag.Int("nodes", 4, "shardbench: cluster size")
-		rows     = flag.Int("rows", 200_000, "shardbench: loaded rows")
+		rows     = flag.Int("rows", 200_000, "shardbench/durabench: loaded rows")
+		duraBnc  = flag.Bool("durabench", false, "run the durable-backend wall-clock benchmark instead of a paper experiment")
+		backend  = flag.String("backend", "file", "durabench: storage backend (sim or file)")
+		dir      = flag.String("dir", "", "durabench: database directory for the file backend (default: a fresh temp dir)")
 	)
 	flag.Parse()
 
@@ -48,6 +59,13 @@ func main() {
 	}
 	if *shardBnc {
 		if err := shardBench(*nodes, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *duraBnc {
+		if err := duraBench(*backend, *dir, *rows, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -192,4 +210,93 @@ func mustSize(s string) int64 {
 		os.Exit(1)
 	}
 	return n * mult
+}
+
+// duraBench measures host wall-clock behaviour of the durable storage
+// subsystem: bulk load, grouped update ingestion with a Sync per group
+// (the durability boundary), a full scan, and — on the file backend — a
+// genuine hard stop followed by directory recovery. The sim backend runs
+// the identical workload for comparison, which isolates what fsync and
+// real file I/O cost on this host.
+func duraBench(backend, dir string, rows int, seed int64) error {
+	keys := make([]uint64, rows)
+	bodies := make([][]byte, rows)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		bodies[i] = []byte(fmt.Sprintf("fact-%07d: qty=01 price=0099 status=SHIPPED", keys[i]))
+	}
+	cfg := masm.DefaultConfig()
+	cfg.CacheBytes = 8 << 20
+
+	var db *masm.DB
+	var err error
+	t0 := time.Now()
+	switch backend {
+	case "sim":
+		db, err = masm.Open(cfg, keys, bodies)
+	case "file":
+		if dir == "" {
+			if dir, err = os.MkdirTemp("", "masm-durabench-*"); err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		db, err = masm.OpenDir(dir, masm.DirOptions{Config: cfg, Keys: keys, Bodies: bodies})
+	default:
+		return fmt.Errorf("unknown backend %q (want sim or file)", backend)
+	}
+	if err != nil {
+		return err
+	}
+	loadTime := time.Since(t0)
+
+	const group = 64
+	nUpdates := rows / 2
+	rng := rand.New(rand.NewSource(seed))
+	t0 = time.Now()
+	for i := 0; i < nUpdates; i++ {
+		key := uint64(rng.Intn(rows*2))*2 + 1 // odd keys: inserts
+		if err := db.Insert(key, bodies[i%len(bodies)]); err != nil {
+			return err
+		}
+		if (i+1)%group == 0 {
+			if err := db.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := db.Sync(); err != nil {
+		return err
+	}
+	ingest := time.Since(t0)
+
+	t0 = time.Now()
+	var scanned int
+	if err := db.Scan(0, ^uint64(0), func(uint64, []byte) bool { scanned++; return true }); err != nil {
+		return err
+	}
+	scanTime := time.Since(t0)
+
+	fmt.Printf("durabench backend=%s rows=%d\n", backend, rows)
+	fmt.Printf("  load      %10v\n", loadTime.Round(time.Millisecond))
+	fmt.Printf("  ingest    %10v  (%d updates, sync every %d: %.0f upd/s)\n",
+		ingest.Round(time.Millisecond), nUpdates, group, float64(nUpdates)/ingest.Seconds())
+	fmt.Printf("  scan      %10v  (%d rows)\n", scanTime.Round(time.Millisecond), scanned)
+
+	if backend == "file" {
+		t0 = time.Now()
+		db2, err := db.Crash() // hard stop + full directory recovery
+		if err != nil {
+			return err
+		}
+		recovery := time.Since(t0)
+		var after int
+		if err := db2.Scan(0, ^uint64(0), func(uint64, []byte) bool { after++; return true }); err != nil {
+			return err
+		}
+		fmt.Printf("  recovery  %10v  (hard stop + reopen; %d rows readable)\n",
+			recovery.Round(time.Millisecond), after)
+		return db2.Close()
+	}
+	return db.Close()
 }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	masmdemo [-rows 100000] [-cache 16MB]
+//	masmdemo [-rows 100000] [-cache 16MB] [-backend sim|file] [-dir PATH]
+//
+// With -backend file the database lives in a real directory (-dir,
+// default a fresh temp dir): updates survive 'crash' via genuine file
+// recovery, and an existing directory is reopened instead of reloaded.
 //
 // Commands (one per line on stdin):
 //
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -35,23 +40,61 @@ import (
 func main() {
 	rows := flag.Int("rows", 100_000, "rows to bulk load")
 	cache := flag.String("cache", "16MB", "SSD update cache size")
+	backend := flag.String("backend", "sim", "storage backend: sim (in-memory) or file (durable directory)")
+	dir := flag.String("dir", "", "file backend: database directory (default: a fresh temp dir)")
 	flag.Parse()
 
 	cfg := masm.DefaultConfig()
 	cfg.CacheBytes = parseSize(*cache)
-	keys := make([]uint64, *rows)
-	bodies := make([][]byte, *rows)
-	for i := range keys {
-		keys[i] = uint64(i+1) * 2
-		bodies[i] = []byte(fmt.Sprintf("row %08d | qty 001 | status LOADED........", keys[i]))
+	load := func() ([]uint64, [][]byte) {
+		keys := make([]uint64, *rows)
+		bodies := make([][]byte, *rows)
+		for i := range keys {
+			keys[i] = uint64(i+1) * 2
+			bodies[i] = []byte(fmt.Sprintf("row %08d | qty 001 | status LOADED........", keys[i]))
+		}
+		return keys, bodies
 	}
-	db, err := masm.Open(cfg, keys, bodies)
+	var db *masm.DB
+	var err error
+	switch *backend {
+	case "sim":
+		keys, bodies := load()
+		db, err = masm.Open(cfg, keys, bodies)
+	case "file":
+		d := *dir
+		if d == "" {
+			if d, err = os.MkdirTemp("", "masmdemo-*"); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		// Only generate the bulk-load dataset for a fresh directory: an
+		// existing database is reopened as-is (OpenDir ignores the load
+		// and the directory's cache geometry wins over -cache).
+		opts := masm.DirOptions{Config: cfg}
+		if _, statErr := os.Stat(filepath.Join(d, "MANIFEST")); statErr != nil {
+			opts.Keys, opts.Bodies = load()
+		} else {
+			fmt.Printf("file backend: reopening existing database (bulk load and -cache ignored)\n")
+		}
+		db, err = masm.OpenDir(d, opts)
+		if err == nil {
+			fmt.Printf("file backend: database directory %s\n", d)
+		}
+	default:
+		err = fmt.Errorf("unknown backend %q (want sim or file)", *backend)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("loaded %d rows (even keys 2..%d), cache %s; type 'help' for commands\n",
-		*rows, 2**rows, *cache)
+	defer func() { db.Close() }() // db is reassigned by 'crash'
+	// Report what is actually in effect: an existing file-backend
+	// directory is reopened, so the bulk load and -cache were ignored in
+	// favour of the recovered state and the directory's own geometry.
+	fmt.Printf("ready: %d rows, cache %.1f%% full, %d runs; type 'help' for commands\n",
+		db.Stats().Rows, db.Stats().CacheFill*100, db.Stats().Runs)
 
 	rng := rand.New(rand.NewSource(7))
 	sc := bufio.NewScanner(os.Stdin)

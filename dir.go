@@ -1,0 +1,520 @@
+package masm
+
+// Durable, file-backed databases. masm.Open keeps everything in memory on
+// the simulated devices; OpenDir lays the same engine out over real OS
+// files in a directory, so committed state survives a process exit (clean
+// or not) and is fully recovered by the next OpenDir on the same
+// directory. The virtual-time cost model still runs — the file backend
+// changes where the bytes live, not how their I/O is priced — so the same
+// workloads produce the same simulated timings on either backend.
+//
+// Directory layout:
+//
+//	main.data   the clustered table heap (fixed-size pages)
+//	cache.runs  the SSD update cache: WAL-described materialized runs
+//	wal.log     the redo log (CRC-framed, torn-tail tolerant)
+//	MANIFEST    checksummed table geometry + page references, written
+//	            atomically (tmp + rename) at creation and at every
+//	            migration checkpoint
+//
+// Durability contract: an update survives a crash once DB.Sync (or a
+// transaction Commit followed by Sync, or enough later traffic to force
+// its group-commit batch) has returned. The write-ahead ordering is
+// enforced by wal.Hooks: run data is fsynced before its flush/merge
+// record, and the table pages plus MANIFEST are checkpointed before a
+// migration-end record.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+
+	core "masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/storage/filedev"
+	"masm/internal/table"
+	"masm/internal/txn"
+	"masm/internal/wal"
+)
+
+// DirOptions configures OpenDir.
+type DirOptions struct {
+	// Config is the engine configuration. A zero Config means
+	// DefaultConfig. CacheBytes fixes the cache geometry when the
+	// directory is created; on reopen the directory's own geometry wins
+	// and CacheBytes is ignored. DisableRedoLog is rejected: the redo log
+	// is the recovery mechanism.
+	Config
+	// Keys and Bodies bulk-load a newly created database (strictly
+	// increasing keys, like Open). They are ignored when the directory
+	// already holds a database.
+	Keys   []uint64
+	Bodies [][]byte
+}
+
+// File names inside a database directory.
+const (
+	dataFileName    = "main.data"
+	cacheFileName   = "cache.runs"
+	walFileName     = "wal.log"
+	walTmpFileName  = "wal.log.new"
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+	lockFileName    = "LOCK"
+)
+
+// logFileBytes is the redo-log capacity. The log is rewritten from its
+// checkpoint at every reopen, and migrations truncate the live state it
+// must describe, so a fixed generous region suffices for the prototype.
+const logFileBytes = 256 << 20
+
+// manifestMagic identifies a MaSM database directory manifest.
+var manifestMagic = [8]byte{'M', 'a', 'S', 'M', 'd', 'i', 'r', '\x00'}
+
+// manifestVersion is the manifest format version.
+const manifestVersion = 1
+
+var manifestCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// manifest is the durable directory metadata: the file geometry and the
+// table's page references — the only engine state that is neither
+// rederivable from the redo log nor stored in the data files themselves.
+type manifest struct {
+	DataBytes    int64       `json:"data_bytes"`
+	CacheBytes   int64       `json:"cache_bytes"` // logical cache capacity
+	LogBytes     int64       `json:"log_bytes"`
+	PageSize     int         `json:"page_size"`
+	ScanIO       int         `json:"scan_io"`
+	FillFraction float64     `json:"fill_fraction"`
+	Rows         int64       `json:"rows"`
+	Refs         []table.Ref `json:"refs"`
+}
+
+func (m *manifest) tableConfig() table.Config {
+	return table.Config{PageSize: m.PageSize, ScanIO: m.ScanIO, FillFraction: m.FillFraction}
+}
+
+// dirState is the durable side of a file-backed DB: the open files, the
+// directory identity, and the manifest writer.
+type dirState struct {
+	dir  string
+	opts DirOptions
+	m    manifest
+
+	data  *filedev.File
+	cache *filedev.File
+	wal   *filedev.File
+	// lock holds the advisory flock that gives this process exclusive
+	// ownership of the directory; the kernel releases it when the
+	// descriptor closes, so even a hard stop or process death frees it.
+	lock *os.File
+
+	// manifestMu serializes manifest rewrites (migration checkpoints can
+	// race a clean Close only pathologically, but correctness is cheap).
+	manifestMu sync.Mutex
+}
+
+// writeManifest atomically replaces MANIFEST with the table's current
+// geometry: marshal, write to a temp file, fsync, rename, fsync the
+// directory. A crash at any point leaves either the old or the new
+// manifest, never a torn one.
+func (ds *dirState) writeManifest(tbl *table.Table) error {
+	ds.manifestMu.Lock()
+	defer ds.manifestMu.Unlock()
+	m := ds.m
+	m.Rows = tbl.Rows()
+	m.Refs = tbl.Refs()
+	body, err := json.Marshal(&m)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 16+len(body))
+	buf = append(buf, manifestMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, manifestCRCTable))
+	buf = append(buf, body...)
+
+	tmp := filepath.Join(ds.dir, manifestTmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(ds.dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(ds.dir)
+}
+
+// readManifest loads and verifies MANIFEST.
+func readManifest(dir string) (*manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 16 || string(raw[:8]) != string(manifestMagic[:]) {
+		return nil, fmt.Errorf("masm: %s: not a MaSM database manifest", dir)
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:]); v != manifestVersion {
+		return nil, fmt.Errorf("masm: %s: manifest version %d unsupported (this build reads %d)", dir, v, manifestVersion)
+	}
+	body := raw[16:]
+	if crc32.Checksum(body, manifestCRCTable) != binary.LittleEndian.Uint32(raw[12:]) {
+		return nil, fmt.Errorf("masm: %s: manifest checksum mismatch", dir)
+	}
+	var m manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("masm: %s: manifest: %w", dir, err)
+	}
+	if m.DataBytes <= 0 || m.CacheBytes <= 0 || m.LogBytes <= 0 || m.PageSize <= 0 {
+		return nil, fmt.Errorf("masm: %s: manifest geometry invalid", dir)
+	}
+	return &m, nil
+}
+
+// hooks wires the write-ahead ordering between the redo log and the data
+// files (see wal.Hooks).
+func (ds *dirState) hooks(tbl *table.Table) wal.Hooks {
+	return wal.Hooks{
+		SyncRuns: ds.cache.Sync,
+		Checkpoint: func() error {
+			if err := ds.data.Sync(); err != nil {
+				return err
+			}
+			return ds.writeManifest(tbl)
+		},
+	}
+}
+
+// closeFiles closes the directory's files, optionally syncing data and
+// cache first (the WAL is synced by the caller through the log), and
+// finally drops the directory lock. A crash test passes sync=false to
+// model kill -9.
+func (ds *dirState) closeFiles(sync bool) error {
+	var firstErr error
+	for _, f := range []*filedev.File{ds.data, ds.cache, ds.wal} {
+		if f == nil {
+			continue
+		}
+		if sync {
+			if err := f.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if ds.lock != nil {
+		if err := ds.lock.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		ds.lock = nil
+	}
+	return firstErr
+}
+
+// lockDir takes an exclusive advisory lock on the directory's LOCK file,
+// so two processes (or two DBs in one process) can never write the same
+// database: the second OpenDir fails immediately instead of interleaving
+// WAL batches with the first. flock releases with the descriptor, so a
+// crashed owner never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("masm: %s: database locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenDir opens (creating if necessary) a durable, file-backed database in
+// dir. A new directory is bulk-loaded from opts.Keys/Bodies and laid out
+// as main.data + cache.runs + wal.log + MANIFEST; an existing one is
+// recovered: the manifest restores the table, the runs named by the redo
+// log are rebuilt (checksum-verified) from cache.runs, logged updates not
+// covered by a flush repopulate the in-memory buffer, and an interrupted
+// migration is redone idempotently. Everything committed — synced through
+// DB.Sync or a forced group-commit batch — is visible after reopen, even
+// if the previous process was killed mid-write and left a torn redo-log
+// tail.
+//
+// The returned DB behaves exactly like one from Open (same API, same
+// virtual-time accounting); additionally Close syncs and releases the
+// files, and Crash reopens from the directory instead of replaying in
+// memory.
+func OpenDir(dir string, opts DirOptions) (*DB, error) {
+	if opts.Config == (Config{}) {
+		opts.Config = DefaultConfig()
+	}
+	if opts.DisableRedoLog {
+		return nil, errors.New("masm: OpenDir: the file backend requires the redo log (it is the recovery mechanism)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// A leftover temp log from a recovery that died mid-way is garbage:
+	// the real wal.log is still authoritative.
+	os.Remove(filepath.Join(dir, walTmpFileName))
+	os.Remove(filepath.Join(dir, manifestTmpName))
+	var db *DB
+	if _, statErr := os.Stat(filepath.Join(dir, manifestName)); statErr != nil {
+		if !errors.Is(statErr, os.ErrNotExist) {
+			lock.Close()
+			return nil, statErr
+		}
+		db, err = createDir(dir, opts, lock)
+	} else {
+		db, err = reopenDir(dir, opts, lock)
+	}
+	if err != nil {
+		lock.Close() // harmless if a dirState defer already closed it
+		return nil, err
+	}
+	return db, nil
+}
+
+// deviceFor builds a simulated device big enough for the volumes laid out
+// on it, keeping the paper's performance envelope.
+func deviceFor(p sim.DeviceParams, need int64) *sim.Device {
+	if p.Capacity < need {
+		p.Capacity = need
+	}
+	return sim.NewDevice(p)
+}
+
+// createDir lays out and bulk-loads a fresh database directory.
+func createDir(dir string, opts DirOptions, lock *os.File) (db *DB, err error) {
+	if opts.CacheBytes <= 0 {
+		return nil, fmt.Errorf("masm: non-positive cache size %d", opts.CacheBytes)
+	}
+	if len(opts.Keys) != len(opts.Bodies) {
+		return nil, fmt.Errorf("masm: %d keys but %d bodies", len(opts.Keys), len(opts.Bodies))
+	}
+	m := manifest{
+		DataBytes:    dataBytesFor(opts.Keys, opts.Bodies),
+		CacheBytes:   opts.CacheBytes,
+		LogBytes:     logFileBytes,
+		PageSize:     table.DefaultConfig().PageSize,
+		ScanIO:       table.DefaultConfig().ScanIO,
+		FillFraction: table.DefaultConfig().FillFraction,
+	}
+	// The stored options drop the bulk-load slices: they are only needed
+	// below, and keeping them would pin the whole load dataset in memory
+	// for the DB's lifetime.
+	stored := opts
+	stored.Keys, stored.Bodies = nil, nil
+	ds := &dirState{dir: dir, opts: stored, m: m, lock: lock}
+	defer func() {
+		if err != nil {
+			ds.closeFiles(false)
+		}
+	}()
+	if ds.data, err = filedev.Open(filepath.Join(dir, dataFileName), m.DataBytes); err != nil {
+		return nil, err
+	}
+	if ds.cache, err = filedev.Open(filepath.Join(dir, cacheFileName), m.CacheBytes*2); err != nil {
+		return nil, err
+	}
+	if ds.wal, err = filedev.Open(filepath.Join(dir, walFileName), m.LogBytes); err != nil {
+		return nil, err
+	}
+	db = &DB{
+		cfg:    opts.Config,
+		hdd:    deviceFor(sim.Barracuda7200(), m.DataBytes+m.LogBytes),
+		ssd:    deviceFor(sim.IntelX25E(), m.CacheBytes*2),
+		oracle: &core.Oracle{},
+		fs:     ds,
+	}
+	dataVol, err := storage.NewVolumeOn(db.hdd, 0, ds.data)
+	if err != nil {
+		return nil, err
+	}
+	if db.logVol, err = storage.NewVolumeOn(db.hdd, m.DataBytes, ds.wal); err != nil {
+		return nil, err
+	}
+	ssdVol, err := storage.NewVolumeOn(db.ssd, 0, ds.cache)
+	if err != nil {
+		return nil, err
+	}
+	if db.tbl, err = table.Load(dataVol, m.tableConfig(), opts.Keys, opts.Bodies); err != nil {
+		return nil, err
+	}
+	// The loaded pages and the manifest describing them are the recovery
+	// baseline: make both durable before accepting any updates.
+	if err = ds.data.Sync(); err != nil {
+		return nil, err
+	}
+	if err = ds.writeManifest(db.tbl); err != nil {
+		return nil, err
+	}
+	db.log = wal.Open(db.logVol)
+	db.log.SetHooks(ds.hooks(db.tbl))
+	// Force the header down now, before any records: from here on, a
+	// header that fails validation on reopen is corruption, never a torn
+	// first write.
+	if _, err = db.log.Bootstrap(0); err != nil {
+		return nil, err
+	}
+	if db.store, err = core.NewStore(coreConfig(opts.Config), db.tbl, ssdVol, db.oracle, db.log); err != nil {
+		return nil, err
+	}
+	db.txns = txn.NewManager(db.store)
+	return db, nil
+}
+
+// reopenDir recovers a database from an existing directory.
+func reopenDir(dir string, opts DirOptions, lock *os.File) (db *DB, err error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The directory's geometry is authoritative: the caller's CacheBytes
+	// sized the cache at creation time and is superseded by what is on
+	// disk now. The bulk-load slices only apply to creation.
+	opts.CacheBytes = m.CacheBytes
+	opts.Keys, opts.Bodies = nil, nil
+	ds := &dirState{dir: dir, opts: opts, m: *m, lock: lock}
+	var oldWal *filedev.File
+	defer func() {
+		if err != nil {
+			ds.closeFiles(false)
+			if oldWal != nil {
+				oldWal.Close()
+			}
+		}
+	}()
+	if ds.data, err = filedev.Open(filepath.Join(dir, dataFileName), m.DataBytes); err != nil {
+		return nil, err
+	}
+	if ds.cache, err = filedev.Open(filepath.Join(dir, cacheFileName), m.CacheBytes*2); err != nil {
+		return nil, err
+	}
+	if oldWal, err = filedev.Open(filepath.Join(dir, walFileName), m.LogBytes); err != nil {
+		return nil, err
+	}
+	// Recovery rewrites the log as a checkpoint of the recovered state.
+	// It goes to a temp file that atomically replaces wal.log only after
+	// recovery fully succeeds: a crash mid-recovery leaves the old log
+	// authoritative and recovery simply runs again.
+	if ds.wal, err = filedev.Open(filepath.Join(dir, walTmpFileName), m.LogBytes); err != nil {
+		return nil, err
+	}
+	db = &DB{
+		cfg:    opts.Config,
+		hdd:    deviceFor(sim.Barracuda7200(), m.DataBytes+2*m.LogBytes),
+		ssd:    deviceFor(sim.IntelX25E(), m.CacheBytes*2),
+		oracle: &core.Oracle{},
+		fs:     ds,
+	}
+	dataVol, err := storage.NewVolumeOn(db.hdd, 0, ds.data)
+	if err != nil {
+		return nil, err
+	}
+	oldLogVol, err := storage.NewVolumeOn(db.hdd, m.DataBytes, oldWal)
+	if err != nil {
+		return nil, err
+	}
+	if db.logVol, err = storage.NewVolumeOn(db.hdd, m.DataBytes+m.LogBytes, ds.wal); err != nil {
+		return nil, err
+	}
+	ssdVol, err := storage.NewVolumeOn(db.ssd, 0, ds.cache)
+	if err != nil {
+		return nil, err
+	}
+	if db.tbl, err = table.Restore(dataVol, m.tableConfig(), m.Refs, m.Rows); err != nil {
+		return nil, err
+	}
+	db.log = wal.Open(db.logVol)
+	db.log.SetHooks(ds.hooks(db.tbl))
+	store, end, err := wal.Recover(coreConfig(opts.Config), db.tbl, ssdVol, db.oracle, oldLogVol, db.log, 0)
+	if err != nil {
+		return nil, fmt.Errorf("masm: recover %s: %w", dir, err)
+	}
+	// The checkpoint in the new log is durable (Recover syncs it) and the
+	// header is down even when the checkpoint was empty; the old log can
+	// now be atomically superseded. The open descriptor keeps following
+	// the renamed file.
+	if _, err = db.log.Bootstrap(end); err != nil {
+		return nil, err
+	}
+	if err = oldWal.Close(); err != nil {
+		return nil, err
+	}
+	oldWal = nil
+	if err = os.Rename(filepath.Join(dir, walTmpFileName), filepath.Join(dir, walFileName)); err != nil {
+		return nil, err
+	}
+	if err = syncDir(dir); err != nil {
+		return nil, err
+	}
+	db.store = store
+	db.txns = txn.NewManager(store)
+	db.clock.advance(end)
+	return db, nil
+}
+
+// HardStop abandons the database with no clean shutdown whatsoever: no
+// log sync, no file sync, no manifest write — the in-process equivalent of
+// kill -9. In-flight operations fail as their file descriptors close.
+// Updates not yet forced by Sync (or a filled group-commit batch) are
+// lost, exactly as a crash would lose them; everything committed is
+// recovered by the next OpenDir. On a memory-backed DB it is Close.
+//
+// It exists for crash-recovery tests and demos; production code wants
+// Close.
+func (db *DB) HardStop() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	sched := db.sched
+	db.sched = nil
+	fs := db.fs
+	db.mu.Unlock()
+	if sched != nil {
+		sched.Stop()
+	}
+	if fs != nil {
+		return fs.closeFiles(false)
+	}
+	return nil
+}

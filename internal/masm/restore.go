@@ -35,7 +35,11 @@ func Restore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RunID < sorted[j].RunID })
 	var maxTS int64
 	for _, rm := range sorted {
-		run, end, err := runfile.Rebuild(ssd, rm.Off, rm.Size, at, rm.RunID, rm.Passes, cfg.Run)
+		if rm.Format > runfile.FormatVersion {
+			return nil, at, fmt.Errorf("masm: restore run %d: on-disk format %d newer than this build's %d",
+				rm.RunID, rm.Format, runfile.FormatVersion)
+		}
+		run, end, err := runfile.Rebuild(ssd, rm.Off, rm.Size, at, rm.RunID, rm.Passes, rm.CRC, cfg.Run)
 		if err != nil {
 			return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, err)
 		}

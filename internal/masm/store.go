@@ -16,13 +16,21 @@ import (
 // RunMeta describes a materialized sorted run's location for the redo
 // log, so crash recovery can rebuild the run set (the run data itself is
 // on the non-volatile SSD; only the in-memory metadata and run index need
-// reconstruction).
+// reconstruction). Format and CRC pin down the on-disk data: recovery
+// refuses a run written by a future format and verifies the checksum while
+// rebuilding, so a corrupted or half-written run is detected instead of
+// decoded as garbage.
 type RunMeta struct {
 	RunID  int64
 	Off    int64
 	Size   int64
 	MaxTS  int64
 	Passes int
+	// Format is the run data's on-disk format version
+	// (runfile.FormatVersion at write time).
+	Format uint16
+	// CRC is the CRC-32C of the run's Size data bytes.
+	CRC uint32
 }
 
 // RedoLogger is the hook into the database redo log (paper §3.6). MaSM
@@ -390,7 +398,8 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 	s.stolenPages = 0
 	s.buf.SetCapacity(s.cfg.SPages() * s.cfg.SSDPage)
 	if s.log != nil {
-		t, err := s.log.LogFlush(end, RunMeta{RunID: id, Off: off, Size: run.Size, MaxTS: run.MaxTS, Passes: 1})
+		t, err := s.log.LogFlush(end, RunMeta{RunID: id, Off: off, Size: run.Size, MaxTS: run.MaxTS,
+			Passes: 1, Format: runfile.FormatVersion, CRC: run.CRC})
 		if err != nil {
 			return at, err
 		}
@@ -597,7 +606,8 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 			oldIDs[i] = o.ID
 		}
 		t, err := s.log.LogMerge(end,
-			RunMeta{RunID: id, Off: off, Size: merged.Size, MaxTS: merged.MaxTS, Passes: 2}, oldIDs)
+			RunMeta{RunID: id, Off: off, Size: merged.Size, MaxTS: merged.MaxTS,
+				Passes: 2, Format: runfile.FormatVersion, CRC: merged.CRC}, oldIDs)
 		if err != nil {
 			return at, err
 		}

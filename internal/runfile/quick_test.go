@@ -92,7 +92,7 @@ func TestQuickRebuildEquivalence(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		re, _, err := Rebuild(vol, orig.Off, orig.Size, end, 7, orig.Passes, DefaultConfig())
+		re, _, err := Rebuild(vol, orig.Off, orig.Size, end, 7, orig.Passes, orig.CRC, DefaultConfig())
 		if err != nil {
 			return false
 		}

@@ -2,6 +2,7 @@ package runfile
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"masm/internal/sim"
 	"masm/internal/storage"
@@ -10,19 +11,31 @@ import (
 
 // Rebuild reconstructs a Run's in-memory metadata and run index by
 // sequentially scanning its data on the SSD. Crash recovery uses this:
-// the run data survives on the non-volatile SSD, but the metadata and the
-// read-only run index live in memory and must be rebuilt (paper §3.6).
+// the run data survives on the non-volatile SSD (or, with the file
+// backend, in a real file), but the metadata and the read-only run index
+// live in memory and must be rebuilt (paper §3.6).
+//
+// wantCRC, when non-zero, is the CRC-32C recorded in the redo log at
+// write time; Rebuild recomputes the checksum over the scanned bytes and
+// fails on a mismatch, so a corrupted or never-completed run surfaces as
+// a recovery error instead of silently wrong query results. Zero skips
+// verification (metadata from logs that predate run checksums).
+//
 // The scan is charged as sequential SSD reads at the configured I/O size.
-func Rebuild(vol *storage.Volume, off, size int64, at sim.Time, id int64, passes int, cfg Config) (*Run, sim.Time, error) {
+func Rebuild(vol *storage.Volume, off, size int64, at sim.Time, id int64, passes int, wantCRC uint32, cfg Config) (*Run, sim.Time, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, 0, err
 	}
-	r := &Run{ID: id, Off: off, Size: size, Passes: passes, cfg: cfg, vol: vol}
+	if off < 0 || size < 0 {
+		return nil, 0, fmt.Errorf("runfile: rebuild run %d: negative geometry (off %d, size %d)", id, off, size)
+	}
+	r := &Run{ID: id, Off: off, Size: size, Passes: passes, CRC: wantCRC, cfg: cfg, vol: vol}
 	var (
 		buf     []byte
 		readOff int64
 		dataOff int64
 		nextIdx int64
+		crc     uint32
 		prev    update.Record
 	)
 	now := at
@@ -69,9 +82,15 @@ func Rebuild(vol *storage.Volume, off, size int64, at sim.Time, id int64, passes
 		if err != nil {
 			return nil, 0, err
 		}
+		crc = crc32.Update(crc, castagnoli, chunk)
 		now = c.End
 		readOff += n
 		buf = append(buf, chunk...)
 	}
+	if wantCRC != 0 && crc != wantCRC {
+		return nil, 0, fmt.Errorf("runfile: rebuild run %d: data checksum mismatch (got %08x, logged %08x)",
+			id, crc, wantCRC)
+	}
+	r.CRC = crc
 	return r, now, nil
 }

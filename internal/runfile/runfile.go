@@ -10,12 +10,23 @@ package runfile
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"masm/internal/sim"
 	"masm/internal/storage"
 	"masm/internal/update"
 )
+
+// FormatVersion is the on-disk format version of run data: a dense
+// sequence of update records in the internal/update wire format, in
+// (key, ts) order. It is recorded in the redo log's run metadata so
+// recovery can refuse runs written by a future, incompatible layout.
+const FormatVersion = 1
+
+// castagnoli is the CRC-32C table used to checksum run data; the redo log
+// uses the same polynomial for its record framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Config fixes the physical layout of runs.
 type Config struct {
@@ -67,6 +78,10 @@ type Run struct {
 	// Passes is 1 for runs generated directly from the in-memory buffer
 	// and 2 for runs produced by merging 1-pass runs (paper §3.3).
 	Passes int
+	// CRC is the CRC-32C of the run's Size data bytes, computed as the
+	// run was written. Crash recovery verifies it while rebuilding the
+	// run index, catching corrupted or half-written runs on real storage.
+	CRC uint32
 
 	cfg   Config
 	vol   *storage.Volume
@@ -88,6 +103,7 @@ type Writer struct {
 	base    int64
 	buf     []byte
 	written int64
+	crc     uint32
 	count   int64
 	index   []indexEntry
 	nextIdx int64 // next granule boundary (bytes) needing an index entry
@@ -158,6 +174,7 @@ func (w *Writer) flushChunk(n int) error {
 	if _, err := w.sw.Write(w.buf[:n]); err != nil {
 		return err
 	}
+	w.crc = crc32.Update(w.crc, castagnoli, w.buf[:n])
 	w.written += int64(n)
 	w.buf = append(w.buf[:0], w.buf[n:]...)
 	return nil
@@ -181,6 +198,7 @@ func (w *Writer) Close(passes int) (*Run, sim.Time, error) {
 		MinTS:  w.minTS,
 		MaxTS:  w.maxTS,
 		Passes: passes,
+		CRC:    w.crc,
 		cfg:    w.cfg,
 		vol:    w.vol,
 		index:  w.index,

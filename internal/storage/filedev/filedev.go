@@ -1,0 +1,106 @@
+// Package filedev implements the OS-file storage backend: a
+// storage.Backend whose bytes live in a real file, written with
+// pwrite/pread and made durable with fsync. It is the persistence layer
+// behind masm.OpenDir — the point where the MaSM prototype stops being a
+// pure simulation and acquires state that survives a process restart.
+//
+// A File is a fixed-capacity region: it is created (or extended) to its
+// full logical size up front with truncate, so the file is sparse on disk,
+// reads inside the region always succeed, and unwritten bytes read as zero
+// — the same semantics the in-memory backend provides.
+package filedev
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"masm/internal/storage"
+)
+
+// File is a file-backed storage.Backend. It is safe for concurrent use:
+// ReadAt/WriteAt map to pread/pwrite, which the OS serializes per byte
+// range, and the engine above never issues overlapping writes.
+type File struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+var _ storage.Backend = (*File)(nil)
+
+// Open opens (creating if absent) the file at path as a backend of the
+// given capacity. An existing file keeps its content; a shorter file is
+// extended with a hole so the full capacity is readable. An existing file
+// larger than size is rejected: it belongs to a layout with a different
+// geometry.
+func Open(path string, size int64) (*File, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("filedev: non-positive size %d for %s", size, path)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > size {
+		f.Close()
+		return nil, fmt.Errorf("filedev: %s is %d bytes, larger than the expected capacity %d",
+			path, st.Size(), size)
+	}
+	if st.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("filedev: extend %s to %d bytes: %w", path, size, err)
+		}
+	}
+	return &File{f: f, path: path, size: size}, nil
+}
+
+// Path returns the file's path.
+func (d *File) Path() string { return d.path }
+
+// Size implements storage.Backend.
+func (d *File) Size() int64 { return d.size }
+
+// ReadAt implements storage.Backend. The file is pre-extended to its full
+// capacity, so reads inside [0, size) are always full; a concurrent
+// external truncation surfaces as an error, with any bytes past the
+// shortened end read as zero only when the OS reports a clean EOF.
+func (d *File) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.size {
+		return fmt.Errorf("filedev: read [%d,%d) outside %s capacity %d", off, off+int64(len(p)), d.path, d.size)
+	}
+	n, err := d.f.ReadAt(p, off)
+	if err == io.EOF {
+		// The region past the file's physical end reads as zero — the
+		// sparse-file contract (can only happen if the file was truncated
+		// behind our back, e.g. by a torn-tail recovery test).
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+// WriteAt implements storage.Backend (pwrite).
+func (d *File) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.size {
+		return fmt.Errorf("filedev: write [%d,%d) outside %s capacity %d", off, off+int64(len(p)), d.path, d.size)
+	}
+	_, err := d.f.WriteAt(p, off)
+	return err
+}
+
+// Sync implements storage.Backend: fsync, the real durability barrier.
+func (d *File) Sync() error { return d.f.Sync() }
+
+// Close implements storage.Backend. It does not sync: a clean shutdown
+// syncs explicitly first, and a crash test closes without syncing on
+// purpose.
+func (d *File) Close() error { return d.f.Close() }

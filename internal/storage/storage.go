@@ -1,40 +1,51 @@
 // Package storage provides byte-addressed volumes that combine real data
-// content (held in memory, sparsely allocated) with the timing model of a
-// simulated device. Every other layer of the system performs its I/O
-// through a Volume, so both the data it reads and the virtual time it pays
-// are accounted in one place.
+// content with the timing model of a simulated device. Every other layer of
+// the system performs its I/O through a Volume, so both the data it reads
+// and the virtual time it pays are accounted in one place.
+//
+// The data plane is pluggable (see Backend): the default is an in-memory
+// sparse store, and internal/storage/filedev supplies an OS-file backend
+// whose writes survive a process restart. The timing plane is always the
+// simulated device, so experiments stay machine-independent regardless of
+// where the bytes live.
 package storage
 
 import (
 	"fmt"
-	"sync"
 
 	"masm/internal/sim"
 )
 
-// chunkSize is the granularity of sparse allocation. One megabyte keeps the
-// map small for multi-gigabyte volumes while wasting little on small ones.
-const chunkSize = 1 << 20
-
-// Volume is a contiguous byte-addressable region on a simulated device.
-// Reads and writes move real bytes and charge simulated time on the
-// underlying device. A Volume is safe for concurrent use.
+// Volume is a contiguous byte-addressable region whose data lives on a
+// Backend and whose I/O is charged to a simulated device. A Volume is safe
+// for concurrent use (as safe as its backend).
 type Volume struct {
 	dev  *sim.Device
-	base int64 // offset of this volume on the device
+	base int64 // offset of this volume on the device (timing model only)
 	size int64
-
-	mu     sync.RWMutex
-	chunks map[int64][]byte
+	be   Backend
 }
 
-// NewVolume carves a volume of size bytes at offset base on dev.
+// NewVolume carves a volume of size bytes at offset base on dev, backed by
+// fresh in-memory storage.
 func NewVolume(dev *sim.Device, base, size int64) (*Volume, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("storage: non-positive volume size %d", size)
+	}
+	return NewVolumeOn(dev, base, NewMemBackend(size))
+}
+
+// NewVolumeOn creates a volume over an existing backend (the whole of it),
+// charging its I/O at offset base of dev. This is how file-backed volumes
+// are built: the backend holds the durable bytes, the device supplies the
+// virtual-time cost model.
+func NewVolumeOn(dev *sim.Device, base int64, be Backend) (*Volume, error) {
+	size := be.Size()
 	if base < 0 || size <= 0 || base+size > dev.Params().Capacity {
 		return nil, fmt.Errorf("storage: volume [%d,%d) exceeds device %q capacity %d",
 			base, base+size, dev.Params().Name, dev.Params().Capacity)
 	}
-	return &Volume{dev: dev, base: base, size: size, chunks: make(map[int64][]byte)}, nil
+	return &Volume{dev: dev, base: base, size: size, be: be}, nil
 }
 
 // Size returns the volume's capacity in bytes.
@@ -43,13 +54,18 @@ func (v *Volume) Size() int64 { return v.size }
 // Device returns the underlying simulated device.
 func (v *Volume) Device() *sim.Device { return v.dev }
 
+// Backend returns the data plane the volume stores its bytes on.
+func (v *Volume) Backend() Backend { return v.be }
+
 // ReadAt reads len(p) bytes at off, issued at virtual time at, and returns
 // the request's completion. Unwritten regions read as zero.
 func (v *Volume) ReadAt(at sim.Time, p []byte, off int64) (sim.Completion, error) {
 	if err := v.check(off, int64(len(p))); err != nil {
 		return sim.Completion{}, err
 	}
-	v.copyOut(p, off)
+	if err := v.be.ReadAt(p, off); err != nil {
+		return sim.Completion{}, err
+	}
 	return v.dev.Read(at, v.base+off, int64(len(p))), nil
 }
 
@@ -58,7 +74,9 @@ func (v *Volume) WriteAt(at sim.Time, p []byte, off int64) (sim.Completion, erro
 	if err := v.check(off, int64(len(p))); err != nil {
 		return sim.Completion{}, err
 	}
-	v.copyIn(p, off)
+	if err := v.be.WriteAt(p, off); err != nil {
+		return sim.Completion{}, err
+	}
 	return v.dev.Write(at, v.base+off, int64(len(p))), nil
 }
 
@@ -69,8 +87,7 @@ func (v *Volume) PeekAt(p []byte, off int64) error {
 	if err := v.check(off, int64(len(p))); err != nil {
 		return err
 	}
-	v.copyOut(p, off)
-	return nil
+	return v.be.ReadAt(p, off)
 }
 
 // PokeAt writes bytes without charging simulated time; the complement of
@@ -79,37 +96,30 @@ func (v *Volume) PokeAt(p []byte, off int64) error {
 	if err := v.check(off, int64(len(p))); err != nil {
 		return err
 	}
-	v.copyIn(p, off)
-	return nil
+	return v.be.WriteAt(p, off)
 }
 
-// Discard drops the content of [off, off+length), freeing memory. Reads of
-// discarded regions return zeros. Used when migration frees old data
-// chunks (paper §3.2, in-place migration case ii).
+// Sync forces every completed write down to the backend's durable medium.
+// It charges no simulated time: the virtual-time cost model prices data
+// transfer, and the paper's experiments assume writes are stable when the
+// device acknowledges them.
+func (v *Volume) Sync() error { return v.be.Sync() }
+
+// Close releases the backend (closing the file for file-backed volumes).
+func (v *Volume) Close() error { return v.be.Close() }
+
+// Discard drops the content of [off, off+length) on backends that can
+// reclaim space (the in-memory backend frees its chunks, so reads of
+// discarded regions return zeros). Backends without the capability keep the
+// bytes; that is safe because extents are fully rewritten before reuse.
+// Used when migration frees old data chunks (paper §3.2, in-place migration
+// case ii).
 func (v *Volume) Discard(off, length int64) error {
 	if err := v.check(off, length); err != nil {
 		return err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	// Only whole chunks fully inside the range can be freed; partial
-	// overlaps are zeroed.
-	end := off + length
-	first := off / chunkSize
-	last := (end - 1) / chunkSize
-	for c := first; c <= last; c++ {
-		cs, ce := c*chunkSize, (c+1)*chunkSize
-		if cs >= off && ce <= end {
-			delete(v.chunks, c)
-			continue
-		}
-		if chunk, ok := v.chunks[c]; ok {
-			zs := max64(cs, off) - cs
-			ze := min64(ce, end) - cs
-			for i := zs; i < ze; i++ {
-				chunk[i] = 0
-			}
-		}
+	if d, ok := v.be.(Discarder); ok {
+		return d.Discard(off, length)
 	}
 	return nil
 }
@@ -119,41 +129,6 @@ func (v *Volume) check(off, length int64) error {
 		return fmt.Errorf("storage: access [%d,%d) outside volume size %d", off, off+length, v.size)
 	}
 	return nil
-}
-
-func (v *Volume) copyOut(p []byte, off int64) {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	for n := int64(0); n < int64(len(p)); {
-		c := (off + n) / chunkSize
-		co := (off + n) % chunkSize
-		span := min64(chunkSize-co, int64(len(p))-n)
-		if chunk, ok := v.chunks[c]; ok {
-			copy(p[n:n+span], chunk[co:co+span])
-		} else {
-			for i := n; i < n+span; i++ {
-				p[i] = 0
-			}
-		}
-		n += span
-	}
-}
-
-func (v *Volume) copyIn(p []byte, off int64) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for n := int64(0); n < int64(len(p)); {
-		c := (off + n) / chunkSize
-		co := (off + n) % chunkSize
-		span := min64(chunkSize-co, int64(len(p))-n)
-		chunk, ok := v.chunks[c]
-		if !ok {
-			chunk = make([]byte, chunkSize)
-			v.chunks[c] = chunk
-		}
-		copy(chunk[co:co+span], p[n:n+span])
-		n += span
-	}
 }
 
 func min64(a, b int64) int64 {

@@ -134,6 +134,61 @@ func Load(vol *storage.Volume, cfg Config, keys []uint64, bodies [][]byte) (*Tab
 	return t, nil
 }
 
+// Ref is the externally visible form of one page reference: the inclusive
+// lower key bound of the page's range and its page number on the volume.
+// The refs array is the only table metadata that cannot be derived from
+// the volume alone, so durable deployments persist it (manifest) and hand
+// it back to Restore on reopen.
+type Ref struct {
+	FirstKey uint64 `json:"k"`
+	PageNo   int64  `json:"p"`
+}
+
+// Refs returns a snapshot of the page references in key order.
+func (t *Table) Refs() []Ref {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Ref, len(t.refs))
+	for i, r := range t.refs {
+		out[i] = Ref{FirstKey: r.firstKey, PageNo: r.pageNo}
+	}
+	return out
+}
+
+// Restore reattaches a table to a volume whose pages were written by a
+// previous process, using the persisted page references. rows is the
+// persisted record count (a statistic; scans do not depend on it).
+func Restore(vol *storage.Volume, cfg Config, refs []Ref, rows int64) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{cfg: cfg, vol: vol, rows: rows}
+	t.refs = make([]pageRef, len(refs))
+	seen := make(map[int64]bool, len(refs))
+	for i, r := range refs {
+		// Bounds are strictly increasing by construction: load assigns
+		// each page its (unique) first key, and an overflow page's bound
+		// is its own first key, strictly above its parent's. Equality in
+		// a manifest is therefore corruption, and tolerating it would let
+		// the binary search pick the wrong page.
+		if i > 0 && r.FirstKey <= refs[i-1].FirstKey {
+			return nil, fmt.Errorf("table: restore: refs out of key order at %d", i)
+		}
+		if r.PageNo < 0 || seen[r.PageNo] {
+			return nil, fmt.Errorf("table: restore: bad or duplicate page number %d", r.PageNo)
+		}
+		seen[r.PageNo] = true
+		t.refs[i] = pageRef{firstKey: r.FirstKey, pageNo: r.PageNo}
+		if r.PageNo >= t.nextPage {
+			t.nextPage = r.PageNo + 1
+		}
+	}
+	if pages := t.nextPage * int64(cfg.PageSize); pages > vol.Size() {
+		return nil, fmt.Errorf("table: restore: %d pages exceed volume size %d", t.nextPage, vol.Size())
+	}
+	return t, nil
+}
+
 // Rows returns the number of records in the table.
 func (t *Table) Rows() int64 {
 	t.mu.RLock()

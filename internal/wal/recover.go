@@ -71,17 +71,7 @@ func Recover(cfg masm.Config, tbl *table.Table, ssd *storage.Volume,
 	// checkpoint. Pending updates always carry timestamps above every
 	// live run's MaxTS, so replay ordering is preserved.
 	if l, ok := newLog.(*Log); ok && l != nil {
-		for _, rm := range runs {
-			if now, err = l.LogFlush(now, rm); err != nil {
-				return nil, now, err
-			}
-		}
-		for _, rec := range pending {
-			if now, err = l.LogUpdate(now, rec); err != nil {
-				return nil, now, err
-			}
-		}
-		if now, err = l.Sync(now); err != nil {
+		if now, err = l.Checkpoint(now, runs, pending); err != nil {
 			return nil, now, err
 		}
 	}

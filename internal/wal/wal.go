@@ -6,14 +6,27 @@
 // re-reading the update records from this log, and the run-set metadata,
 // by re-reading flush/merge/migration records.
 //
-// Entries are framed as [kind u8][len u32][payload]; a zero kind byte
-// terminates replay. Appends are buffered and written sequentially in
-// group-commit fashion.
+// # On-disk format (version 2)
+//
+// The log opens with a 16-byte header — magic, format version, header CRC —
+// so an unrelated or stale byte region is never misread as a log. Entries
+// are framed as
+//
+//	[kind u8][len u32][crc u32][payload]
+//
+// where crc is the CRC-32C (Castagnoli) of kind, len and payload; a zero
+// kind byte terminates replay. The checksum is what makes recovery safe on
+// real storage: a torn or truncated tail — a record half-written when the
+// machine died — fails its CRC and cleanly ends replay instead of being
+// decoded as garbage. Appends are buffered and written sequentially in
+// group-commit fashion; Sync forces the buffered batch down to the
+// volume's backend (fsync on file-backed volumes).
 package wal
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"masm/internal/masm"
@@ -39,16 +52,68 @@ const (
 	KindMigrationBegin
 	// KindMigrationEnd records that the migration completed.
 	KindMigrationEnd
+
+	// kindMax is the largest valid kind; replay treats anything above it
+	// as a torn tail.
+	kindMax = KindMigrationEnd
 )
 
-// Entry is one decoded log record.
-type Entry struct {
-	Kind     Kind
-	Rec      update.Record // KindUpdate
-	Run      masm.RunMeta  // KindFlush, KindMerge
-	Consumed []int64       // KindMerge
-	MigTS    int64         // KindMigrationBegin/End
-	RunIDs   []int64       // KindMigrationBegin
+// Format constants. Version 2 introduced the log header and per-record
+// CRC-32C framing (version 1, the unversioned [kind][len][payload] format,
+// predates durable storage and is no longer readable).
+const (
+	// FormatVersion is the current log format.
+	FormatVersion = 2
+	// headerSize is the size of the log header: 8-byte magic, u32 version,
+	// u32 CRC of the preceding 12 bytes.
+	headerSize = 16
+	// frameHeaderSize is the per-entry header: kind u8, len u32, crc u32.
+	frameHeaderSize = 9
+	// maxPayload bounds a single entry; anything larger in a length field
+	// is torn-tail garbage, not a record (the largest real entry is an
+	// update record, capped well below this by the update wire format).
+	maxPayload = 1 << 26
+)
+
+// magic identifies a MaSM redo log.
+var magic = [8]byte{'M', 'a', 'S', 'M', 'w', 'a', 'l', '\x00'}
+
+// castagnoli is the CRC-32C table used for all log checksums (the same
+// polynomial iSCSI and ext4 use; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC checksums one entry's kind, length and payload.
+func frameCRC(kind Kind, payload []byte) uint32 {
+	var hdr [5]byte
+	hdr[0] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	c := crc32.Update(0, castagnoli, hdr[:])
+	return crc32.Update(c, castagnoli, payload)
+}
+
+// encodeHeader renders the 16-byte log header.
+func encodeHeader() [headerSize]byte {
+	var h [headerSize]byte
+	copy(h[:8], magic[:])
+	binary.LittleEndian.PutUint32(h[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(h[12:], crc32.Checksum(h[:12], castagnoli))
+	return h
+}
+
+// Hooks order durable side effects around log records when the log runs on
+// a real (file-backed) volume. They close the write-ahead invariant from
+// the other side: a log record describing on-disk state must never become
+// durable before the state it describes.
+type Hooks struct {
+	// SyncRuns makes completed run data durable. It is called before a
+	// flush or merge record is appended (and the record is then forced),
+	// so a logged run can never outlive its data in a crash.
+	SyncRuns func() error
+	// Checkpoint makes the main data and the table metadata (manifest)
+	// durable. It is called before a migration-end record is appended, so
+	// recovery either redoes the migration (no end record) or finds the
+	// migrated table complete.
+	Checkpoint func() error
 }
 
 // groupCommitBytes is the buffering threshold: entries are held in memory
@@ -62,17 +127,63 @@ const groupCommitBytes = 4 << 10
 // updaters are serialized by an internal latch, preserving the group-commit
 // batching.
 type Log struct {
-	mu  sync.Mutex
-	vol *storage.Volume
-	buf []byte
-	off int64
+	mu            sync.Mutex
+	vol           *storage.Volume
+	buf           []byte
+	off           int64
+	headerWritten bool
+	hooks         Hooks
 }
 
 var _ masm.RedoLogger = (*Log)(nil)
 
-// Open creates a log writing from the start of vol.
+// Open creates a log writing from the start of vol. Nothing is written
+// until the first forced batch; the header goes down with it.
 func Open(vol *storage.Volume) *Log {
-	return &Log{vol: vol}
+	return &Log{vol: vol, off: headerSize}
+}
+
+// SetHooks installs the durable-ordering hooks (see Hooks). Call it before
+// any logging activity; file-backed databases install hooks at open time.
+func (l *Log) SetHooks(h Hooks) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hooks = h
+}
+
+// Bootstrap writes and forces the log header (plus an end marker) before
+// any records exist. Durable deployments call it at creation time so the
+// header can never be legitimately torn: from then on, a header that fails
+// validation is genuine corruption and replay refuses it, rather than
+// guessing between "fresh log" and "destroyed log". It is a no-op once the
+// header is down.
+func (l *Log) Bootstrap(at sim.Time) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.headerWritten {
+		return at, nil
+	}
+	h := encodeHeader()
+	payload := make([]byte, headerSize+frameHeaderSize)
+	copy(payload, h[:])
+	c, err := l.vol.WriteAt(at, payload, 0)
+	if err != nil {
+		return at, err
+	}
+	if err := l.vol.Sync(); err != nil {
+		return at, err
+	}
+	l.headerWritten = true
+	return c.End, nil
+}
+
+// EndOffset reports the byte offset of the end of the synced log — the
+// position the next forced batch will be written at. Crash tests use it to
+// locate the durable tail for truncation.
+func (l *Log) EndOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
 }
 
 func (l *Log) append(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
@@ -83,9 +194,10 @@ func (l *Log) append(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
 
 // appendLocked buffers one entry; caller holds l.mu.
 func (l *Log) appendLocked(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
-	var hdr [5]byte
+	var hdr [frameHeaderSize]byte
 	hdr[0] = byte(kind)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:], frameCRC(kind, payload))
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
 	if len(l.buf) >= groupCommitBytes {
@@ -96,7 +208,9 @@ func (l *Log) appendLocked(at sim.Time, kind Kind, payload []byte) (sim.Time, er
 
 // Sync forces buffered entries to the log volume, followed by an end
 // marker (not advancing the cursor) so replay never runs into stale bytes
-// from a previous log generation occupying the same volume.
+// from a previous log generation occupying the same volume, and then
+// syncs the volume's backend — the point at which the entries survive a
+// crash.
 func (l *Log) Sync(at sim.Time) (sim.Time, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -108,12 +222,24 @@ func (l *Log) syncLocked(at sim.Time) (sim.Time, error) {
 	if len(l.buf) == 0 {
 		return at, nil
 	}
-	payload := make([]byte, len(l.buf)+5)
+	payload := make([]byte, len(l.buf)+frameHeaderSize)
 	copy(payload, l.buf)
-	c, err := l.vol.WriteAt(at, payload, l.off)
+	writeOff := l.off
+	if !l.headerWritten {
+		// First force: lay the header down in front of the first batch in
+		// one sequential write.
+		h := encodeHeader()
+		payload = append(h[:], payload...)
+		writeOff = 0
+	}
+	c, err := l.vol.WriteAt(at, payload, writeOff)
 	if err != nil {
 		return at, err
 	}
+	if err := l.vol.Sync(); err != nil {
+		return at, err
+	}
+	l.headerWritten = true
 	l.off += int64(len(l.buf))
 	l.buf = l.buf[:0]
 	return c.End, nil
@@ -124,27 +250,40 @@ func (l *Log) LogUpdate(at sim.Time, rec update.Record) (sim.Time, error) {
 	return l.append(at, KindUpdate, update.AppendEncode(nil, &rec))
 }
 
+// runMetaSize is the wire size of a run descriptor: five u64/u8 location
+// fields plus the data-format version and the run data's CRC-32C.
+const runMetaSize = 8 + 8 + 8 + 8 + 1 + 2 + 4
+
 func encodeRunMeta(dst []byte, run masm.RunMeta) []byte {
-	var b [33]byte
+	var b [runMetaSize]byte
 	binary.LittleEndian.PutUint64(b[0:], uint64(run.RunID))
 	binary.LittleEndian.PutUint64(b[8:], uint64(run.Off))
 	binary.LittleEndian.PutUint64(b[16:], uint64(run.Size))
 	binary.LittleEndian.PutUint64(b[24:], uint64(run.MaxTS))
 	b[32] = byte(run.Passes)
+	binary.LittleEndian.PutUint16(b[33:], run.Format)
+	binary.LittleEndian.PutUint32(b[35:], run.CRC)
 	return append(dst, b[:]...)
 }
 
 func decodeRunMeta(p []byte) (masm.RunMeta, []byte, error) {
-	if len(p) < 33 {
+	if len(p) < runMetaSize {
 		return masm.RunMeta{}, nil, fmt.Errorf("wal: short run meta")
 	}
-	return masm.RunMeta{
+	rm := masm.RunMeta{
 		RunID:  int64(binary.LittleEndian.Uint64(p[0:])),
 		Off:    int64(binary.LittleEndian.Uint64(p[8:])),
 		Size:   int64(binary.LittleEndian.Uint64(p[16:])),
 		MaxTS:  int64(binary.LittleEndian.Uint64(p[24:])),
 		Passes: int(p[32]),
-	}, p[33:], nil
+		Format: binary.LittleEndian.Uint16(p[33:]),
+		CRC:    binary.LittleEndian.Uint32(p[35:]),
+	}
+	if rm.RunID < 0 || rm.Off < 0 || rm.Size < 0 {
+		return masm.RunMeta{}, nil, fmt.Errorf("wal: negative run geometry (id %d, off %d, size %d)",
+			rm.RunID, rm.Off, rm.Size)
+	}
+	return rm, p[runMetaSize:], nil
 }
 
 func encodeIDs(dst []byte, ids []int64) []byte {
@@ -165,7 +304,7 @@ func decodeIDs(p []byte) ([]int64, []byte, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(p))
 	p = p[4:]
-	if len(p) < 8*n {
+	if n < 0 || len(p) < 8*n {
 		return nil, nil, fmt.Errorf("wal: truncated id list")
 	}
 	ids := make([]int64, n)
@@ -175,14 +314,65 @@ func decodeIDs(p []byte) ([]int64, []byte, error) {
 	return ids, p[8*n:], nil
 }
 
-// LogFlush implements masm.RedoLogger.
+// LogFlush implements masm.RedoLogger. With hooks installed, the run data
+// is synced first and the record is forced: once a flush record is
+// durable, recovery drops the covered updates from the replayed buffer, so
+// the record must never be readable while the run it points at is not.
 func (l *Log) LogFlush(at sim.Time, run masm.RunMeta) (sim.Time, error) {
-	return l.append(at, KindFlush, encodeRunMeta(nil, run))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.logRunRecordLocked(at, KindFlush, encodeRunMeta(nil, run))
 }
 
-// LogMerge implements masm.RedoLogger.
+// LogMerge implements masm.RedoLogger. The same ordering as LogFlush
+// applies; additionally the consumed runs' extents may be reused by later
+// flushes, so the record must be durable before that reuse can be.
 func (l *Log) LogMerge(at sim.Time, run masm.RunMeta, consumed []int64) (sim.Time, error) {
-	return l.append(at, KindMerge, encodeIDs(encodeRunMeta(nil, run), consumed))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.logRunRecordLocked(at, KindMerge, encodeIDs(encodeRunMeta(nil, run), consumed))
+}
+
+// logRunRecordLocked appends a flush/merge record with the durable
+// ordering: run data first, then the record, forced. Caller holds l.mu.
+func (l *Log) logRunRecordLocked(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
+	if l.hooks.SyncRuns != nil {
+		if err := l.hooks.SyncRuns(); err != nil {
+			return at, fmt.Errorf("wal: sync run data before %d record: %w", kind, err)
+		}
+	}
+	t, err := l.appendLocked(at, kind, payload)
+	if err != nil {
+		return at, err
+	}
+	if l.hooks.SyncRuns != nil {
+		return l.syncLocked(t)
+	}
+	return t, nil
+}
+
+// Checkpoint appends the recovered state — the live run set, then the
+// still-buffered updates — as one batch forced with a single sync.
+// Recovery writes it into a fresh log so a second crash recovers too. The
+// per-record hook ordering (SyncRuns before each run record) is skipped on
+// purpose: checkpointed runs are already durable, that is how they
+// survived the crash, so one force at the end is the only barrier needed.
+func (l *Log) Checkpoint(at sim.Time, runs []masm.RunMeta, pending []update.Record) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := at
+	var err error
+	for _, rm := range runs {
+		if now, err = l.appendLocked(now, KindFlush, encodeRunMeta(nil, rm)); err != nil {
+			return at, err
+		}
+	}
+	for i := range pending {
+		if now, err = l.appendLocked(now, KindUpdate, update.AppendEncode(nil, &pending[i])); err != nil {
+			return at, err
+		}
+	}
+	return l.syncLocked(now)
 }
 
 // LogMigrationBegin implements masm.RedoLogger.
@@ -200,12 +390,19 @@ func (l *Log) LogMigrationBegin(at sim.Time, migTS int64, runIDs []int64) (sim.T
 	return l.syncLocked(t)
 }
 
-// LogMigrationEnd implements masm.RedoLogger.
+// LogMigrationEnd implements masm.RedoLogger. With hooks installed, the
+// migrated table (data pages and manifest) is checkpointed first: a
+// durable end record asserts the migration's effects are durable too.
 func (l *Log) LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.hooks.Checkpoint != nil {
+		if err := l.hooks.Checkpoint(); err != nil {
+			return at, fmt.Errorf("wal: checkpoint before migration end: %w", err)
+		}
+	}
 	t, err := l.appendLocked(at, KindMigrationEnd, b[:])
 	if err != nil {
 		return at, err
@@ -216,41 +413,189 @@ func (l *Log) LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error) {
 // ReadAll replays the log from vol, returning the decoded entries. Only
 // entries that reached the volume are seen — precisely the crash
 // semantics: buffered-but-unsynced tail entries are lost with the crash.
+//
+// Replay is tail-tolerant: a record whose frame runs past the volume,
+// whose length field is implausible, or whose CRC does not match is
+// treated as the torn end of the log — everything before it is returned,
+// nothing after it is trusted. The header is not tail: an all-zero header
+// region means never-written storage and replays as empty, but non-zero
+// bytes that fail the magic, checksum or version are an error — durable
+// logs write the header once, up front (Bootstrap), so a mangled header
+// is corruption of the whole log, not a torn write, and silently replaying
+// it as empty would wipe every committed update.
 func ReadAll(vol *storage.Volume, at sim.Time) ([]Entry, sim.Time, error) {
-	var entries []Entry
-	var off int64
 	now := at
-	hdr := make([]byte, 5)
-	for off+5 <= vol.Size() {
-		c, err := vol.ReadAt(now, hdr, off)
-		if err != nil {
+	if vol.Size() < headerSize {
+		return nil, now, nil
+	}
+	hdrBuf := make([]byte, headerSize)
+	c, err := vol.ReadAt(now, hdrBuf, 0)
+	if err != nil {
+		return nil, now, err
+	}
+	now = c.End
+	allZero := true
+	for _, b := range hdrBuf {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		// Fresh storage: no log here.
+		return nil, now, nil
+	}
+	if string(hdrBuf[:8]) != string(magic[:]) {
+		return nil, now, fmt.Errorf("wal: log header magic mismatch (corrupted log or not a log)")
+	}
+	if crc32.Checksum(hdrBuf[:12], castagnoli) != binary.LittleEndian.Uint32(hdrBuf[12:]) {
+		return nil, now, fmt.Errorf("wal: log header checksum mismatch (corrupted log)")
+	}
+	if v := binary.LittleEndian.Uint32(hdrBuf[8:]); v != FormatVersion {
+		return nil, now, fmt.Errorf("wal: unsupported log format version %d (this build reads %d)", v, FormatVersion)
+	}
+
+	// Replay streams the log in large sequential chunks and parses frames
+	// out of the buffered window — one pread per replayChunk rather than
+	// two per record, which is what keeps recovery of a file-backed log
+	// fast (and is also how the virtual-time model prices it).
+	const replayChunk = 1 << 20
+	var (
+		entries []Entry
+		buf     []byte // unparsed bytes; buf[0] lives at offset off
+		off     = int64(headerSize)
+	)
+	// fill grows buf to at least need bytes, stopping at the volume end.
+	fill := func(need int64) error {
+		for int64(len(buf)) < need {
+			readStart := off + int64(len(buf))
+			n := min64(replayChunk, vol.Size()-readStart)
+			if n <= 0 {
+				return nil
+			}
+			chunk := make([]byte, n)
+			c, err := vol.ReadAt(now, chunk, readStart)
+			if err != nil {
+				return err
+			}
+			now = c.End
+			buf = append(buf, chunk...)
+		}
+		return nil
+	}
+	for {
+		if err := fill(frameHeaderSize); err != nil {
 			return nil, now, err
 		}
-		now = c.End
-		kind := Kind(hdr[0])
+		if int64(len(buf)) < frameHeaderSize {
+			break // volume exhausted
+		}
+		kind := Kind(buf[0])
 		if kind == KindEnd {
 			break
 		}
-		plen := int64(binary.LittleEndian.Uint32(hdr[1:]))
-		if off+5+plen > vol.Size() {
-			break // torn tail
-		}
-		payload := make([]byte, plen)
-		if plen > 0 {
-			c, err = vol.ReadAt(now, payload, off+5)
-			if err != nil {
+		plen := int64(binary.LittleEndian.Uint32(buf[1:]))
+		wantCRC := binary.LittleEndian.Uint32(buf[5:])
+		if kind > kindMax || plen > maxPayload || off+frameHeaderSize+plen > vol.Size() {
+			if err := fill(tornBatchSpan + tornScanWindow); err != nil {
 				return nil, now, err
 			}
-			now = c.End
+			if i, ok := corruptionBeyondTornBatch(buf); ok {
+				return nil, now, fmt.Errorf("wal: corrupt record at offset %d with intact entries at offset %d: mid-log corruption, not a torn tail", off, off+int64(i))
+			}
+			break // torn tail
 		}
-		off += 5 + plen
+		if err := fill(frameHeaderSize + plen); err != nil {
+			return nil, now, err
+		}
+		payload := buf[frameHeaderSize : frameHeaderSize+plen]
+		if frameCRC(kind, payload) != wantCRC {
+			if err := fill(tornBatchSpan + tornScanWindow); err != nil {
+				return nil, now, err
+			}
+			if i, ok := corruptionBeyondTornBatch(buf); ok {
+				return nil, now, fmt.Errorf("wal: record at offset %d fails its checksum with intact entries at offset %d: mid-log corruption, not a torn tail", off, off+int64(i))
+			}
+			break // torn tail: the record never finished reaching the disk
+		}
 		e, err := decodeEntry(kind, payload)
 		if err != nil {
+			// The CRC matched, so these are the bytes we wrote; failing to
+			// decode them is a format bug, not a torn write. Surface it.
 			return nil, now, err
 		}
 		entries = append(entries, e)
+		buf = buf[frameHeaderSize+plen:]
+		off += frameHeaderSize + plen
 	}
 	return entries, now, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Torn-tail vs mid-log corruption. A bad frame has two possible causes: a
+// crash tore the final forced batch (expected; replay truncates there, and
+// only an un-acknowledged batch is lost), or committed bytes rotted in the
+// middle of the log (replay must fail — truncating would silently discard
+// updates whose Sync returned). The two are distinguished by distance: a
+// torn write is confined to one forced batch — at most the group-commit
+// buffer plus a single oversized record (~70 KB today), and the OS may
+// apply its sectors in any order, so intact frames *within* that span
+// prove nothing. An intact frame found *beyond* any possible batch span
+// cannot belong to the torn batch and is evidence of committed data past
+// the damage. The window is generous (1 MB vs ~70 KB) so a future, larger
+// record type cannot turn real crashes into false corruption reports; the
+// price is that corruption within the last window of the log is
+// indistinguishable from a torn tail and still truncates.
+const (
+	tornBatchSpan  = 1 << 20
+	tornScanWindow = 4 << 20
+)
+
+// corruptionBeyondTornBatch scans the bytes following a bad frame (buf[0]
+// is the bad frame's first byte) for an intact frame starting beyond the
+// torn-batch span, returning its offset relative to the bad frame. Random
+// bytes almost never pass the kind/length plausibility gates, so the scan
+// stays cheap; CRCs are only computed for the rare plausible candidates.
+func corruptionBeyondTornBatch(buf []byte) (int, bool) {
+	if len(buf) <= tornBatchSpan {
+		return 0, false
+	}
+	p := buf[tornBatchSpan:]
+	for i := 0; i+frameHeaderSize <= len(p); i++ {
+		kind := Kind(p[i])
+		if kind == KindEnd || kind > kindMax {
+			continue
+		}
+		plen := int64(binary.LittleEndian.Uint32(p[i+1:]))
+		if plen > maxPayload || int64(i)+frameHeaderSize+plen > int64(len(p)) {
+			continue
+		}
+		payload := p[i+frameHeaderSize : int64(i)+frameHeaderSize+plen]
+		if frameCRC(kind, payload) != binary.LittleEndian.Uint32(p[i+5:]) {
+			continue
+		}
+		if _, err := decodeEntry(kind, payload); err != nil {
+			continue
+		}
+		return tornBatchSpan + i, true
+	}
+	return 0, false
+}
+
+// Entry is one decoded log record.
+type Entry struct {
+	Kind     Kind
+	Rec      update.Record // KindUpdate
+	Run      masm.RunMeta  // KindFlush, KindMerge
+	Consumed []int64       // KindMerge
+	MigTS    int64         // KindMigrationBegin/End
+	RunIDs   []int64       // KindMigrationBegin
 }
 
 func decodeEntry(kind Kind, p []byte) (Entry, error) {

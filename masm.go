@@ -137,6 +137,9 @@ type DB struct {
 	logVol *storage.Volume
 	log    *wal.Log
 	txns   *txn.Manager
+	// fs is non-nil for file-backed databases (OpenDir): the open files,
+	// the directory identity, and the manifest writer.
+	fs *dirState
 
 	clock clock
 	// mu guards the lifecycle state (closed, sched). Operations hold the
@@ -178,9 +181,7 @@ func Open(cfg Config, keys []uint64, bodies [][]byte) (*DB, error) {
 		oracle: &core.Oracle{},
 	}
 	arena := storage.NewArena(db.hdd)
-	// Size the data volume generously: loaded data plus room for growth.
-	dataBytes := int64(len(keys))*int64(avgBody(bodies)+32)*2 + (64 << 20)
-	dataVol, err := arena.Alloc(dataBytes)
+	dataVol, err := arena.Alloc(dataBytesFor(keys, bodies))
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +228,13 @@ func coreConfig(cfg Config) core.Config {
 		ccfg.MigrateThreshold = cfg.MigrateThreshold
 	}
 	return ccfg
+}
+
+// dataBytesFor sizes the main-data volume for a bulk load generously:
+// the loaded data plus room for growth. Open and OpenDir share it so the
+// sim and file backends always lay out identical geometry.
+func dataBytesFor(keys []uint64, bodies [][]byte) int64 {
+	return int64(len(keys))*int64(avgBody(bodies)+32)*2 + (64 << 20)
 }
 
 func avgBody(bodies [][]byte) int {
@@ -542,18 +550,39 @@ func (db *DB) Stats() Stats {
 
 // Close marks the database closed and stops the background migration
 // scheduler, if one is running. Close is idempotent. In-flight operations
-// started before Close may still complete.
+// started before Close may still complete (on a file-backed database they
+// may instead fail once the files close underneath them).
+//
+// For file-backed databases (OpenDir), Close is the clean shutdown: the
+// redo log's buffered tail is forced, every file is fsynced, and the
+// descriptors are released, so the next OpenDir recovers the complete
+// state. For the abrupt variant, see HardStop.
 func (db *DB) Close() error {
 	db.mu.Lock()
+	alreadyClosed := db.closed
 	db.closed = true
 	sched := db.sched
 	db.sched = nil
+	fs := db.fs
+	now := db.clock.now()
 	db.mu.Unlock()
 	// Stop outside the lock: the scheduler goroutine takes the read lock.
 	if sched != nil {
 		sched.Stop()
 	}
-	return nil
+	if fs == nil || alreadyClosed {
+		return nil
+	}
+	var firstErr error
+	if db.log != nil {
+		if _, err := db.log.Sync(now); err != nil {
+			firstErr = err
+		}
+	}
+	if err := fs.closeFiles(true); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Crash simulates a failure: every volatile structure (the in-memory
@@ -562,7 +591,22 @@ func (db *DB) Close() error {
 // (paper §3.6). The original DB becomes unusable; the caller must ensure
 // no operations are in flight (as with a real crash, concurrent work is
 // torn off mid-step).
+//
+// On a file-backed database (OpenDir) the crash is real: the files are
+// abandoned without any sync (HardStop) and the returned DB is a fresh
+// OpenDir recovery of the same directory.
 func (db *DB) Crash() (*DB, error) {
+	db.mu.RLock()
+	fs := db.fs
+	db.mu.RUnlock()
+	if fs != nil {
+		if err := db.HardStop(); err != nil {
+			return nil, err
+		}
+		opts := fs.opts
+		opts.Keys, opts.Bodies = nil, nil
+		return OpenDir(fs.dir, opts)
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
