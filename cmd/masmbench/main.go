@@ -9,6 +9,7 @@
 //	masmbench -exp fig12 -table 128MB -cache 8MB
 //	masmbench -shardbench -nodes 4 -rows 200000
 //	masmbench -durabench -backend file -rows 200000
+//	masmbench -mergebench -json BENCH_3.json
 //
 // The paper experiments always run on the simulated in-memory backend —
 // their figures are virtual-time measurements and do not depend on the
@@ -48,6 +49,9 @@ func main() {
 		duraBnc  = flag.Bool("durabench", false, "run the durable-backend wall-clock benchmark instead of a paper experiment")
 		backend  = flag.String("backend", "file", "durabench: storage backend (sim or file)")
 		dir      = flag.String("dir", "", "durabench: database directory for the file backend (default: a fresh temp dir)")
+		mergeBnc = flag.Bool("mergebench", false, "run the merge-engine wall-clock microbenchmark (heap vs loser tree) instead of a paper experiment")
+		mergeRec = flag.Int("mergerecords", 1<<20, "mergebench: records per measurement")
+		jsonOut  = flag.String("json", "BENCH_3.json", "mergebench: machine-readable output path (empty to skip)")
 	)
 	flag.Parse()
 
@@ -66,6 +70,13 @@ func main() {
 	}
 	if *duraBnc {
 		if err := duraBench(*backend, *dir, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mergeBnc {
+		if _, err := bench.MergeBench(os.Stdout, *jsonOut, *seed, *mergeRec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

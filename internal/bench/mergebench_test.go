@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMergeBenchSmoke runs the merge microbenchmark at a tiny scale: it
+// must produce a result per (k, dist) pair, byte-identical engine outputs
+// (enforced internally via checksums), and valid JSON.
+func TestMergeBenchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	path := filepath.Join(t.TempDir(), "BENCH_3.json")
+	rep, err := MergeBench(&buf, path, 1, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2*len(mergeBenchKs) {
+		t.Fatalf("got %d results, want %d", len(rep.Results), 2*len(mergeBenchKs))
+	}
+	for _, r := range rep.Results {
+		if r.Records <= 0 || r.HeapNsPerRec <= 0 || r.LoserNsPerRec <= 0 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MergeBenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("BENCH_3.json does not round-trip: %v", err)
+	}
+	if back.Bench != "mergebench" || len(back.Results) != len(rep.Results) {
+		t.Fatalf("report round-trip mismatch: %+v", back)
+	}
+}

@@ -1,0 +1,119 @@
+package extsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"masm/internal/update"
+)
+
+// benchRuns builds k sorted runs of per records with uniform random keys.
+func benchRuns(k, per int) [][]update.Record {
+	rng := rand.New(rand.NewSource(7))
+	runs := make([][]update.Record, k)
+	ts := int64(1)
+	for i := range runs {
+		recs := make([]update.Record, per)
+		for j := range recs {
+			recs[j] = update.Record{TS: ts, Key: rng.Uint64() >> 1, Op: update.Delete}
+			ts++
+		}
+		sort.Slice(recs, func(a, b int) bool { return update.Less(&recs[a], &recs[b]) })
+		runs[i] = recs
+	}
+	return runs
+}
+
+func benchMerge(b *testing.B, k int, loser, batched bool) {
+	const per = 4096
+	runs := benchRuns(k, per)
+	total := k * per
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		if loser {
+			m, err := NewMerger(sliceIters(runs)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batched {
+				dst := make([]update.Record, 256)
+				for {
+					c, err := m.NextBatch(dst)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if c == 0 {
+						break
+					}
+					n += c
+				}
+			} else {
+				for {
+					_, ok, err := m.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+					n++
+				}
+			}
+		} else {
+			m, err := NewReferenceMerger(sliceIters(runs)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				_, ok, err := m.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				n++
+			}
+		}
+		if n != total {
+			b.Fatalf("merged %d records, want %d", n, total)
+		}
+	}
+	b.SetBytes(int64(total) * 17) // minimal wire size per record
+}
+
+func BenchmarkReferenceMergerK8(b *testing.B)  { benchMerge(b, 8, false, false) }
+func BenchmarkReferenceMergerK64(b *testing.B) { benchMerge(b, 64, false, false) }
+func BenchmarkMergerNextK8(b *testing.B)       { benchMerge(b, 8, true, false) }
+func BenchmarkMergerNextK64(b *testing.B)      { benchMerge(b, 64, true, false) }
+func BenchmarkMergerBatchK8(b *testing.B)      { benchMerge(b, 8, true, true) }
+func BenchmarkMergerBatchK64(b *testing.B)     { benchMerge(b, 64, true, true) }
+func BenchmarkMergerBatchK256(b *testing.B)    { benchMerge(b, 256, true, true) }
+
+// BenchmarkCombinerBatch measures the Combiner stacked on the loser tree,
+// the exact Merge_updates configuration of run merging.
+func BenchmarkCombinerBatch(b *testing.B) {
+	runs := benchRuns(8, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMerger(sliceIters(runs)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := NewCombiner(m, MergeAll)
+		dst := make([]update.Record, 256)
+		for {
+			n, err := c.NextBatch(dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package extsort
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"masm/internal/update"
+)
+
+// genRuns builds k individually (key, ts)-sorted runs exercising the
+// paths the differential suite cares about: duplicate keys within a run,
+// equal (key, ts) pairs across sources, empty runs, and single-record
+// runs. Payload and op vary so byte-level comparison is meaningful.
+func genRuns(rng *rand.Rand, k int) [][]update.Record {
+	runs := make([][]update.Record, k)
+	ops := []update.Op{update.Insert, update.Delete, update.Modify, update.Replace}
+	for i := range runs {
+		var n int
+		switch rng.Intn(5) {
+		case 0:
+			n = 0 // empty run
+		case 1:
+			n = 1 // single-record run
+		default:
+			n = rng.Intn(60)
+		}
+		recs := make([]update.Record, n)
+		for j := range recs {
+			op := ops[rng.Intn(len(ops))]
+			var payload []byte
+			if op != update.Delete && rng.Intn(3) > 0 {
+				payload = make([]byte, rng.Intn(8))
+				rng.Read(payload)
+			}
+			recs[j] = update.Record{
+				// Small domains force duplicate keys and equal (key, ts)
+				// pairs across sources.
+				TS:      int64(rng.Intn(8)),
+				Key:     uint64(rng.Intn(16)),
+				Op:      op,
+				Payload: payload,
+			}
+		}
+		sort.SliceStable(recs, func(a, b int) bool { return update.Less(&recs[a], &recs[b]) })
+		runs[i] = recs
+	}
+	return runs
+}
+
+func sliceIters(runs [][]update.Record) []update.Iterator {
+	its := make([]update.Iterator, len(runs))
+	for i, r := range runs {
+		its[i] = update.NewSliceIterator(r)
+	}
+	return its
+}
+
+// encodeStream renders records in wire form so "byte-identical including
+// tie-break order" is literal.
+func encodeStream(recs []update.Record) []byte {
+	var out []byte
+	for i := range recs {
+		out = update.AppendEncode(out, &recs[i])
+	}
+	return out
+}
+
+func drainRef(t *testing.T, runs [][]update.Record) []update.Record {
+	t.Helper()
+	m, err := NewReferenceMerger(sliceIters(runs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []update.Record
+	for {
+		r, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// TestMergerDifferential cross-checks the loser tree against the retained
+// reference heap merger on random inputs: random iterator counts,
+// duplicate keys, equal (key, ts) pairs across sources, empty and
+// single-record runs. Outputs must be byte-identical, which pins the
+// (key, ts, source) tie-break order the simulation depends on.
+func TestMergerDifferential(t *testing.T) {
+	for trial := 0; trial < 500; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		k := rng.Intn(13) // 0..12 sources
+		runs := genRuns(rng, k)
+		want := drainRef(t, runs)
+
+		m, err := NewMerger(sliceIters(runs)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(t, m)
+
+		if !bytes.Equal(encodeStream(got), encodeStream(want)) {
+			t.Fatalf("trial %d (k=%d): loser tree diverges from reference: got %d recs, want %d",
+				trial, k, len(got), len(want))
+		}
+	}
+}
+
+// TestMergerDifferentialBatch runs the same cross-check through NextBatch
+// with awkward destination sizes, so batch boundaries cannot change the
+// stream.
+func TestMergerDifferentialBatch(t *testing.T) {
+	for _, batch := range []int{1, 2, 3, 7, 64, 256, 1000} {
+		for trial := 0; trial < 100; trial++ {
+			rng := rand.New(rand.NewSource(int64(1000*batch + trial)))
+			k := rng.Intn(13)
+			runs := genRuns(rng, k)
+			want := drainRef(t, runs)
+
+			m, err := NewMerger(sliceIters(runs)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []update.Record
+			dst := make([]update.Record, batch)
+			for {
+				n, err := m.NextBatch(dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+				got = append(got, dst[:n]...)
+			}
+			if !bytes.Equal(encodeStream(got), encodeStream(want)) {
+				t.Fatalf("batch=%d trial %d (k=%d): NextBatch diverges from reference",
+					batch, trial, k)
+			}
+		}
+	}
+}
+
+// TestMergerSameKeyTSAcrossSources pins the tie-break explicitly: equal
+// (key, ts) in different sources must come out in source order.
+func TestMergerSameKeyTSAcrossSources(t *testing.T) {
+	a := update.Record{TS: 5, Key: 7, Op: update.Insert, Payload: []byte("src0")}
+	b := update.Record{TS: 5, Key: 7, Op: update.Insert, Payload: []byte("src1")}
+	c := update.Record{TS: 5, Key: 7, Op: update.Insert, Payload: []byte("src2")}
+	m, err := NewMerger(iterOf(a), iterOf(b), iterOf(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := collect(t, m)
+	if len(out) != 3 {
+		t.Fatalf("got %d records, want 3", len(out))
+	}
+	for i, want := range []string{"src0", "src1", "src2"} {
+		if string(out[i].Payload) != want {
+			t.Fatalf("tie-break order broken at %d: got %q want %q", i, out[i].Payload, want)
+		}
+	}
+}
+
+// TestCombinerDifferentialBatch checks Combiner.NextBatch against
+// Combiner.Next on random merged streams under each policy.
+func TestCombinerDifferentialBatch(t *testing.T) {
+	policies := map[string]MergePolicy{
+		"all":  MergeAll,
+		"none": MergeNone,
+		"odd":  func(older, newer int64) bool { return older%2 == 1 },
+	}
+	for name, pol := range policies {
+		for _, batch := range []int{1, 3, 17, 256} {
+			for trial := 0; trial < 50; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)))
+				runs := genRuns(rng, rng.Intn(6))
+
+				mRef, err := NewMerger(sliceIters(runs)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := collect(t, NewCombiner(mRef, pol))
+
+				mBat, err := NewMerger(sliceIters(runs)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb := NewCombiner(mBat, pol)
+				var got []update.Record
+				dst := make([]update.Record, batch)
+				for {
+					n, err := cb.NextBatch(dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n == 0 {
+						break
+					}
+					got = append(got, dst[:n]...)
+				}
+				if !bytes.Equal(encodeStream(got), encodeStream(want)) {
+					t.Fatalf("policy=%s batch=%d trial %d: Combiner.NextBatch diverges from Next",
+						name, batch, trial)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package extsort
+
+import (
+	"container/heap"
+
+	"masm/internal/update"
+)
+
+// ReferenceMerger is the original container/heap k-way merger, retained
+// verbatim as the differential-testing oracle and the benchmark baseline
+// for the loser-tree Merger. It produces the exact (key, ts, source)
+// order the rest of the system depends on, one record at a time, paying
+// an interface call and an `any` boxing per heap operation — which is why
+// it is no longer on the hot path.
+type ReferenceMerger struct {
+	h   refHeap
+	err error
+}
+
+type refItem struct {
+	rec update.Record
+	src int
+}
+
+type refHeap struct {
+	items []refItem
+	// src breaks ties deterministically by source index so merging is
+	// stable across runs of the simulation.
+	its []update.Iterator
+}
+
+func (h *refHeap) Len() int { return len(h.items) }
+func (h *refHeap) Less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.rec.Key != b.rec.Key {
+		return a.rec.Key < b.rec.Key
+	}
+	if a.rec.TS != b.rec.TS {
+		return a.rec.TS < b.rec.TS
+	}
+	return a.src < b.src
+}
+func (h *refHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *refHeap) Push(x any)    { h.items = append(h.items, x.(refItem)) }
+func (h *refHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// NewReferenceMerger builds the heap-based merger over the given
+// iterators. Iterators are pulled lazily; an empty iterator contributes
+// nothing.
+func NewReferenceMerger(its ...update.Iterator) (*ReferenceMerger, error) {
+	m := &ReferenceMerger{}
+	m.h.its = its
+	for i, it := range its {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.h.items = append(m.h.items, refItem{rec: rec, src: i})
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// Next returns the next record in (key, ts) order.
+func (m *ReferenceMerger) Next() (update.Record, bool, error) {
+	if m.err != nil {
+		return update.Record{}, false, m.err
+	}
+	if m.h.Len() == 0 {
+		return update.Record{}, false, nil
+	}
+	top := m.h.items[0]
+	rec, ok, err := m.h.its[top.src].Next()
+	if err != nil {
+		m.err = err
+		return update.Record{}, false, err
+	}
+	if ok {
+		m.h.items[0] = refItem{rec: rec, src: top.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.rec, true, nil
+}

@@ -128,6 +128,81 @@ func TestScanSurvivesFlushThenMergeOfFlushRun(t *testing.T) {
 	}
 }
 
+// TestScanSurvivesFlushBeyondMergeBatch reproduces the batched-merge
+// regression: with more pre-query memtable records than one merge-source
+// batch (128), the merger buffers only the first batch before the flush
+// lands; at the refill the Mem_scan reports the flush ONCE (it latches
+// done), and the iterator must act on that one-shot signal immediately.
+// An earlier version consumed the signal, re-polled the drained scan, saw
+// a clean end of stream, and silently dropped every record past the first
+// batch.
+func TestScanSurvivesFlushBeyondMergeBatch(t *testing.T) {
+	cfg := DefaultConfig(1 << 20)
+	cfg.SSDPage = 4 << 10
+	cfg.Run.IOSize = 16 << 10
+	cfg.Run.IndexGranularity = 4 << 10
+	cfg.ScanGranularity = 4 << 10
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hdd := sim.NewDevice(sim.Barracuda7200())
+	ssd := sim.NewDevice(sim.IntelX25E())
+	dataVol, err := storage.NewVolume(hdd, 0, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := table.Load(dataVol, table.DefaultConfig(), []uint64{10}, [][]byte{[]byte("base")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssdVol, err := storage.NewVolume(ssd, 0, cfg.SSDCapacity*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(cfg, tbl, ssdVol, &Oracle{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Far more markers than one merge batch, all committed before the
+	// query starts and small enough that query setup does not flush.
+	const markers = 300
+	var now sim.Time
+	for i := 0; i < markers; i++ {
+		now, err = s.ApplyAuto(now, update.Record{
+			Key: uint64(100 + i), Op: update.Insert, Payload: []byte("marker-row"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := s.NewQuery(now, 0, ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flush lands while the query holds only its first merge batch.
+	if now, err = s.Flush(now); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		row, ok, err := q.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if string(row.Body) == "marker-row" {
+			got++
+		}
+	}
+	q.Close()
+	if got != markers {
+		t.Fatalf("scan interrupted by a flush delivered %d of %d markers", got, markers)
+	}
+}
+
 // TestFailedFlushRestoresBufferAndScans: when the SSD extent allocator is
 // exhausted (migration held off), a failed flush must not lose the
 // acknowledged records it had already drained — they return to the

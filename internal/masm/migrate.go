@@ -206,7 +206,10 @@ func (s *Store) migrateRuns(at sim.Time, migTS int64, runsR []*runfile.Run, pend
 		iters = append(iters, sc)
 	}
 	if len(pending) > 0 {
-		iters = append(iters, &sliceIter{recs: pending})
+		// The memory-resident leg of an exhausted-cache migration; the
+		// slice iterator batches natively, so the merge consumes it at
+		// full speed alongside the run scanners.
+		iters = append(iters, update.NewSliceIterator(pending))
 	}
 	merger, err := extsort.NewMerger(iters...)
 	if err != nil {
@@ -220,22 +223,6 @@ func (s *Store) migrateRuns(at sim.Time, migTS int64, runsR []*runfile.Run, pend
 		end = sim.MaxTime(end, sc.Time())
 	}
 	return end, &MigrateReport{MigTS: migTS, RunsMigrated: len(runsR), ApplyResult: res}, nil
-}
-
-// sliceIter iterates an in-memory, (key, ts)-sorted record slice — the
-// memory-resident leg of an exhausted-cache migration.
-type sliceIter struct {
-	recs []update.Record
-	i    int
-}
-
-func (it *sliceIter) Next() (update.Record, bool, error) {
-	if it.i >= len(it.recs) {
-		return update.Record{}, false, nil
-	}
-	r := it.recs[it.i]
-	it.i++
-	return r, true, nil
 }
 
 // MigratePortion performs one step of incremental migration (paper §3.5,

@@ -30,7 +30,7 @@ type Query struct {
 	data     *table.Scanner
 	runScans []*runfile.Scanner
 	mem      *memScanIter
-	upd      update.Iterator
+	upd      *update.BatchReader
 
 	// CPUPerRecord injects per-output-record CPU cost, modelling complex
 	// query processing above the scan (paper Fig 13).
@@ -41,11 +41,13 @@ type Query struct {
 	pinnedRuns  []int64
 	pinnedPages int
 	dataPend    pendingRow
-	pending     *update.Record
-	updDone     bool
 	closed      bool
 	err         error
 }
+
+// updateBatch is the number of merged update records the query pulls from
+// Merge_updates per refill.
+const updateBatch = 256
 
 // NewQuery performs the table-range-scan setup of Fig 8 and returns the
 // operator tree. It assigns the query a fresh timestamp, flushes the
@@ -142,7 +144,7 @@ func (s *Store) newQueryLocked(at sim.Time, begin, end uint64, qts int64) (*Quer
 		}
 		return nil, err
 	}
-	q.upd = merger
+	q.upd = update.NewBatchReader(merger, updateBatch)
 
 	q.pinnedPages = len(q.runScans) + 1
 	s.activeQueries[q] = qts
@@ -313,27 +315,15 @@ func (q *Query) peekData() (table.Row, bool) {
 
 func (q *Query) consumeData() { q.dataPend.valid = false }
 
-// peekUpd/consumeUpd implement one-record lookahead over Merge_updates.
+// peekUpd/consumeUpd implement lookahead over Merge_updates through a
+// BatchReader window. A batched refill only accelerates the consumer
+// side: the merger's sources still perform device reads at the same
+// points in the merged stream, so simulated times are unchanged.
 func (q *Query) peekUpd() (update.Record, bool, error) {
-	if q.pending != nil {
-		return *q.pending, true, nil
-	}
-	if q.updDone {
-		return update.Record{}, false, nil
-	}
-	rec, ok, err := q.upd.Next()
-	if err != nil {
-		return update.Record{}, false, err
-	}
-	if !ok {
-		q.updDone = true
-		return update.Record{}, false, nil
-	}
-	q.pending = &rec
-	return rec, true, nil
+	return q.upd.Peek()
 }
 
-func (q *Query) consumeUpd() { q.pending = nil }
+func (q *Query) consumeUpd() { q.upd.Consume() }
 
 // memScanIter wraps a Mem_scan and, when the buffer is flushed underneath
 // it, replaces itself with a Run_scan over the run the flush produced,
@@ -347,30 +337,90 @@ type memScanIter struct {
 	at       sim.Time
 	maxRunID int64 // newest run that existed when the query started
 	epoch0   int64 // memtable flush epoch when the query started
+
+	// carry holds the first record surviving a failed-flush resume, found
+	// while skipping the re-opened scan past the delivery frontier.
+	carry      update.Record
+	carryValid bool
+	one        [1]update.Record // scratch for Next delegating to NextBatch
+}
+
+// NextBatch implements update.BatchIterator: the fast path while the
+// memtable scan (or its replacement Run_scan) is undisturbed. A detected
+// flush is resolved by resolveFlush — the flushed signal is one-shot (the
+// Mem_scan latches done when it reports it), so the resolution must
+// happen here, before any further poll of the drained scan.
+func (m *memScanIter) NextBatch(dst []update.Record) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	for {
+		if m.carryValid {
+			// A failed-flush resolution buffered the first resumed record.
+			m.carryValid = false
+			dst[0] = m.carry
+			if len(dst) == 1 {
+				return 1, nil
+			}
+			n, err := m.NextBatch(dst[1:])
+			return 1 + n, err
+		}
+		if m.rs != nil {
+			n, err := m.rs.NextBatch(dst)
+			m.at = sim.MaxTime(m.at, m.rs.Time())
+			return n, err
+		}
+		n, flushed := m.ms.NextBatch(dst)
+		if n > 0 || !flushed {
+			return n, nil
+		}
+		if err := m.resolveFlush(); err != nil {
+			return 0, err
+		}
+		// Loop: read from the replacement source (m.rs, the re-opened
+		// m.ms, or the carried record).
+	}
 }
 
 // Next implements update.Iterator.
 func (m *memScanIter) Next() (update.Record, bool, error) {
-	if m.rs != nil {
-		rec, ok, err := m.rs.Next()
-		m.at = sim.MaxTime(m.at, m.rs.Time())
-		return rec, ok, err
+	n, err := m.NextBatch(m.one[:])
+	if err != nil || n == 0 {
+		return update.Record{}, false, err
 	}
-	rec, ok, flushed := m.ms.Next()
-	if !flushed {
-		return rec, ok, nil
-	}
-	// The buffer was drained into a new run. The first post-snapshot
-	// flush drained every record this scan had not yet returned (all its
-	// visible records were in the buffer at query start), so the exact
-	// replacement is the run recorded for the first flush epoch after the
-	// query's — chased through any merges that have since absorbed it.
-	// An ID-ordering heuristic is not enough: concurrent query-setup
-	// merges mint fresh IDs interleaved with flushes, and latching onto a
-	// merge product that excludes the flush run would silently drop
-	// committed-before-scan records. The run is pinned in the same latch
-	// hold that finds it — otherwise a concurrent merge could consume it
-	// and free its extent before this scan opens it.
+	return m.one[0], true, nil
+}
+
+// resolveFlush replaces a drained Mem_scan with its successor source.
+//
+// The buffer was drained into a new run. The first post-snapshot
+// flush drained every record this scan had not yet returned (all its
+// visible records were in the buffer at query start), so the exact
+// replacement is the run recorded for the first flush epoch after the
+// query's — chased through any merges that have since absorbed it.
+// An ID-ordering heuristic is not enough: concurrent query-setup
+// merges mint fresh IDs interleaved with flushes, and latching onto a
+// merge product that excludes the flush run would silently drop
+// committed-before-scan records. The run is pinned in the same latch
+// hold that finds it — otherwise a concurrent merge could consume it
+// and free its extent before this scan opens it.
+//
+// On return the iterator reads from m.rs (the replacement Run_scan,
+// positioned after the last returned record), or from a re-opened m.ms
+// when the flush failed and restored its records, with the first record
+// past the resume point parked in m.carry.
+func (m *memScanIter) resolveFlush() error {
+	// The resume bound is the last record this iterator DELIVERED, taken
+	// from the scan that just reported the flush. It must be pinned here:
+	// if a second flush lands while the fallback below skips a re-opened
+	// scan forward, that scan's own Resume() points at the skip position,
+	// not at the delivery frontier, and resuming from it would replay
+	// already-delivered records.
+	lastKey, lastTS, started := m.ms.Resume()
+	return m.resolveFlushFrom(lastKey, lastTS, started)
+}
+
+func (m *memScanIter) resolveFlushFrom(lastKey uint64, lastTS int64, started bool) error {
 	s := m.q.s
 	s.mu.Lock()
 	var target *runfile.Run
@@ -408,23 +458,25 @@ func (m *memScanIter) Next() (update.Record, bool, error) {
 		// records to the buffer (a successful flush always registers its
 		// run, and migration cannot delete runs while this reader is
 		// open). Re-open the memtable scan and resume past the last
-		// returned record.
-		lastKey, lastTS, started := m.ms.Resume()
+		// delivered record, parking the first surviving record in m.carry.
 		m.ms = s.buf.Scan(m.q.begin, m.q.end, m.q.ts)
 		s.mu.Unlock()
 		for started {
 			rec, ok, fl := m.ms.Next()
 			if fl {
-				return m.Next() // flushed again underneath; resolve again
+				// Flushed again underneath; resolve again against the
+				// original delivery frontier.
+				return m.resolveFlushFrom(lastKey, lastTS, started)
 			}
 			if !ok {
-				return update.Record{}, false, nil
+				return nil // exhausted; the done scan reports end of stream
 			}
 			if rec.Key > lastKey || (rec.Key == lastKey && rec.TS > lastTS) {
-				return rec, true, nil
+				m.carry, m.carryValid = rec, true
+				return nil
 			}
 		}
-		return m.Next()
+		return nil // nothing delivered before the flush: fresh scan is exact
 	}
 	s.pins[target.ID]++
 	m.q.pinnedRuns = append(m.q.pinnedRuns, target.ID)
@@ -437,8 +489,8 @@ func (m *memScanIter) Next() (update.Record, bool, error) {
 	// Pinned: the extent stays allocated even if a merge retires the run
 	// (it is parked in the dead set until the pin drains).
 	m.rs = target.Scan(m.at, m.q.begin, m.q.end, m.q.ts, gran)
-	if key, ts, started := m.ms.Resume(); started {
-		m.rs.SkipTo(key, ts)
+	if started {
+		m.rs.SkipTo(lastKey, lastTS)
 	}
-	return m.Next()
+	return nil
 }

@@ -525,6 +525,14 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 		return at, err
 	}
 	combined := extsort.NewCombiner(merger, s.mergePolicyLocked())
+	// The consumption below is deliberately record-at-a-time
+	// (Combiner.Next, which pulls its source one record at a time): the
+	// source run scanners READ and the output writer WRITES the same SSD
+	// timeline, and the simulated device services requests in submission
+	// order. Batched consumer lookahead would hoist scanner reads ahead
+	// of interleaved writer chunks and shift every virtual timestamp
+	// downstream. The merge is still loser-tree-fast; only the consumer's
+	// pull granularity stays at one record.
 
 	extSize := roundUp(totalSize, int64(s.cfg.SSDPage))
 	off, err := s.alloc.alloc(extSize)

@@ -1,0 +1,99 @@
+package memtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"masm/internal/update"
+)
+
+func fillBuffer(t *testing.T, b *Buffer, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		ok := b.Append(update.Record{
+			TS:  int64(i + 1),
+			Key: uint64(rng.Intn(200)),
+			Op:  update.Delete,
+		})
+		if !ok {
+			t.Fatal("buffer full during setup")
+		}
+	}
+}
+
+// TestScanNextBatchMatchesNext cross-checks batch and record-at-a-time
+// Mem_scans over the same buffer for every awkward dst capacity.
+func TestScanNextBatchMatchesNext(t *testing.T) {
+	b := New(1 << 20)
+	fillBuffer(t, b, 3000, 11)
+
+	var want []update.Record
+	ref := b.Scan(20, 180, 2500)
+	for {
+		rec, ok, flushed := ref.Next()
+		if flushed {
+			t.Fatal("unexpected flush")
+		}
+		if !ok {
+			break
+		}
+		want = append(want, rec)
+	}
+
+	for _, capN := range []int{1, 2, 3, 7, 256} {
+		sc := b.Scan(20, 180, 2500)
+		dst := make([]update.Record, capN)
+		var got []update.Record
+		for {
+			n, flushed := sc.NextBatch(dst)
+			if flushed {
+				t.Fatal("unexpected flush")
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, dst[:n]...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cap=%d: %d records, want %d", capN, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key || got[i].TS != want[i].TS || got[i].Op != want[i].Op {
+				t.Fatalf("cap=%d: record %d = %+v, want %+v", capN, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScanNextBatchFlushAtBatchBoundary pins the contract that a flush is
+// only reported at a batch boundary: records copied out before the drain
+// are delivered, the drain is reported on the following call, and Resume
+// points after the last delivered record.
+func TestScanNextBatchFlushAtBatchBoundary(t *testing.T) {
+	b := New(1 << 20)
+	fillBuffer(t, b, 500, 7)
+	sc := b.Scan(0, ^uint64(0), 1000)
+
+	dst := make([]update.Record, 64)
+	n, flushed := sc.NextBatch(dst)
+	if flushed || n != 64 {
+		t.Fatalf("first batch: n=%d flushed=%v", n, flushed)
+	}
+	last := dst[n-1]
+
+	b.Drain(MaxDrain)
+
+	n2, flushed2 := sc.NextBatch(dst)
+	if n2 != 0 || !flushed2 {
+		t.Fatalf("post-drain batch: n=%d flushed=%v, want 0/true", n2, flushed2)
+	}
+	key, ts, started := sc.Resume()
+	if !started || key != last.Key || ts != last.TS {
+		t.Fatalf("Resume() = (%d, %d, %v), want (%d, %d, true)", key, ts, started, last.Key, last.TS)
+	}
+	// A finished scan stays finished.
+	if n3, f3 := sc.NextBatch(dst); n3 != 0 || f3 {
+		t.Fatalf("scan revived after flush: n=%d flushed=%v", n3, f3)
+	}
+}

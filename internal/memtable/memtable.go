@@ -208,6 +208,8 @@ type Scan struct {
 	lastTS     int64
 	started    bool
 	done       bool
+
+	one [1]update.Record // scratch for Next delegating to NextBatch
 }
 
 // Next returns the next visible update record in key order. flushed=true
@@ -217,8 +219,22 @@ type Scan struct {
 // after the last returned record (paper §3.2, "Online Updates and Range
 // Scan").
 func (s *Scan) Next() (rec update.Record, ok bool, flushed bool) {
-	if s.done {
-		return update.Record{}, false, false
+	n, flushed := s.NextBatch(s.one[:])
+	if n == 0 {
+		return update.Record{}, false, flushed
+	}
+	return s.one[0], true, false
+}
+
+// NextBatch fills dst with the next visible records under a single latch
+// acquisition and returns how many it wrote. n == 0 with flushed == true
+// reports the buffer was drained since the scan began (see Next); n == 0
+// with flushed == false is end of scan. A flush is only ever reported at
+// a batch boundary: records copied out before the flush was detected are
+// delivered first, and the replacement Run_scan resumes after them.
+func (s *Scan) NextBatch(dst []update.Record) (n int, flushed bool) {
+	if s.done || len(dst) == 0 {
+		return 0, false
 	}
 	s.b.mu.Lock()
 	defer s.b.mu.Unlock()
@@ -227,7 +243,7 @@ func (s *Scan) Next() (rec update.Record, ok bool, flushed bool) {
 		// Buffer was flushed underneath us. Signal the caller to switch
 		// to the new run; this scan is finished.
 		s.done = true
-		return update.Record{}, false, true
+		return 0, true
 	}
 	if s.sortEpoch != s.b.sortEpoch {
 		// Re-sorted (another query arrived): re-locate our position by
@@ -240,11 +256,12 @@ func (s *Scan) Next() (rec update.Record, ok bool, flushed bool) {
 		s.sortEpoch = s.b.sortEpoch
 	}
 	recs := s.b.recs[:s.b.sorted]
-	for s.pos < len(recs) {
+	for s.pos < len(recs) && n < len(dst) {
 		r := recs[s.pos]
 		s.pos++
 		if r.Key > s.end {
-			break
+			s.done = true
+			return n, false
 		}
 		// Records committed at or after the query's timestamp are
 		// invisible (paper: "a query can only see earlier updates with
@@ -257,10 +274,13 @@ func (s *Scan) Next() (rec update.Record, ok bool, flushed bool) {
 		}
 		s.lastKey, s.lastTS = r.Key, r.TS
 		s.started = true
-		return r, true, false
+		dst[n] = r
+		n++
 	}
-	s.done = true
-	return update.Record{}, false, false
+	if n == 0 {
+		s.done = true
+	}
+	return n, false
 }
 
 // Resume reports the position after the last returned record, for the

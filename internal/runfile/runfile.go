@@ -224,6 +224,13 @@ func WriteRun(vol *storage.Volume, off int64, at sim.Time, id int64,
 // scanBounds uses the run index, subsampled to effective granularity
 // gran, to bound the byte range that can contain keys in [begin, end].
 func (r *Run) scanBounds(begin, end uint64, gran int) (int64, int64) {
+	// An inverted range selects nothing. Without this guard an inverted
+	// range overlapping the run's key span produced an inverted byte
+	// window (start past limit): harmless for Scanner, which stops at
+	// off >= limit, but ReadCost reported negative bytes.
+	if begin > end {
+		return 0, 0
+	}
 	if r.Count == 0 || begin > r.MaxKey || end < r.MinKey {
 		return 0, 0
 	}
@@ -256,6 +263,13 @@ func (r *Run) scanBounds(begin, end uint64, gran int) (int64, int64) {
 // Scanner is a Run_scan operator (paper §3.2): it iterates the records of
 // one run that fall in [begin, end] with timestamps below the query's,
 // reading only the SSD pages the run index selects.
+//
+// Scanner implements update.BatchIterator: NextBatch decodes a batch of
+// visible records per call — up to a granule's worth, bounded by the
+// destination capacity — instead of one. Reads stay refill-on-demand: a
+// device request is issued only when a call finds no complete record
+// buffered, so the sequence of simulated I/Os is identical whether the
+// scanner is consumed record-at-a-time or in batches.
 type Scanner struct {
 	r          *Run
 	begin, end uint64
@@ -272,6 +286,8 @@ type Scanner struct {
 	skipKey   uint64
 	skipTS    int64
 	skipValid bool
+
+	one [1]update.Record // scratch for Next delegating to NextBatch
 }
 
 // Scan creates a scanner over [begin, end] for a query at queryTS, using
@@ -328,12 +344,29 @@ func (s *Scanner) ioSize() int64 {
 
 // Next returns the next visible record.
 func (s *Scanner) Next() (update.Record, bool, error) {
-	if s.done || s.err != nil {
-		return update.Record{}, false, s.err
+	n, err := s.NextBatch(s.one[:])
+	if err != nil {
+		return update.Record{}, false, err
 	}
+	if n == 0 {
+		return update.Record{}, false, nil
+	}
+	return s.one[0], true, nil
+}
+
+// NextBatch fills dst with the next visible records and returns how many
+// it wrote; 0 with a nil error means the scan is finished. It decodes from
+// the carry buffer first and issues a device read only when no complete
+// record is buffered and none has been produced yet, so batch consumption
+// leaves the simulated I/O sequence untouched.
+func (s *Scanner) NextBatch(dst []update.Record) (int, error) {
+	if s.done || s.err != nil || len(dst) == 0 {
+		return 0, s.err
+	}
+	out := 0
 	for {
 		// Decode whatever is buffered first.
-		for len(s.buf) > 0 {
+		for len(s.buf) > 0 && out < len(dst) {
 			rec, n, err := update.Decode(s.buf)
 			if err != nil {
 				// Partial record at buffer end: need more bytes.
@@ -342,7 +375,7 @@ func (s *Scanner) Next() (update.Record, bool, error) {
 			s.buf = s.buf[n:]
 			if rec.Key > s.end {
 				s.done = true
-				return update.Record{}, false, nil
+				return out, nil
 			}
 			if rec.Key < s.begin || rec.TS >= s.queryTS {
 				continue
@@ -354,32 +387,56 @@ func (s *Scanner) Next() (update.Record, bool, error) {
 					continue // at or before resume point
 				}
 			}
-			return rec, true, nil
+			dst[out] = rec
+			out++
+		}
+		if out > 0 {
+			// Something to deliver: return rather than read ahead, so the
+			// refill points match record-at-a-time consumption exactly.
+			return out, nil
 		}
 		if s.off >= s.limit {
 			if len(s.buf) > 0 {
 				// Index entries are record-aligned, so a partial record
 				// at the window end means corruption, not truncation.
 				s.err = fmt.Errorf("runfile: run %d: %d undecodable bytes at scan end", s.r.ID, len(s.buf))
-				return update.Record{}, false, s.err
+				return 0, s.err
 			}
 			s.done = true
-			return update.Record{}, false, nil
+			return 0, nil
 		}
 		n := s.ioSize()
 		if s.off+n > s.limit {
 			n = s.limit - s.off
 		}
-		chunk := make([]byte, n)
-		c, err := s.r.vol.ReadAt(s.now, chunk, s.r.Off+s.off)
-		if err != nil {
-			s.err = err
-			return update.Record{}, false, err
+		if err := s.fill(int(n)); err != nil {
+			return 0, err
 		}
-		s.now = c.End
-		s.off += n
-		s.buf = append(s.buf, chunk...)
 	}
+}
+
+// fill reads the next n bytes of the indexed window into the tail of the
+// carry buffer. Earlier decoded records alias bytes before the buffer's
+// current position, which the append never overwrites (a growth
+// reallocates, leaving the old backing array to the records that alias
+// it), so handed-out payloads stay valid.
+func (s *Scanner) fill(n int) error {
+	old := len(s.buf)
+	if cap(s.buf)-old < n {
+		grown := make([]byte, old, old+n)
+		copy(grown, s.buf)
+		s.buf = grown
+	}
+	s.buf = s.buf[:old+n]
+	c, err := s.r.vol.ReadAt(s.now, s.buf[old:], s.r.Off+s.off)
+	if err != nil {
+		s.buf = s.buf[:old]
+		s.err = err
+		return err
+	}
+	s.now = c.End
+	s.off += int64(n)
+	return nil
 }
 
 // ReadCost estimates, without performing it, the number of SSD bytes a

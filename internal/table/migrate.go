@@ -5,6 +5,10 @@ import (
 	"masm/internal/update"
 )
 
+// migrateUpdateBatch is the number of update records ApplyStream* pulls
+// from its source per refill.
+const migrateUpdateBatch = 256
+
 // ApplyResult summarizes one migration pass over the table.
 type ApplyResult struct {
 	PagesRead      int64
@@ -78,28 +82,15 @@ func (t *Table) ApplyStreamEmit(at sim.Time, migTS int64, src update.Iterator, b
 		pagesPerBatch = 1
 	}
 
-	var pendingUpd *update.Record
-	updDone := false
-	nextUpd := func() (update.Record, bool, error) {
-		if pendingUpd != nil {
-			u := *pendingUpd
-			return u, true, nil
-		}
-		if updDone {
-			return update.Record{}, false, nil
-		}
-		u, ok, err := src.Next()
-		if err != nil {
-			return update.Record{}, false, err
-		}
-		if !ok {
-			updDone = true
-			return update.Record{}, false, nil
-		}
-		pendingUpd = &u
-		return u, true, nil
-	}
-	consumeUpd := func() { pendingUpd = nil }
+	// Updates are pulled through a BatchReader window (update.FillBatch
+	// drives batch-capable sources like the merge engine natively). The
+	// batched lookahead only affects the consumer side: the source's own
+	// device reads happen at the same points of its record stream, and
+	// they are on the SSD while the page traffic below is on the data
+	// disk, so simulated times are unchanged.
+	rd := update.NewBatchReader(src, migrateUpdateBatch)
+	nextUpd := rd.Peek
+	consumeUpd := rd.Consume
 
 	var overflow []*Page
 	// Pages decoded from a batch alias the batch buffer, and Page.Encode

@@ -1,0 +1,94 @@
+package update
+
+import (
+	"testing"
+)
+
+func testRecs(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{TS: int64(i + 1), Key: uint64(i), Op: Delete}
+	}
+	return recs
+}
+
+// TestSliceIteratorNextBatch covers the native batch path, including
+// partial final batches and post-exhaustion calls.
+func TestSliceIteratorNextBatch(t *testing.T) {
+	it := NewSliceIterator(testRecs(10))
+	dst := make([]Record, 4)
+	sizes := []int{4, 4, 2, 0, 0}
+	total := 0
+	for _, want := range sizes {
+		n, err := it.NextBatch(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("batch %d: n=%d, want %d", total, n, want)
+		}
+		for i := 0; i < n; i++ {
+			if dst[i].Key != uint64(total+i) {
+				t.Fatalf("record %d out of sequence: %+v", total+i, dst[i])
+			}
+		}
+		total += n
+	}
+}
+
+// legacyIter deliberately implements only Iterator, to exercise the
+// FillBatch shim.
+type legacyIter struct{ recs []Record }
+
+func (l *legacyIter) Next() (Record, bool, error) {
+	if len(l.recs) == 0 {
+		return Record{}, false, nil
+	}
+	r := l.recs[0]
+	l.recs = l.recs[1:]
+	return r, true, nil
+}
+
+// TestFillBatchShim checks the legacy adapter drains record by record and
+// agrees with the native path.
+func TestFillBatchShim(t *testing.T) {
+	native := NewSliceIterator(testRecs(23))
+	legacy := &legacyIter{recs: testRecs(23)}
+	dst1 := make([]Record, 5)
+	dst2 := make([]Record, 5)
+	for {
+		n1, err1 := FillBatch(native, dst1)
+		n2, err2 := FillBatch(legacy, dst2)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if n1 != n2 {
+			t.Fatalf("native %d vs shim %d records", n1, n2)
+		}
+		if n1 == 0 {
+			break
+		}
+		for i := 0; i < n1; i++ {
+			if dst1[i].Key != dst2[i].Key || dst1[i].TS != dst2[i].TS {
+				t.Fatalf("record %d: native %+v, shim %+v", i, dst1[i], dst2[i])
+			}
+		}
+	}
+}
+
+// TestFillBatchMixedConsumption interleaves Next and NextBatch on one
+// iterator: the stream must not skip or repeat.
+func TestFillBatchMixedConsumption(t *testing.T) {
+	it := NewSliceIterator(testRecs(10))
+	if r, ok, _ := it.Next(); !ok || r.Key != 0 {
+		t.Fatalf("Next = %+v, %v", r, ok)
+	}
+	dst := make([]Record, 3)
+	n, err := FillBatch(it, dst)
+	if err != nil || n != 3 || dst[0].Key != 1 || dst[2].Key != 3 {
+		t.Fatalf("FillBatch after Next: n=%d dst=%+v err=%v", n, dst, err)
+	}
+	if r, ok, _ := it.Next(); !ok || r.Key != 4 {
+		t.Fatalf("Next after FillBatch = %+v, %v", r, ok)
+	}
+}

@@ -66,6 +66,105 @@ type Iterator interface {
 	Next() (Record, bool, error)
 }
 
+// BatchIterator is an Iterator that can also deliver records in batches,
+// amortizing per-record call overhead (and, for latched sources, lock
+// acquisitions) across a whole batch.
+//
+// The batching contract: NextBatch fills a prefix of dst with the next
+// records of the stream and returns how many it wrote. n == 0 with a nil
+// error means end of stream. An implementation must return at least one
+// record when the stream is not exhausted and len(dst) > 0, but it is free
+// to return fewer than len(dst) — in particular, sources that perform I/O
+// return early rather than trigger an extra device read just to top up dst,
+// so the sequence of device requests is identical to record-at-a-time
+// consumption (refill-on-demand). When err != nil, the n records already
+// in dst are valid; the stream is broken after them.
+type BatchIterator interface {
+	Iterator
+	NextBatch(dst []Record) (n int, err error)
+}
+
+// FillBatch adapts any Iterator to the NextBatch contract: native batch
+// iterators are used directly, legacy iterators are drained record by
+// record until dst is full or the stream ends. (The shim may therefore
+// read ahead by up to len(dst)-1 records on legacy iterators; sources
+// whose read-ahead matters — anything performing simulated I/O —
+// implement BatchIterator natively and keep refill-on-demand semantics.)
+func FillBatch(it Iterator, dst []Record) (int, error) {
+	if bi, ok := it.(BatchIterator); ok {
+		return bi.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		r, ok, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		dst[n] = r
+		n++
+	}
+	return n, nil
+}
+
+// BatchReader is the consumer-side companion of FillBatch: peek/consume
+// lookahead over an Iterator through a batch window, for operators that
+// inspect the head of a merged stream before deciding to take it
+// (Merge_data_updates, migration page assembly). When the source errors
+// mid-batch, the records that preceded the error are served first and the
+// error surfaces after them; it is then sticky.
+//
+// The window starts at one record and doubles per refill up to the
+// configured batch size: a consumer that stops early (a range scan
+// callback returning false) has then pulled at most about twice what it
+// consumed, so sources are not dragged through simulated lookahead I/O
+// the record-at-a-time path would never have issued, while drained
+// streams still amortize refills over full batches almost immediately.
+type BatchReader struct {
+	src    Iterator
+	buf    []Record
+	pos, n int
+	win    int
+	done   bool
+	err    error
+}
+
+// NewBatchReader wraps src with a window of up to batch records.
+func NewBatchReader(src Iterator, batch int) *BatchReader {
+	if batch < 1 {
+		batch = 1
+	}
+	return &BatchReader{src: src, buf: make([]Record, batch), win: 1}
+}
+
+// Peek returns the record at the head of the stream without consuming it,
+// refilling the window as needed. ok=false reports end of stream (or,
+// with err != nil, a broken one).
+func (r *BatchReader) Peek() (Record, bool, error) {
+	for r.pos >= r.n {
+		if r.done {
+			return Record{}, false, r.err
+		}
+		n, err := FillBatch(r.src, r.buf[:r.win])
+		r.pos, r.n = 0, n
+		if r.win < len(r.buf) {
+			r.win = min(2*r.win, len(r.buf))
+		}
+		if err != nil {
+			r.err = err
+			r.done = true
+		} else if n == 0 {
+			r.done = true
+		}
+	}
+	return r.buf[r.pos], true, nil
+}
+
+// Consume advances past the record Peek returned.
+func (r *BatchReader) Consume() { r.pos++ }
+
 // SliceIterator iterates over an in-memory slice of records.
 type SliceIterator struct {
 	recs []Record
@@ -85,4 +184,11 @@ func (it *SliceIterator) Next() (Record, bool, error) {
 	r := it.recs[it.i]
 	it.i++
 	return r, true, nil
+}
+
+// NextBatch implements BatchIterator.
+func (it *SliceIterator) NextBatch(dst []Record) (int, error) {
+	n := copy(dst, it.recs[it.i:])
+	it.i += n
+	return n, nil
 }
