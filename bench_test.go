@@ -1,4 +1,4 @@
-package masm
+package masm_test
 
 // Benchmarks regenerating the paper's evaluation: one testing.B benchmark
 // per table and figure (§4). Each drives the corresponding experiment in

@@ -37,21 +37,24 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment ID to run, or 'all'")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		short    = flag.Bool("short", false, "use the reduced geometry")
-		tableSz  = flag.String("table", "", "override table size (e.g. 256MB)")
-		cacheSz  = flag.String("cache", "", "override SSD cache size (e.g. 16MB)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		shardBnc = flag.Bool("shardbench", false, "run the shared-nothing fan-out benchmark instead of a paper experiment")
-		nodes    = flag.Int("nodes", 4, "shardbench: cluster size")
-		rows     = flag.Int("rows", 200_000, "shardbench/durabench: loaded rows")
-		duraBnc  = flag.Bool("durabench", false, "run the durable-backend wall-clock benchmark instead of a paper experiment")
-		backend  = flag.String("backend", "file", "durabench: storage backend (sim or file)")
-		dir      = flag.String("dir", "", "durabench: database directory for the file backend (default: a fresh temp dir)")
-		mergeBnc = flag.Bool("mergebench", false, "run the merge-engine wall-clock microbenchmark (heap vs loser tree) instead of a paper experiment")
-		mergeRec = flag.Int("mergerecords", 1<<20, "mergebench: records per measurement")
-		jsonOut  = flag.String("json", "BENCH_3.json", "mergebench: machine-readable output path (empty to skip)")
+		expID     = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		short     = flag.Bool("short", false, "use the reduced geometry")
+		tableSz   = flag.String("table", "", "override table size (e.g. 256MB)")
+		cacheSz   = flag.String("cache", "", "override SSD cache size (e.g. 16MB)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		shardBnc  = flag.Bool("shardbench", false, "run the shared-nothing fan-out benchmark instead of a paper experiment")
+		nodes     = flag.Int("nodes", 4, "shardbench: cluster size")
+		rows      = flag.Int("rows", 200_000, "shardbench/durabench/tenantbench: loaded rows (per table for tenantbench)")
+		duraBnc   = flag.Bool("durabench", false, "run the durable-backend wall-clock benchmark instead of a paper experiment")
+		backend   = flag.String("backend", "file", "durabench: storage backend (sim or file)")
+		dir       = flag.String("dir", "", "durabench: database directory for the file backend (default: a fresh temp dir)")
+		mergeBnc  = flag.Bool("mergebench", false, "run the merge-engine wall-clock microbenchmark (heap vs loser tree) instead of a paper experiment")
+		mergeRec  = flag.Int("mergerecords", 1<<20, "mergebench: records per measurement")
+		jsonOut   = flag.String("json", "default", "mergebench/tenantbench: machine-readable output path; 'default' selects BENCH_3.json / BENCH_4.json per mode, empty skips the file")
+		tenantBnc = flag.Bool("tenantbench", false, "run the multi-tenant shared-cache benchmark (one engine, N tables, one SSD vs N private caches) instead of a paper experiment")
+		tenants   = flag.Int("tenants", 6, "tenantbench: number of tables sharing the engine")
+		tenantUpd = flag.Int("updates", 60_000, "tenantbench: updates across all tenants")
 	)
 	flag.Parse()
 
@@ -76,7 +79,22 @@ func main() {
 		return
 	}
 	if *mergeBnc {
-		if _, err := bench.MergeBench(os.Stdout, *jsonOut, *seed, *mergeRec); err != nil {
+		out := *jsonOut
+		if out == "default" {
+			out = "BENCH_3.json"
+		}
+		if _, err := bench.MergeBench(os.Stdout, out, *seed, *mergeRec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tenantBnc {
+		out := *jsonOut
+		if out == "default" {
+			out = "BENCH_4.json"
+		}
+		if _, err := bench.TenantBench(os.Stdout, out, *seed, *tenants, *rows, *tenantUpd); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,28 +1,39 @@
 package masm
 
-// Durable, file-backed databases. masm.Open keeps everything in memory on
-// the simulated devices; OpenDir lays the same engine out over real OS
-// files in a directory, so committed state survives a process exit (clean
-// or not) and is fully recovered by the next OpenDir on the same
-// directory. The virtual-time cost model still runs — the file backend
-// changes where the bytes live, not how their I/O is priced — so the same
-// workloads produce the same simulated timings on either backend.
+// Durable, file-backed engines. NewEngine keeps everything in memory on
+// the simulated devices; OpenEngineDir lays the same catalog out over real
+// OS files in a directory, so committed state survives a process exit
+// (clean or not) and is fully recovered by the next OpenEngineDir on the
+// same directory. The virtual-time cost model still runs — the file
+// backend changes where the bytes live, not how their I/O is priced — so
+// the same workloads produce the same simulated timings on either backend.
 //
 // Directory layout:
 //
-//	main.data   the clustered table heap (fixed-size pages)
-//	cache.runs  the SSD update cache: WAL-described materialized runs
-//	wal.log     the redo log (CRC-framed, torn-tail tolerant)
-//	MANIFEST    checksummed table geometry + page references, written
-//	            atomically (tmp + rename) at creation and at every
-//	            migration checkpoint
+//	main.data   every table's clustered heap, one contiguous region per
+//	            table (fixed-size pages)
+//	cache.runs  the shared SSD update cache: WAL-described materialized
+//	            runs from all tables, partitioned by the byte-budget
+//	            allocator
+//	wal.log     the shared redo log (CRC-framed, torn-tail tolerant;
+//	            format v3 records carry the owning table's id)
+//	MANIFEST    checksummed catalog: per-table geometry and page
+//	            references, written atomically (tmp + rename) at creation,
+//	            at CreateTable/DropTable, and at every migration
+//	            checkpoint. Version-1 manifests (single-table, pre-catalog)
+//	            are upgraded transparently on first open.
 //
-// Durability contract: an update survives a crash once DB.Sync (or a
+// Durability contract: an update survives a crash once Sync (or a
 // transaction Commit followed by Sync, or enough later traffic to force
 // its group-commit batch) has returned. The write-ahead ordering is
 // enforced by wal.Hooks: run data is fsynced before its flush/merge
 // record, and the table pages plus MANIFEST are checkpointed before a
 // migration-end record.
+//
+// OpenDir is the single-table wrapper: a one-table engine whose "default"
+// table is returned as a DB. Directories it created before the catalog
+// existed reopen through the v1-manifest upgrade path with identical
+// contents.
 
 import (
 	"encoding/binary"
@@ -32,6 +43,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"syscall"
 
@@ -59,6 +71,22 @@ type DirOptions struct {
 	Bodies [][]byte
 }
 
+// EngineDirOptions configures OpenEngineDir.
+type EngineDirOptions struct {
+	// Config is the engine configuration; CacheBytes is the total shared
+	// SSD cache. On reopen the directory's own cache geometry wins.
+	Config
+	// DataBytes is the total main.data capacity shared by every table's
+	// heap region (the file is sparse, so unused capacity costs nothing).
+	// Zero selects a default. On reopen the effective capacity is the
+	// larger of this and the directory's, so a catalog can be grown.
+	DataBytes int64
+}
+
+// defaultEngineDataBytes sizes main.data when EngineDirOptions.DataBytes
+// is zero.
+const defaultEngineDataBytes = 256 << 20
+
 // File names inside a database directory.
 const (
 	dataFileName    = "main.data"
@@ -78,17 +106,52 @@ const logFileBytes = 256 << 20
 // manifestMagic identifies a MaSM database directory manifest.
 var manifestMagic = [8]byte{'M', 'a', 'S', 'M', 'd', 'i', 'r', '\x00'}
 
-// manifestVersion is the manifest format version.
-const manifestVersion = 1
+// Manifest format versions. Version 1 described exactly one table;
+// version 2 describes the catalog. Version-1 manifests are upgraded in
+// memory on read (becoming a one-table catalog) and rewritten as version
+// 2 at the next manifest write.
+const (
+	manifestVersion    = 2
+	manifestVersionOne = 1
+)
 
 var manifestCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
-// manifest is the durable directory metadata: the file geometry and the
-// table's page references — the only engine state that is neither
-// rederivable from the redo log nor stored in the data files themselves.
+// tableManifest is one table's durable catalog entry.
+type tableManifest struct {
+	Name string `json:"name"`
+	ID   uint32 `json:"id"`
+	// DataOff/DataBytes locate the table's heap region in main.data.
+	DataOff   int64 `json:"data_off"`
+	DataBytes int64 `json:"data_bytes"`
+	// CacheBytes is the table's logical SSD update-cache cap.
+	CacheBytes int64       `json:"cache_bytes"`
+	Rows       int64       `json:"rows"`
+	Refs       []table.Ref `json:"refs"`
+}
+
+// manifest is the durable directory metadata: the file geometry, the
+// catalog, and each table's page references — the only engine state that
+// is neither rederivable from the redo log nor stored in the data files
+// themselves.
 type manifest struct {
+	DataBytes    int64   `json:"data_bytes"` // total main.data capacity
+	CacheBytes   int64   `json:"cache_bytes"`
+	LogBytes     int64   `json:"log_bytes"`
+	PageSize     int     `json:"page_size"`
+	ScanIO       int     `json:"scan_io"`
+	FillFraction float64 `json:"fill_fraction"`
+	// DataNext is the bump cursor for the next table's heap region.
+	DataNext    int64           `json:"data_next"`
+	NextTableID uint32          `json:"next_table_id"`
+	Tables      []tableManifest `json:"tables"`
+}
+
+// manifestV1 is the pre-catalog manifest body: one implicit table owning
+// the whole data file.
+type manifestV1 struct {
 	DataBytes    int64       `json:"data_bytes"`
-	CacheBytes   int64       `json:"cache_bytes"` // logical cache capacity
+	CacheBytes   int64       `json:"cache_bytes"`
 	LogBytes     int64       `json:"log_bytes"`
 	PageSize     int         `json:"page_size"`
 	ScanIO       int         `json:"scan_io"`
@@ -101,12 +164,20 @@ func (m *manifest) tableConfig() table.Config {
 	return table.Config{PageSize: m.PageSize, ScanIO: m.ScanIO, FillFraction: m.FillFraction}
 }
 
-// dirState is the durable side of a file-backed DB: the open files, the
-// directory identity, and the manifest writer.
+// tableConfig reads the directory's page geometry under the manifest
+// latch (the geometry itself never changes after open, but ds.m as a
+// whole is mutated under manifestMu).
+func (ds *dirState) tableConfig() table.Config {
+	ds.manifestMu.Lock()
+	defer ds.manifestMu.Unlock()
+	return ds.m.tableConfig()
+}
+
+// dirState is the durable side of a file-backed engine: the open files,
+// the directory identity, and the manifest writer.
 type dirState struct {
 	dir  string
-	opts DirOptions
-	m    manifest
+	opts EngineDirOptions
 
 	data  *filedev.File
 	cache *filedev.File
@@ -116,22 +187,128 @@ type dirState struct {
 	// descriptor closes, so even a hard stop or process death frees it.
 	lock *os.File
 
-	// manifestMu serializes manifest rewrites (migration checkpoints can
-	// race a clean Close only pathologically, but correctness is cheap).
+	// dataRoot is the whole main.data file as a volume; tables carve
+	// their heap regions out of it with Slice.
+	dataRoot *storage.Volume
+
+	// manifestMu serializes manifest state and rewrites (a migration
+	// checkpoint can race CreateTable on another table). It also guards
+	// catalog — the dirState's own id-ordered table list. The WAL
+	// migration-end checkpoint hook runs while the log's mutex is held
+	// and must NOT take the engine's catalog lock (writers hold e.mu
+	// while waiting on the log mutex, and a queued e.mu writer would
+	// turn that into a three-way deadlock), so the manifest writer reads
+	// this list instead of the engine's maps.
 	manifestMu sync.Mutex
+	m          manifest
+	catalog    []*Table
 }
 
-// writeManifest atomically replaces MANIFEST with the table's current
-// geometry: marshal, write to a temp file, fsync, rename, fsync the
-// directory. A crash at any point leaves either the old or the new
-// manifest, never a torn one.
-func (ds *dirState) writeManifest(tbl *table.Table) error {
+// allocData carves the next table's heap region out of main.data.
+func (ds *dirState) allocData(need int64) (*storage.Volume, int64, error) {
 	ds.manifestMu.Lock()
 	defer ds.manifestMu.Unlock()
-	m := ds.m
-	m.Rows = tbl.Rows()
-	m.Refs = tbl.Refs()
-	body, err := json.Marshal(&m)
+	if need > ds.m.DataBytes-ds.m.DataNext {
+		return nil, 0, fmt.Errorf("masm: %s: main.data full: %d bytes free, %d needed (recreate or reopen with a larger DataBytes)",
+			ds.dir, ds.m.DataBytes-ds.m.DataNext, need)
+	}
+	off := ds.m.DataNext
+	vol, err := ds.dataRoot.Slice(off, need)
+	if err != nil {
+		return nil, 0, err
+	}
+	ds.m.DataNext += need
+	return vol, off, nil
+}
+
+// releaseData rolls back the most recent allocData when table creation
+// fails after it, so a failed CreateTable does not permanently consume a
+// region of the fixed-capacity data file. Only the topmost region can be
+// returned (bump allocator); anything else is a no-op.
+func (ds *dirState) releaseData(off, need int64) {
+	ds.manifestMu.Lock()
+	defer ds.manifestMu.Unlock()
+	if ds.m.DataNext == off+need {
+		ds.m.DataNext = off
+	}
+}
+
+// catalogEntry renders one table's durable manifest entry. Rows and Refs
+// come from the heap table, which is internally consistent without any
+// engine lock.
+func catalogEntry(t *Table) tableManifest {
+	return tableManifest{
+		Name:       t.name,
+		ID:         t.id,
+		DataOff:    t.dataOff,
+		DataBytes:  t.dataBytes,
+		CacheBytes: t.cacheBudget,
+		Rows:       t.tbl.Rows(),
+		Refs:       t.tbl.Refs(),
+	}
+}
+
+// addTable registers a new table in the durable catalog and rewrites the
+// manifest. nextID is the engine's next-table-id watermark, persisted so
+// table ids are never reused across a drop: a recycled id would route a
+// dropped table's surviving WAL records into the new table.
+func (ds *dirState) addTable(t *Table, nextID uint32) error {
+	ds.manifestMu.Lock()
+	defer ds.manifestMu.Unlock()
+	ds.catalog = append(ds.catalog, t)
+	sort.Slice(ds.catalog, func(i, j int) bool { return ds.catalog[i].id < ds.catalog[j].id })
+	if err := ds.writeManifestLocked(nextID); err != nil {
+		// Roll the registration back so the durable catalog and the
+		// in-memory one stay in step.
+		for i, c := range ds.catalog {
+			if c == t {
+				ds.catalog = append(ds.catalog[:i], ds.catalog[i+1:]...)
+				break
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// removeTable drops a table from the durable catalog; the manifest
+// rewrite is the drop's commit point (recovery ignores WAL records of
+// tables absent from the manifest).
+func (ds *dirState) removeTable(t *Table) error {
+	ds.manifestMu.Lock()
+	defer ds.manifestMu.Unlock()
+	for i, c := range ds.catalog {
+		if c == t {
+			ds.catalog = append(ds.catalog[:i], ds.catalog[i+1:]...)
+			break
+		}
+	}
+	return ds.writeManifestLocked(0)
+}
+
+// checkpointManifest rewrites the manifest from the current catalog — the
+// WAL migration-end hook's entry point. It takes only manifestMu, never
+// the engine lock (see the field comment on catalog).
+func (ds *dirState) checkpointManifest() error {
+	ds.manifestMu.Lock()
+	defer ds.manifestMu.Unlock()
+	return ds.writeManifestLocked(0)
+}
+
+// writeManifestLocked atomically replaces MANIFEST with the current
+// catalog: marshal, write to a temp file, fsync, rename, fsync the
+// directory. A crash at any point leaves either the old or the new
+// manifest, never a torn one. Caller holds manifestMu.
+func (ds *dirState) writeManifestLocked(nextID uint32) error {
+	tables := make([]tableManifest, 0, len(ds.catalog))
+	for _, t := range ds.catalog {
+		tables = append(tables, catalogEntry(t))
+	}
+	ds.m.Tables = tables
+	if nextID > ds.m.NextTableID {
+		ds.m.NextTableID = nextID
+	}
+	body, err := json.Marshal(&ds.m)
 	if err != nil {
 		return err
 	}
@@ -163,42 +340,109 @@ func (ds *dirState) writeManifest(tbl *table.Table) error {
 	return syncDir(ds.dir)
 }
 
+// parseManifest verifies and decodes a manifest image, upgrading version-1
+// (single-table) bodies to the catalog form: one table named
+// DefaultTableName with id 0 owning the whole data file.
+func parseManifest(raw []byte) (*manifest, error) {
+	if len(raw) < 16 || string(raw[:8]) != string(manifestMagic[:]) {
+		return nil, errors.New("masm: not a MaSM database manifest")
+	}
+	v := binary.LittleEndian.Uint32(raw[8:])
+	if v != manifestVersion && v != manifestVersionOne {
+		return nil, fmt.Errorf("masm: manifest version %d unsupported (this build reads %d and %d)",
+			v, manifestVersionOne, manifestVersion)
+	}
+	body := raw[16:]
+	if crc32.Checksum(body, manifestCRCTable) != binary.LittleEndian.Uint32(raw[12:]) {
+		return nil, errors.New("masm: manifest checksum mismatch")
+	}
+	var m manifest
+	if v == manifestVersionOne {
+		var m1 manifestV1
+		if err := json.Unmarshal(body, &m1); err != nil {
+			return nil, fmt.Errorf("masm: manifest: %w", err)
+		}
+		m = manifest{
+			DataBytes:    m1.DataBytes,
+			CacheBytes:   m1.CacheBytes,
+			LogBytes:     m1.LogBytes,
+			PageSize:     m1.PageSize,
+			ScanIO:       m1.ScanIO,
+			FillFraction: m1.FillFraction,
+			DataNext:     m1.DataBytes,
+			NextTableID:  1,
+			Tables: []tableManifest{{
+				Name:       DefaultTableName,
+				ID:         0,
+				DataOff:    0,
+				DataBytes:  m1.DataBytes,
+				CacheBytes: m1.CacheBytes,
+				Rows:       m1.Rows,
+				Refs:       m1.Refs,
+			}},
+		}
+	} else if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("masm: manifest: %w", err)
+	}
+	if m.DataBytes <= 0 || m.CacheBytes <= 0 || m.LogBytes <= 0 || m.PageSize <= 0 {
+		return nil, errors.New("masm: manifest geometry invalid")
+	}
+	if m.DataNext < 0 || m.DataNext > m.DataBytes {
+		return nil, errors.New("masm: manifest data cursor out of range")
+	}
+	seenID := make(map[uint32]bool)
+	seenName := make(map[string]bool)
+	for i := range m.Tables {
+		t := &m.Tables[i]
+		if t.Name == "" || seenName[t.Name] {
+			return nil, fmt.Errorf("masm: manifest: missing or duplicate table name %q", t.Name)
+		}
+		if seenID[t.ID] {
+			return nil, fmt.Errorf("masm: manifest: duplicate table id %d", t.ID)
+		}
+		if t.ID >= m.NextTableID {
+			return nil, fmt.Errorf("masm: manifest: table id %d not below next id %d", t.ID, m.NextTableID)
+		}
+		if t.DataOff < 0 || t.DataBytes <= 0 || t.DataOff > m.DataBytes || t.DataBytes > m.DataBytes-t.DataOff {
+			return nil, fmt.Errorf("masm: manifest: table %q heap region [%d,%d) outside data file",
+				t.Name, t.DataOff, t.DataOff+t.DataBytes)
+		}
+		if t.CacheBytes <= 0 || t.CacheBytes > m.CacheBytes {
+			return nil, fmt.Errorf("masm: manifest: table %q cache cap %d outside (0,%d]", t.Name, t.CacheBytes, m.CacheBytes)
+		}
+		seenID[t.ID] = true
+		seenName[t.Name] = true
+	}
+	return &m, nil
+}
+
 // readManifest loads and verifies MANIFEST.
 func readManifest(dir string) (*manifest, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < 16 || string(raw[:8]) != string(manifestMagic[:]) {
-		return nil, fmt.Errorf("masm: %s: not a MaSM database manifest", dir)
+	m, err := parseManifest(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
 	}
-	if v := binary.LittleEndian.Uint32(raw[8:]); v != manifestVersion {
-		return nil, fmt.Errorf("masm: %s: manifest version %d unsupported (this build reads %d)", dir, v, manifestVersion)
-	}
-	body := raw[16:]
-	if crc32.Checksum(body, manifestCRCTable) != binary.LittleEndian.Uint32(raw[12:]) {
-		return nil, fmt.Errorf("masm: %s: manifest checksum mismatch", dir)
-	}
-	var m manifest
-	if err := json.Unmarshal(body, &m); err != nil {
-		return nil, fmt.Errorf("masm: %s: manifest: %w", dir, err)
-	}
-	if m.DataBytes <= 0 || m.CacheBytes <= 0 || m.LogBytes <= 0 || m.PageSize <= 0 {
-		return nil, fmt.Errorf("masm: %s: manifest geometry invalid", dir)
-	}
-	return &m, nil
+	return m, nil
 }
 
 // hooks wires the write-ahead ordering between the redo log and the data
-// files (see wal.Hooks).
-func (ds *dirState) hooks(tbl *table.Table) wal.Hooks {
+// files (see wal.Hooks). The checkpoint covers the whole catalog: all
+// tables share main.data and the manifest. It reads the dirState's own
+// catalog copy, not the engine's maps — it runs with the log mutex held,
+// and taking the engine lock there would deadlock against writers (see
+// the catalog field comment).
+func (ds *dirState) hooks() wal.Hooks {
 	return wal.Hooks{
 		SyncRuns: ds.cache.Sync,
 		Checkpoint: func() error {
 			if err := ds.data.Sync(); err != nil {
 				return err
 			}
-			return ds.writeManifest(tbl)
+			return ds.checkpointManifest()
 		},
 	}
 }
@@ -232,10 +476,10 @@ func (ds *dirState) closeFiles(sync bool) error {
 }
 
 // lockDir takes an exclusive advisory lock on the directory's LOCK file,
-// so two processes (or two DBs in one process) can never write the same
-// database: the second OpenDir fails immediately instead of interleaving
-// WAL batches with the first. flock releases with the descriptor, so a
-// crashed owner never leaves a stale lock behind.
+// so two processes (or two engines in one process) can never write the
+// same database: the second open fails immediately instead of
+// interleaving WAL batches with the first. flock releases with the
+// descriptor, so a crashed owner never leaves a stale lock behind.
 func lockDir(dir string) (*os.File, error) {
 	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -260,27 +504,25 @@ func syncDir(dir string) error {
 	return err
 }
 
-// OpenDir opens (creating if necessary) a durable, file-backed database in
-// dir. A new directory is bulk-loaded from opts.Keys/Bodies and laid out
-// as main.data + cache.runs + wal.log + MANIFEST; an existing one is
-// recovered: the manifest restores the table, the runs named by the redo
-// log are rebuilt (checksum-verified) from cache.runs, logged updates not
-// covered by a flush repopulate the in-memory buffer, and an interrupted
-// migration is redone idempotently. Everything committed — synced through
-// DB.Sync or a forced group-commit batch — is visible after reopen, even
-// if the previous process was killed mid-write and left a torn redo-log
-// tail.
-//
-// The returned DB behaves exactly like one from Open (same API, same
-// virtual-time accounting); additionally Close syncs and releases the
-// files, and Crash reopens from the directory instead of replaying in
-// memory.
-func OpenDir(dir string, opts DirOptions) (*DB, error) {
+// OpenEngineDir opens (creating if necessary) a durable, file-backed
+// catalog engine in dir. A new directory is laid out empty — main.data +
+// cache.runs + wal.log + MANIFEST — and tables are added with CreateTable;
+// an existing one is recovered table by table: the manifest restores the
+// catalog and each table's heap, the runs named by the shared redo log are
+// rebuilt (checksum-verified) from cache.runs and routed to their owning
+// tables, logged updates not covered by a flush repopulate each table's
+// in-memory buffer, and interrupted migrations are redone idempotently.
+// Everything committed — synced through Sync or a forced group-commit
+// batch — is visible after reopen, even if the previous process was killed
+// mid-write and left a torn redo-log tail. Version-1 (pre-catalog)
+// directories are upgraded transparently: their single table appears as
+// DefaultTableName.
+func OpenEngineDir(dir string, opts EngineDirOptions) (*Engine, error) {
 	if opts.Config == (Config{}) {
 		opts.Config = DefaultConfig()
 	}
 	if opts.DisableRedoLog {
-		return nil, errors.New("masm: OpenDir: the file backend requires the redo log (it is the recovery mechanism)")
+		return nil, errors.New("masm: OpenEngineDir: the file backend requires the redo log (it is the recovery mechanism)")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -293,21 +535,21 @@ func OpenDir(dir string, opts DirOptions) (*DB, error) {
 	// the real wal.log is still authoritative.
 	os.Remove(filepath.Join(dir, walTmpFileName))
 	os.Remove(filepath.Join(dir, manifestTmpName))
-	var db *DB
+	var e *Engine
 	if _, statErr := os.Stat(filepath.Join(dir, manifestName)); statErr != nil {
 		if !errors.Is(statErr, os.ErrNotExist) {
 			lock.Close()
 			return nil, statErr
 		}
-		db, err = createDir(dir, opts, lock)
+		e, err = createEngineDir(dir, opts, lock)
 	} else {
-		db, err = reopenDir(dir, opts, lock)
+		e, err = reopenEngineDir(dir, opts, lock)
 	}
 	if err != nil {
 		lock.Close() // harmless if a dirState defer already closed it
 		return nil, err
 	}
-	return db, nil
+	return e, nil
 }
 
 // deviceFor builds a simulated device big enough for the volumes laid out
@@ -319,28 +561,23 @@ func deviceFor(p sim.DeviceParams, need int64) *sim.Device {
 	return sim.NewDevice(p)
 }
 
-// createDir lays out and bulk-loads a fresh database directory.
-func createDir(dir string, opts DirOptions, lock *os.File) (db *DB, err error) {
+// createEngineDir lays out a fresh, empty catalog directory.
+func createEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engine, err error) {
 	if opts.CacheBytes <= 0 {
 		return nil, fmt.Errorf("masm: non-positive cache size %d", opts.CacheBytes)
 	}
-	if len(opts.Keys) != len(opts.Bodies) {
-		return nil, fmt.Errorf("masm: %d keys but %d bodies", len(opts.Keys), len(opts.Bodies))
+	if opts.DataBytes <= 0 {
+		opts.DataBytes = defaultEngineDataBytes
 	}
 	m := manifest{
-		DataBytes:    dataBytesFor(opts.Keys, opts.Bodies),
+		DataBytes:    opts.DataBytes,
 		CacheBytes:   opts.CacheBytes,
 		LogBytes:     logFileBytes,
 		PageSize:     table.DefaultConfig().PageSize,
 		ScanIO:       table.DefaultConfig().ScanIO,
 		FillFraction: table.DefaultConfig().FillFraction,
 	}
-	// The stored options drop the bulk-load slices: they are only needed
-	// below, and keeping them would pin the whole load dataset in memory
-	// for the DB's lifetime.
-	stored := opts
-	stored.Keys, stored.Bodies = nil, nil
-	ds := &dirState{dir: dir, opts: stored, m: m, lock: lock}
+	ds := &dirState{dir: dir, opts: opts, m: m, lock: lock}
 	defer func() {
 		if err != nil {
 			ds.closeFiles(false)
@@ -355,61 +592,57 @@ func createDir(dir string, opts DirOptions, lock *os.File) (db *DB, err error) {
 	if ds.wal, err = filedev.Open(filepath.Join(dir, walFileName), m.LogBytes); err != nil {
 		return nil, err
 	}
-	db = &DB{
+	e = &Engine{
 		cfg:    opts.Config,
 		hdd:    deviceFor(sim.Barracuda7200(), m.DataBytes+m.LogBytes),
 		ssd:    deviceFor(sim.IntelX25E(), m.CacheBytes*2),
 		oracle: &core.Oracle{},
+		tables: make(map[string]*Table),
+		byID:   make(map[uint32]*Table),
 		fs:     ds,
 	}
-	dataVol, err := storage.NewVolumeOn(db.hdd, 0, ds.data)
+	if ds.dataRoot, err = storage.NewVolumeOn(e.hdd, 0, ds.data); err != nil {
+		return nil, err
+	}
+	if e.logVol, err = storage.NewVolumeOn(e.hdd, m.DataBytes, ds.wal); err != nil {
+		return nil, err
+	}
+	ssdVol, err := storage.NewVolumeOn(e.ssd, 0, ds.cache)
 	if err != nil {
 		return nil, err
 	}
-	if db.logVol, err = storage.NewVolumeOn(db.hdd, m.DataBytes, ds.wal); err != nil {
+	e.ssdVol = ssdVol
+	e.shared = core.NewSharedAlloc(ssdVol.Size())
+	if err = ds.checkpointManifest(); err != nil {
 		return nil, err
 	}
-	ssdVol, err := storage.NewVolumeOn(db.ssd, 0, ds.cache)
-	if err != nil {
-		return nil, err
-	}
-	if db.tbl, err = table.Load(dataVol, m.tableConfig(), opts.Keys, opts.Bodies); err != nil {
-		return nil, err
-	}
-	// The loaded pages and the manifest describing them are the recovery
-	// baseline: make both durable before accepting any updates.
-	if err = ds.data.Sync(); err != nil {
-		return nil, err
-	}
-	if err = ds.writeManifest(db.tbl); err != nil {
-		return nil, err
-	}
-	db.log = wal.Open(db.logVol)
-	db.log.SetHooks(ds.hooks(db.tbl))
+	e.log = wal.Open(e.logVol)
+	e.log.SetHooks(ds.hooks())
 	// Force the header down now, before any records: from here on, a
 	// header that fails validation on reopen is corruption, never a torn
 	// first write.
-	if _, err = db.log.Bootstrap(0); err != nil {
+	if _, err = e.log.Bootstrap(0); err != nil {
 		return nil, err
 	}
-	if db.store, err = core.NewStore(coreConfig(opts.Config), db.tbl, ssdVol, db.oracle, db.log); err != nil {
-		return nil, err
-	}
-	db.txns = txn.NewManager(db.store)
-	return db, nil
+	return e, nil
 }
 
-// reopenDir recovers a database from an existing directory.
-func reopenDir(dir string, opts DirOptions, lock *os.File) (db *DB, err error) {
+// reopenEngineDir recovers a catalog from an existing directory.
+func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engine, err error) {
 	m, err := readManifest(dir)
 	if err != nil {
 		return nil, err
 	}
 	// The directory's geometry is authoritative: the caller's CacheBytes
 	// sized the cache at creation time and is superseded by what is on
-	// disk now. The bulk-load slices only apply to creation.
+	// disk now. The data file may be grown (it is sparse) to make room for
+	// more tables.
 	opts.CacheBytes = m.CacheBytes
-	opts.Keys, opts.Bodies = nil, nil
+	if opts.DataBytes > m.DataBytes {
+		m.DataBytes = opts.DataBytes
+	} else {
+		opts.DataBytes = m.DataBytes
+	}
 	ds := &dirState{dir: dir, opts: opts, m: *m, lock: lock}
 	var oldWal *filedev.File
 	defer func() {
@@ -436,42 +669,98 @@ func reopenDir(dir string, opts DirOptions, lock *os.File) (db *DB, err error) {
 	if ds.wal, err = filedev.Open(filepath.Join(dir, walTmpFileName), m.LogBytes); err != nil {
 		return nil, err
 	}
-	db = &DB{
+	e = &Engine{
 		cfg:    opts.Config,
 		hdd:    deviceFor(sim.Barracuda7200(), m.DataBytes+2*m.LogBytes),
 		ssd:    deviceFor(sim.IntelX25E(), m.CacheBytes*2),
 		oracle: &core.Oracle{},
+		tables: make(map[string]*Table),
+		byID:   make(map[uint32]*Table),
+		nextID: m.NextTableID,
 		fs:     ds,
 	}
-	dataVol, err := storage.NewVolumeOn(db.hdd, 0, ds.data)
+	if ds.dataRoot, err = storage.NewVolumeOn(e.hdd, 0, ds.data); err != nil {
+		return nil, err
+	}
+	oldLogVol, err := storage.NewVolumeOn(e.hdd, m.DataBytes, oldWal)
 	if err != nil {
 		return nil, err
 	}
-	oldLogVol, err := storage.NewVolumeOn(db.hdd, m.DataBytes, oldWal)
-	if err != nil {
+	if e.logVol, err = storage.NewVolumeOn(e.hdd, m.DataBytes+m.LogBytes, ds.wal); err != nil {
 		return nil, err
 	}
-	if db.logVol, err = storage.NewVolumeOn(db.hdd, m.DataBytes+m.LogBytes, ds.wal); err != nil {
+	if e.ssdVol, err = storage.NewVolumeOn(e.ssd, 0, ds.cache); err != nil {
 		return nil, err
 	}
-	ssdVol, err := storage.NewVolumeOn(db.ssd, 0, ds.cache)
-	if err != nil {
-		return nil, err
+	e.shared = core.NewSharedAlloc(e.ssdVol.Size())
+
+	// Restore every table's heap from the manifest and register the
+	// catalog before any store is rebuilt: the migration-checkpoint hook
+	// rewrites the manifest from the full catalog, so a redo migration on
+	// one table must already see the others.
+	ordered := append([]tableManifest(nil), ds.m.Tables...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, tm := range ordered {
+		vol, serr := ds.dataRoot.Slice(tm.DataOff, tm.DataBytes)
+		if serr != nil {
+			return nil, serr
+		}
+		tbl, terr := table.Restore(vol, m.tableConfig(), tm.Refs, tm.Rows)
+		if terr != nil {
+			return nil, fmt.Errorf("masm: restore table %q: %w", tm.Name, terr)
+		}
+		t := &Table{eng: e, name: tm.Name, id: tm.ID, cacheBudget: tm.CacheBytes,
+			dataOff: tm.DataOff, dataBytes: tm.DataBytes, tbl: tbl}
+		e.tables[t.name] = t
+		e.byID[t.id] = t
+		// The dirState's own catalog copy must be complete before any
+		// store restore: a redone migration's checkpoint hook rewrites the
+		// manifest from it, and a partial list would durably drop tables.
+		ds.catalog = append(ds.catalog, t)
 	}
-	if db.tbl, err = table.Restore(dataVol, m.tableConfig(), m.Refs, m.Rows); err != nil {
-		return nil, err
-	}
-	db.log = wal.Open(db.logVol)
-	db.log.SetHooks(ds.hooks(db.tbl))
-	store, end, err := wal.Recover(coreConfig(opts.Config), db.tbl, ssdVol, db.oracle, oldLogVol, db.log, 0)
+	e.log = wal.Open(e.logVol)
+	e.log.SetHooks(ds.hooks())
+
+	// Replay the shared log once and route its records to their tables.
+	// Records of tables absent from the manifest belong to dropped tables
+	// (the manifest rewrite is the drop's commit point) and are ignored.
+	entries, now, err := wal.ReadAll(oldLogVol, 0)
 	if err != nil {
 		return nil, fmt.Errorf("masm: recover %s: %w", dir, err)
 	}
-	// The checkpoint in the new log is durable (Recover syncs it) and the
-	// header is down even when the checkpoint was empty; the old log can
-	// now be atomically superseded. The open descriptor keeps following
-	// the renamed file.
-	if _, err = db.log.Bootstrap(end); err != nil {
+	states := wal.ReplayEntries(entries)
+	cps := make([]wal.TableCheckpoint, 0, len(ordered))
+	for _, tm := range ordered {
+		if st := states[tm.ID]; st != nil {
+			cps = append(cps, wal.TableCheckpoint{Table: tm.ID, Runs: st.Runs, Pending: st.Pending})
+		}
+	}
+	if now, err = e.log.CheckpointAll(now, cps); err != nil {
+		return nil, err
+	}
+	for _, tm := range ordered {
+		t := e.byID[tm.ID]
+		st := states[tm.ID]
+		if st == nil {
+			st = &wal.TableState{}
+		}
+		alloc := e.shared.Partition(t.id, t.cacheBudget*2)
+		ccfg := coreConfig(e.cfg)
+		ccfg.SSDCapacity = roundTo(t.cacheBudget, 4<<10)
+		store, end, rerr := core.RestoreShared(ccfg, t.tbl, e.ssdVol, e.oracle,
+			e.log.ForTable(t.id), alloc, t.id, st.Runs, st.Pending, st.RedoMigration, now)
+		if rerr != nil {
+			return nil, fmt.Errorf("masm: recover %s table %q: %w", dir, t.name, rerr)
+		}
+		now = end
+		t.store = store
+		t.txns = txn.NewManager(store)
+	}
+	// The checkpoint in the new log is durable (CheckpointAll syncs it)
+	// and the header is down even when the checkpoint was empty; the old
+	// log can now be atomically superseded. The open descriptor keeps
+	// following the renamed file.
+	if _, err = e.log.Bootstrap(now); err != nil {
 		return nil, err
 	}
 	if err = oldWal.Close(); err != nil {
@@ -484,37 +773,65 @@ func reopenDir(dir string, opts DirOptions, lock *os.File) (db *DB, err error) {
 	if err = syncDir(dir); err != nil {
 		return nil, err
 	}
-	db.store = store
-	db.txns = txn.NewManager(store)
-	db.clock.advance(end)
-	return db, nil
+	// Persist the upgraded (or grown) manifest so a version-1 directory
+	// becomes a version-2 catalog on its first open under this build.
+	if err = ds.checkpointManifest(); err != nil {
+		return nil, err
+	}
+	e.clock.advance(now)
+	return e, nil
 }
 
-// HardStop abandons the database with no clean shutdown whatsoever: no
-// log sync, no file sync, no manifest write — the in-process equivalent of
-// kill -9. In-flight operations fail as their file descriptors close.
-// Updates not yet forced by Sync (or a filled group-commit batch) are
-// lost, exactly as a crash would lose them; everything committed is
-// recovered by the next OpenDir. On a memory-backed DB it is Close.
+// OpenDir opens (creating if necessary) a durable, file-backed database in
+// dir: a one-table engine whose DefaultTableName table is returned as a
+// DB. A new directory is bulk-loaded from opts.Keys/Bodies; an existing
+// one — including one created before the multi-table catalog existed — is
+// recovered completely (see OpenEngineDir).
 //
-// It exists for crash-recovery tests and demos; production code wants
-// Close.
-func (db *DB) HardStop() error {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return ErrClosed
+// The returned DB behaves exactly like one from Open (same API, same
+// virtual-time accounting); additionally Close syncs and releases the
+// files, and Crash reopens from the directory instead of replaying in
+// memory.
+func OpenDir(dir string, opts DirOptions) (*DB, error) {
+	if opts.Config == (Config{}) {
+		opts.Config = DefaultConfig()
 	}
-	db.closed = true
-	sched := db.sched
-	db.sched = nil
-	fs := db.fs
-	db.mu.Unlock()
-	if sched != nil {
-		sched.Stop()
+	if opts.DisableRedoLog {
+		return nil, errors.New("masm: OpenDir: the file backend requires the redo log (it is the recovery mechanism)")
 	}
-	if fs != nil {
-		return fs.closeFiles(false)
+	fresh := false
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		fresh = true
 	}
-	return nil
+	eopts := EngineDirOptions{Config: opts.Config}
+	if fresh {
+		if opts.CacheBytes <= 0 {
+			return nil, fmt.Errorf("masm: non-positive cache size %d", opts.CacheBytes)
+		}
+		if len(opts.Keys) != len(opts.Bodies) {
+			return nil, fmt.Errorf("masm: %d keys but %d bodies", len(opts.Keys), len(opts.Bodies))
+		}
+		// Size main.data exactly as the pre-catalog layout did, so the
+		// single table's geometry (and simulated timings) are unchanged.
+		eopts.DataBytes = dataBytesFor(opts.Keys, opts.Bodies)
+	}
+	e, err := OpenEngineDir(dir, eopts)
+	if err != nil {
+		return nil, err
+	}
+	t, err := e.OpenTable(DefaultTableName)
+	if errors.Is(err, ErrNoTable) {
+		// Not only on a fresh directory: a crash (or failed bulk load)
+		// between the catalog's creation and its first CreateTable leaves
+		// a valid empty catalog, which must not brick the directory.
+		t, err = e.CreateTable(DefaultTableName, TableOptions{Keys: opts.Keys, Bodies: opts.Bodies})
+	}
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	return &DB{eng: e, t: t}, nil
 }

@@ -263,7 +263,7 @@ func crashWithTwoSyncPoints(t *testing.T, dir string, keys []uint64, bodies [][]
 	if err := db.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	end1 = db.log.EndOffset()
+	end1 = db.eng.log.EndOffset()
 	for i := 50; i < 100; i++ {
 		k := uint64(2*i + 1)
 		body := []byte(fmt.Sprintf("phase2 %06d", k))
@@ -361,7 +361,7 @@ func TestFileCrashDetectsMidLogCorruption(t *testing.T) {
 	if err := db.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	corruptAt := db.log.EndOffset() - 20 // inside the first synced batch
+	corruptAt := db.eng.log.EndOffset() - 20 // inside the first synced batch
 	// Grow the log well past the torn-batch span with committed updates.
 	big := bytes.Repeat([]byte{'x'}, 200)
 	for i := 0; i < 12000; i++ {
@@ -372,8 +372,8 @@ func TestFileCrashDetectsMidLogCorruption(t *testing.T) {
 	if err := db.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if db.log.EndOffset() < corruptAt+(2<<20) {
-		t.Fatalf("log too short for the scenario: end %d", db.log.EndOffset())
+	if db.eng.log.EndOffset() < corruptAt+(2<<20) {
+		t.Fatalf("log too short for the scenario: end %d", db.eng.log.EndOffset())
 	}
 	if err := db.HardStop(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,839 @@
+package masm
+
+// Multi-table catalog. The paper's §5 extends MaSM from one table to many
+// objects — tables, secondary indexes, materialized views — caching their
+// updates on one shared SSD. Engine is that catalog: every table it serves
+// is an independent MaSM-αM instance (its own in-memory update buffer, its
+// own materialized sorted runs, its own region of the main-data heap)
+// drawing from shared infrastructure —
+//
+//   - one SSD update-cache volume, partitioned by a byte-budget run
+//     allocator (a table may be capped below the full cache, and the sum
+//     of caps may oversubscribe it: idle tenants lend space to busy ones);
+//   - one redo log whose records carry the owning table's id (WAL format
+//     v3; single-table logs keep the untagged v2 records);
+//   - one timestamp oracle, so commits across tables share a timeline and
+//     cross-table transactions publish atomically;
+//   - one migration scheduler arbitrating across tables by cache-fill
+//     pressure.
+//
+// The single-table Open/OpenDir API is a thin wrapper over a one-table
+// engine and behaves exactly as it always has.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	core "masm/internal/masm"
+	"masm/internal/sim"
+	"masm/internal/storage"
+	"masm/internal/table"
+	"masm/internal/txn"
+	"masm/internal/update"
+	"masm/internal/wal"
+)
+
+// DefaultTableName is the table the single-table Open/OpenDir wrappers
+// create and operate on.
+const DefaultTableName = "default"
+
+// ErrNoTable reports a lookup of a table the catalog does not hold.
+var ErrNoTable = errors.New("masm: no such table")
+
+// ErrTableExists reports CreateTable with a name already in the catalog.
+var ErrTableExists = errors.New("masm: table already exists")
+
+// ErrTableBusy reports DropTable while the table still has open scans,
+// snapshots, transactions or an in-flight migration.
+var ErrTableBusy = errors.New("masm: table busy (open readers or migration)")
+
+// ErrTableDropped reports use of a Table handle after DropTable.
+var ErrTableDropped = errors.New("masm: table dropped")
+
+// TableOptions configures CreateTable.
+type TableOptions struct {
+	// CacheBytes caps the table's share of the engine's SSD update cache.
+	// Zero means the whole cache: caps are upper bounds, not reservations,
+	// and may oversubscribe the engine (the shared allocator and the
+	// migration scheduler arbitrate the physical space).
+	CacheBytes int64
+	// Keys and Bodies bulk-load the table in strictly increasing key
+	// order, exactly like Open.
+	Keys   []uint64
+	Bodies [][]byte
+}
+
+// Engine is a catalog of MaSM tables sharing one SSD update cache, one
+// redo log and one commit timeline. All methods are safe for concurrent
+// use.
+type Engine struct {
+	cfg    Config
+	hdd    *sim.Device
+	ssd    *sim.Device
+	arena  *storage.Arena // in-memory main-data layout (nil when file-backed)
+	ssdVol *storage.Volume
+	shared *core.SharedAlloc
+	oracle *core.Oracle
+	logVol *storage.Volume
+	log    *wal.Log
+	// fs is non-nil for file-backed engines (OpenEngineDir).
+	fs *dirState
+
+	clock clock
+	// mu guards the catalog state (tables, closed, sched). Table
+	// operations hold the read side only long enough to check liveness;
+	// CreateTable/DropTable/Close take the write side.
+	mu     sync.RWMutex
+	tables map[string]*Table
+	byID   map[uint32]*Table
+	nextID uint32
+	closed bool
+	sched  *MigrationScheduler
+}
+
+// NewEngine creates an in-memory (simulated-device) engine with a shared
+// SSD update cache of cfg.CacheBytes. Tables are added with CreateTable.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.CacheBytes <= 0 {
+		return nil, fmt.Errorf("masm: non-positive cache size %d", cfg.CacheBytes)
+	}
+	e := &Engine{
+		cfg:    cfg,
+		hdd:    sim.NewDevice(sim.Barracuda7200()),
+		ssd:    sim.NewDevice(sim.IntelX25E()),
+		oracle: &core.Oracle{},
+		tables: make(map[string]*Table),
+		byID:   make(map[uint32]*Table),
+	}
+	e.arena = storage.NewArena(e.hdd)
+	var err error
+	e.ssdVol, err = storage.NewVolume(e.ssd, 0, cfg.CacheBytes*2)
+	if err != nil {
+		return nil, err
+	}
+	e.shared = core.NewSharedAlloc(e.ssdVol.Size())
+	return e, nil
+}
+
+// ensureLogLocked lazily allocates the redo-log volume. It runs after the
+// first table's data volume is carved so a one-table engine lays out the
+// disk exactly as the classic single-table Open does (data first, then
+// log), keeping the simulated timings bit-identical. Caller holds e.mu.
+func (e *Engine) ensureLogLocked() error {
+	if e.log != nil || e.cfg.DisableRedoLog || e.fs != nil {
+		return nil
+	}
+	var err error
+	e.logVol, err = e.arena.Alloc(logFileBytes)
+	if err != nil {
+		return err
+	}
+	e.log = wal.Open(e.logVol)
+	return nil
+}
+
+// Table is one named table of an Engine's catalog: a full MaSM instance
+// whose update cache lives on the engine's shared SSD. All methods are
+// safe for concurrent use and carry the same snapshot-isolation semantics
+// as the single-table DB.
+type Table struct {
+	eng  *Engine
+	name string
+	id   uint32
+	// cacheBudget is the table's logical SSD cap (TableOptions.CacheBytes
+	// resolved).
+	cacheBudget int64
+	// dataOff/dataBytes locate the table's heap region (file-backed
+	// engines; in-memory regions are arena volumes).
+	dataOff, dataBytes int64
+	tbl                *table.Table
+	store              *core.Store
+	txns               *txn.Manager
+	dropped            bool // guarded by eng.mu
+}
+
+// Name returns the table's catalog name.
+func (t *Table) Name() string { return t.name }
+
+// ID returns the table's catalog id (its tag in the shared redo log).
+func (t *Table) ID() uint32 { return t.id }
+
+// CacheBudget returns the table's SSD update-cache cap in bytes.
+func (t *Table) CacheBudget() int64 { return t.cacheBudget }
+
+// CreateTable adds a table to the catalog, bulk-loaded from opts.Keys and
+// opts.Bodies (strictly increasing keys). The table's update cache is
+// capped at opts.CacheBytes of the shared SSD (zero: the whole cache).
+func (e *Engine) CreateTable(name string, opts TableOptions) (*Table, error) {
+	if name == "" {
+		return nil, errors.New("masm: empty table name")
+	}
+	if len(opts.Keys) != len(opts.Bodies) {
+		return nil, fmt.Errorf("masm: %d keys but %d bodies", len(opts.Keys), len(opts.Bodies))
+	}
+	budget := opts.CacheBytes
+	if budget <= 0 {
+		budget = e.cfg.CacheBytes
+	}
+	if budget > e.cfg.CacheBytes {
+		return nil, fmt.Errorf("masm: table cache cap %d exceeds the engine's %d-byte cache", budget, e.cfg.CacheBytes)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := e.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	id := e.nextID
+	t := &Table{eng: e, name: name, id: id, cacheBudget: budget}
+
+	var dataVol *storage.Volume
+	var err error
+	need := dataBytesFor(opts.Keys, opts.Bodies)
+	tcfg := table.DefaultConfig()
+	created := false
+	if e.fs != nil {
+		if dataVol, t.dataOff, err = e.fs.allocData(need); err != nil {
+			return nil, err
+		}
+		t.dataBytes = need
+		// A failed creation must hand its heap region back, or every bad
+		// CreateTable call permanently consumes a slice of the
+		// fixed-capacity data file (the bump cursor is persisted by the
+		// next manifest write).
+		defer func() {
+			if !created {
+				e.fs.releaseData(t.dataOff, need)
+			}
+		}()
+		tcfg = e.fs.tableConfig()
+	} else {
+		if dataVol, err = e.arena.Alloc(need); err != nil {
+			return nil, err
+		}
+	}
+	if t.tbl, err = table.Load(dataVol, tcfg, opts.Keys, opts.Bodies); err != nil {
+		return nil, err
+	}
+	if err := e.ensureLogLocked(); err != nil {
+		return nil, err
+	}
+	if e.fs != nil {
+		// The loaded pages and the manifest describing them are the
+		// recovery baseline: make both durable before accepting updates.
+		if err := e.fs.data.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	var logger core.RedoLogger
+	if e.log != nil {
+		logger = e.log.ForTable(id)
+	}
+	alloc := e.shared.Partition(id, budget*2)
+	ccfg := coreConfig(e.cfg)
+	ccfg.SSDCapacity = roundTo(budget, 4<<10)
+	if t.store, err = core.NewStoreShared(ccfg, t.tbl, e.ssdVol, e.oracle, logger, alloc, id); err != nil {
+		e.shared.Drop(id)
+		return nil, err
+	}
+	t.txns = txn.NewManager(t.store)
+	e.nextID++
+	e.tables[name] = t
+	e.byID[id] = t
+	if e.fs != nil {
+		if err := e.fs.addTable(t, e.nextID); err != nil {
+			delete(e.tables, name)
+			delete(e.byID, id)
+			e.shared.Drop(id)
+			e.nextID--
+			return nil, err
+		}
+	}
+	created = true
+	return t, nil
+}
+
+// OpenTable returns the named table's handle.
+func (e *Engine) OpenTable(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns the catalog's table names, sorted.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropTable removes a table from the catalog, releasing its SSD cache
+// space back to the shared pool. It fails with ErrTableBusy while the
+// table has open scans, snapshots, transactions or a running migration.
+// The heap region is not reused (the prototype's main-data layout is a
+// bump allocator); on a file-backed engine the drop is made durable by a
+// manifest rewrite, after which recovery ignores the table's log records.
+func (e *Engine) DropTable(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	t, ok := e.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	if err := t.store.ReleaseAllRuns(); err != nil {
+		return fmt.Errorf("%w: %v", ErrTableBusy, err)
+	}
+	delete(e.tables, name)
+	delete(e.byID, t.id)
+	e.shared.Drop(t.id)
+	t.dropped = true
+	if e.fs != nil {
+		return e.fs.removeTable(t)
+	}
+	return nil
+}
+
+// live checks the engine is open and the table not dropped, under the
+// engine's read lock; it is the prologue of every table operation.
+func (t *Table) live() error {
+	e := t.eng
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return t.liveLocked()
+}
+
+func (t *Table) liveLocked() error {
+	if t.eng.closed {
+		return ErrClosed
+	}
+	if t.dropped {
+		return ErrTableDropped
+	}
+	return nil
+}
+
+// Insert caches an insertion of (key, body) into this table.
+func (t *Table) Insert(key uint64, body []byte) error {
+	return t.apply(update.Record{Key: key, Op: update.Insert, Payload: append([]byte(nil), body...)})
+}
+
+// Delete caches a deletion of key from this table.
+func (t *Table) Delete(key uint64) error {
+	return t.apply(update.Record{Key: key, Op: update.Delete})
+}
+
+// Modify caches an in-record field modification: len(val) bytes at byte
+// offset off of the record body.
+func (t *Table) Modify(key uint64, off int, val []byte) error {
+	if off < 0 || off > 0xffff {
+		return fmt.Errorf("masm: modify offset %d out of range", off)
+	}
+	return t.apply(update.Record{Key: key, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: uint16(off), Value: append([]byte(nil), val...)}})})
+}
+
+func (t *Table) apply(rec update.Record) error {
+	e := t.eng
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := t.liveLocked(); err != nil {
+		return err
+	}
+	end, shouldMigrate, err := t.store.ApplyAutoHint(e.clock.now(), rec)
+	if err != nil {
+		return err
+	}
+	e.clock.advance(end)
+	// Nudge the background migration scheduler off the update path when
+	// this table's cache crosses its threshold; the hint is O(1) and came
+	// from the latch the apply already held.
+	if shouldMigrate && e.sched != nil {
+		e.sched.Kick()
+	}
+	return nil
+}
+
+// Snapshot pins a consistent logical view of the table; see DB.Snapshot.
+func (t *Table) Snapshot() (*Snapshot, error) {
+	e := t.eng
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := t.liveLocked(); err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{t: t, snap: t.store.Snapshot()}
+	// Safety net mirroring Begin's: a Snapshot abandoned without Close
+	// would block migration and pin SSD run extents for the engine's
+	// lifetime. Close is idempotent, so the cleanup is a no-op for
+	// properly closed snapshots.
+	runtime.AddCleanup(snap, func(sn *core.Snapshot) { sn.Close() }, snap.snap)
+	return snap, nil
+}
+
+// Scan calls fn for every live record with key in [begin, end], in key
+// order, under snapshot isolation; see DB.Scan.
+func (t *Table) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) error {
+	e := t.eng
+	e.mu.RLock()
+	if err := t.liveLocked(); err != nil {
+		e.mu.RUnlock()
+		return err
+	}
+	// A single scan needs no Snapshot wrapper: NewQuery issues the read
+	// timestamp and registers the query atomically under the store latch.
+	q, err := t.store.NewQuery(e.clock.now(), begin, end)
+	e.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return e.drainQuery(q, fn)
+}
+
+// drainQuery iterates a query to completion (or early stop), advancing
+// the virtual clock and closing the query — the shared tail of every scan
+// entry point.
+func (e *Engine) drainQuery(q *core.Query, fn func(key uint64, body []byte) bool) error {
+	defer func() {
+		e.clock.advance(q.Time())
+		q.Close()
+	}()
+	for {
+		row, ok, err := q.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if !fn(row.Key, row.Body) {
+			return nil
+		}
+	}
+}
+
+// Get returns the freshest version of one record, or ok=false if it does
+// not exist.
+func (t *Table) Get(key uint64) ([]byte, bool, error) {
+	var body []byte
+	found := false
+	err := t.Scan(key, key, func(_ uint64, b []byte) bool {
+		body = append([]byte(nil), b...)
+		found = true
+		return false
+	})
+	return body, found, err
+}
+
+// Flush forces the table's in-memory update buffer into a materialized
+// sorted run on the shared SSD.
+func (t *Table) Flush() error {
+	e := t.eng
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := t.liveLocked(); err != nil {
+		return err
+	}
+	end, err := t.store.Flush(e.clock.now())
+	if err != nil {
+		return err
+	}
+	e.clock.advance(end)
+	return nil
+}
+
+// Migrate folds this table's cached updates back into its main data; other
+// tables' caches and scans are untouched. See DB.Migrate.
+func (t *Table) Migrate() error {
+	if err := t.live(); err != nil {
+		return err
+	}
+	e := t.eng
+	end, _, err := t.store.Migrate(e.clock.now())
+	if err != nil {
+		return err
+	}
+	e.clock.advance(end)
+	return nil
+}
+
+// ScanAndMigrate migrates this table's cached updates while streaming the
+// fresh post-migration rows to fn; see DB.ScanAndMigrate.
+func (t *Table) ScanAndMigrate(fn func(key uint64, body []byte) bool) error {
+	e := t.eng
+	e.mu.RLock()
+	if err := t.liveLocked(); err != nil {
+		e.mu.RUnlock()
+		return err
+	}
+	mig, err := t.store.BeginMigration(e.clock.now())
+	e.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	end, _, err := mig.RunWithScan(func(row table.Row) bool {
+		return fn(row.Key, row.Body)
+	})
+	if err != nil {
+		return err
+	}
+	e.clock.advance(end)
+	return nil
+}
+
+// MigrateStep performs one step of incremental migration on this table;
+// see DB.MigrateStep.
+func (t *Table) MigrateStep(portionPages int) (sweepDone bool, err error) {
+	if err := t.live(); err != nil {
+		return false, err
+	}
+	e := t.eng
+	end, done, err := t.store.MigratePortion(e.clock.now(), portionPages)
+	if err != nil {
+		return false, err
+	}
+	e.clock.advance(end)
+	return done, nil
+}
+
+// MigrateIfNeeded migrates when this table's cache occupancy exceeds its
+// configured threshold; it reports whether a migration ran.
+func (t *Table) MigrateIfNeeded() (bool, error) {
+	if err := t.live(); err != nil {
+		return false, err
+	}
+	e := t.eng
+	end, ran, err := t.store.MigrateIfNeeded(e.clock.now())
+	if err != nil {
+		return false, err
+	}
+	e.clock.advance(end)
+	return ran, nil
+}
+
+// CacheFill returns the table's update-cache occupancy as a fraction of
+// its budget.
+func (t *Table) CacheFill() float64 { return t.store.Fill() }
+
+// MigrateIfPressured performs one round of cache-pressure arbitration
+// synchronously: if any table's occupancy is over its own threshold, the
+// most-pressured table migrates; otherwise, if the *total* cached bytes
+// cross the engine cache's threshold while no individual table has (many
+// moderately busy tenants sharing the pool), the single largest consumer
+// migrates to relieve it. It reports which table migrated, if any.
+// Transient blockers (open readers, an in-flight migration) are absorbed
+// as ("", false, nil); the MigrationScheduler calls this in a loop, and
+// synchronous multi-tenant drivers can too.
+func (e *Engine) MigrateIfPressured() (tableName string, ran bool, err error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return "", false, ErrClosed
+	}
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+	if len(tables) == 0 {
+		return "", false, nil
+	}
+	var target *Table
+	var targetFill float64
+	var total int64
+	var biggest *Table
+	var biggestCached int64
+	for _, t := range tables {
+		cached := t.store.CachedBytes()
+		total += cached
+		if cached > biggestCached || (cached == biggestCached && (biggest == nil || t.id < biggest.id)) {
+			biggest, biggestCached = t, cached
+		}
+		if !t.store.ShouldMigrate() {
+			continue
+		}
+		fill := t.store.Fill()
+		if target == nil || fill > targetFill || (fill == targetFill && t.id < target.id) {
+			target, targetFill = t, fill
+		}
+	}
+	if target == nil {
+		threshold := e.cfg.MigrateThreshold
+		if threshold <= 0 {
+			threshold = DefaultConfig().MigrateThreshold
+		}
+		if float64(total) < threshold*float64(e.cfg.CacheBytes) || biggestCached == 0 {
+			return "", false, nil
+		}
+		target = biggest
+	}
+	if err := target.Migrate(); err != nil {
+		if errors.Is(err, ErrActiveQueries) || errors.Is(err, ErrMigrationInProgress) || errors.Is(err, ErrTableDropped) {
+			return "", false, nil // transient; retry on the next round
+		}
+		return "", false, err
+	}
+	return target.name, true, nil
+}
+
+// Begin starts a transaction on this table; see DB.Begin.
+func (t *Table) Begin(mode TxMode) (*Tx, error) {
+	e := t.eng
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := t.liveLocked(); err != nil {
+		return nil, err
+	}
+	tx := &Tx{t: t, tx: t.txns.Begin(txn.Mode(mode))}
+	// Safety net for abandoned transactions: an unreferenced Tx that never
+	// reached Commit or Abort would pin its snapshot (and Locking-mode
+	// locks) forever, permanently blocking migration. Abort is idempotent,
+	// so the cleanup is a no-op for properly finished transactions.
+	runtime.AddCleanup(tx, func(t *txn.Txn) { t.Abort() }, tx.tx)
+	return tx, nil
+}
+
+// Stats returns this table's engine counters. The device-level fields are
+// engine-wide and reported by Engine.Stats (and by DB.Stats for the
+// single-table wrapper); they are zero here.
+func (t *Table) Stats() Stats {
+	st := t.store.Stats()
+	return Stats{
+		Rows:            t.tbl.Rows(),
+		CachedBytes:     t.store.CachedBytes(),
+		CacheFill:       t.store.Fill(),
+		Runs:            t.store.Runs(),
+		UpdatesAccepted: st.UpdatesAccepted,
+		WritesPerUpdate: st.WritesPerUpdate(),
+		Migrations:      st.Migrations,
+	}
+}
+
+// EngineStats aggregates the catalog: total cache pressure, the shared
+// devices' counters, and a per-table breakdown.
+type EngineStats struct {
+	// CachedBytes is the update bytes held across every table (runs plus
+	// in-memory buffers); CacheFill is that as a fraction of the engine's
+	// logical cache capacity.
+	CachedBytes int64
+	CacheFill   float64
+	Tables      map[string]Stats
+	// Device-level truth for the shared hardware.
+	SSDBytesWritten int64
+	SSDRandomWrites int64
+	DiskBytesRead   int64
+}
+
+// Stats returns a snapshot of the engine's counters with the per-table
+// breakdown.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	es := EngineStats{Tables: make(map[string]Stats, len(e.tables))}
+	for name, t := range e.tables {
+		ts := t.Stats()
+		es.Tables[name] = ts
+		es.CachedBytes += ts.CachedBytes
+	}
+	es.CacheFill = float64(es.CachedBytes) / float64(e.cfg.CacheBytes)
+	ssd := e.ssd.Stats()
+	hdd := e.hdd.Stats()
+	es.SSDBytesWritten = ssd.BytesWritten
+	es.SSDRandomWrites = ssd.RandomWrites
+	es.DiskBytesRead = hdd.BytesRead
+	return es
+}
+
+// Sync forces the shared redo log to stable storage; see DB.Sync.
+func (e *Engine) Sync() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.log == nil {
+		return nil
+	}
+	end, err := e.log.Sync(e.clock.now())
+	if err != nil {
+		return err
+	}
+	e.clock.advance(end)
+	return nil
+}
+
+// Elapsed returns the simulated time consumed by all operations so far,
+// across every table (one shared virtual timeline).
+func (e *Engine) Elapsed() sim.Duration { return sim.Duration(e.clock.now()) }
+
+// Close marks the engine closed and stops the background migration
+// scheduler. For file-backed engines it is the clean shutdown: the redo
+// log's buffered tail is forced, every file is fsynced, and the
+// descriptors are released. Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	alreadyClosed := e.closed
+	e.closed = true
+	sched := e.sched
+	e.sched = nil
+	fs := e.fs
+	now := e.clock.now()
+	e.mu.Unlock()
+	// Stop outside the lock: the scheduler goroutine takes the read lock.
+	if sched != nil {
+		sched.Stop()
+	}
+	if fs == nil || alreadyClosed {
+		return nil
+	}
+	var firstErr error
+	if e.log != nil {
+		if _, err := e.log.Sync(now); err != nil {
+			firstErr = err
+		}
+	}
+	if err := fs.closeFiles(true); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// HardStop abandons the engine with no clean shutdown whatsoever; see
+// DB.HardStop.
+func (e *Engine) HardStop() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	sched := e.sched
+	e.sched = nil
+	fs := e.fs
+	e.mu.Unlock()
+	if sched != nil {
+		sched.Stop()
+	}
+	if fs != nil {
+		return fs.closeFiles(false)
+	}
+	return nil
+}
+
+// Crash simulates a failure of the whole engine: every volatile structure
+// is dropped and a new Engine is rebuilt from the shared redo log, the
+// SSD-resident runs, and the per-table main data (paper §3.6, extended to
+// the catalog). On a file-backed engine the crash is real: a HardStop
+// followed by a fresh OpenEngineDir of the same directory.
+func (e *Engine) Crash() (*Engine, error) {
+	e.mu.RLock()
+	fs := e.fs
+	e.mu.RUnlock()
+	if fs != nil {
+		if err := e.HardStop(); err != nil {
+			return nil, err
+		}
+		return OpenEngineDir(fs.dir, fs.opts)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if e.log == nil {
+		e.mu.Unlock()
+		return nil, errors.New("masm: crash recovery requires the redo log")
+	}
+	e.closed = true
+	sched := e.sched
+	e.sched = nil
+	now := e.clock.now()
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.byID {
+		tables = append(tables, t)
+	}
+	sort.Slice(tables, func(i, j int) bool { return tables[i].id < tables[j].id })
+	e.mu.Unlock()
+	if sched != nil {
+		sched.Stop()
+	}
+	// Force no sync: entries not yet written are genuinely lost, exactly
+	// as a crash would lose them. The devices, table heaps and SSD volume
+	// carry over (their bytes are "non-volatile"); the run metadata, run
+	// indexes and in-memory buffers are rebuilt from the log.
+	e2 := &Engine{
+		cfg:    e.cfg,
+		hdd:    e.hdd,
+		ssd:    e.ssd,
+		arena:  e.arena,
+		ssdVol: e.ssdVol,
+		oracle: &core.Oracle{},
+		logVol: e.logVol,
+		tables: make(map[string]*Table),
+		byID:   make(map[uint32]*Table),
+		nextID: e.nextID,
+	}
+	e2.clock.advance(now)
+	e2.shared = core.NewSharedAlloc(e.ssdVol.Size())
+	newLog := wal.Open(e.logVol)
+	e2.log = newLog
+
+	entries, now, err := wal.ReadAll(e.logVol, now)
+	if err != nil {
+		return nil, err
+	}
+	states := wal.ReplayEntries(entries)
+	// Checkpoint the recovered state into the fresh log (which reuses the
+	// volume) so a second crash recovers too, then rebuild each table.
+	cps := make([]wal.TableCheckpoint, 0, len(tables))
+	for _, t := range tables {
+		st := states[t.id]
+		if st == nil {
+			continue
+		}
+		cps = append(cps, wal.TableCheckpoint{Table: t.id, Runs: st.Runs, Pending: st.Pending})
+	}
+	if now, err = newLog.CheckpointAll(now, cps); err != nil {
+		return nil, err
+	}
+	for _, t := range tables {
+		st := states[t.id]
+		if st == nil {
+			st = &wal.TableState{}
+		}
+		alloc := e2.shared.Partition(t.id, t.cacheBudget*2)
+		ccfg := coreConfig(e.cfg)
+		ccfg.SSDCapacity = roundTo(t.cacheBudget, 4<<10)
+		store, end, err := core.RestoreShared(ccfg, t.tbl, e2.ssdVol, e2.oracle,
+			newLog.ForTable(t.id), alloc, t.id, st.Runs, st.Pending, st.RedoMigration, now)
+		if err != nil {
+			return nil, fmt.Errorf("masm: recover table %q: %w", t.name, err)
+		}
+		now = end
+		t2 := &Table{eng: e2, name: t.name, id: t.id, cacheBudget: t.cacheBudget, tbl: t.tbl, store: store}
+		t2.txns = txn.NewManager(store)
+		e2.tables[t2.name] = t2
+		e2.byID[t2.id] = t2
+	}
+	e2.clock.advance(now)
+	return e2, nil
+}

@@ -1,0 +1,198 @@
+package masm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"masm/internal/table"
+	"masm/internal/txn"
+	"masm/internal/update"
+)
+
+// EngineTx is a transaction spanning any number of the engine's tables.
+// Each table touched gets a sub-transaction on that table's manager
+// (pinning a snapshot of the table at first touch), writes stay in
+// per-table private buffers, and Commit publishes the whole write set
+// atomically: every involved table's records are stamped with consecutive
+// commit timestamps under all the stores' latches and written to the
+// shared redo log as one commit record, so both concurrent readers and
+// crash recovery see the cross-table commit all-or-nothing.
+//
+// Reads are per-table snapshots taken lazily (at the first operation
+// naming the table), not one engine-wide point in time; the atomicity
+// guarantee is about the commit. Under TxSnapshot each table's writes
+// validate first-committer-wins against that table's commit history.
+//
+// An EngineTx is not safe for concurrent use by multiple goroutines.
+type EngineTx struct {
+	eng  *Engine
+	mode TxMode
+
+	mu   sync.Mutex
+	subs map[string]*txn.Txn
+	done bool
+}
+
+// BeginTx starts a transaction that may read and write any table of the
+// catalog. Like Begin, it must end in Commit or Abort: each table it
+// touches pins a snapshot that blocks that table's migration until the
+// transaction ends.
+func (e *Engine) BeginTx(mode TxMode) (*EngineTx, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	tx := &EngineTx{eng: e, mode: mode, subs: make(map[string]*txn.Txn)}
+	return tx, nil
+}
+
+// sub returns (beginning if necessary) the sub-transaction for a table.
+func (tx *EngineTx) sub(tableName string) (*txn.Txn, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil, txn.ErrDone
+	}
+	if s, ok := tx.subs[tableName]; ok {
+		return s, nil
+	}
+	t, err := tx.eng.OpenTable(tableName)
+	if err != nil {
+		return nil, err
+	}
+	s := t.txns.Begin(txn.Mode(tx.mode))
+	tx.subs[tableName] = s
+	// Safety net for abandoned engine transactions, mirroring Begin's: an
+	// unreferenced EngineTx would otherwise pin every touched table's
+	// snapshot forever. Abort is idempotent.
+	runtime.AddCleanup(tx, func(s *txn.Txn) { s.Abort() }, s)
+	return s, nil
+}
+
+// Insert buffers an insertion into table in the transaction.
+func (tx *EngineTx) Insert(table string, key uint64, body []byte) error {
+	s, err := tx.sub(table)
+	if err != nil {
+		return err
+	}
+	err = s.Update(update.Record{Key: key, Op: update.Insert, Payload: append([]byte(nil), body...)})
+	runtime.KeepAlive(tx)
+	return err
+}
+
+// Delete buffers a deletion from table in the transaction.
+func (tx *EngineTx) Delete(table string, key uint64) error {
+	s, err := tx.sub(table)
+	if err != nil {
+		return err
+	}
+	err = s.Update(update.Record{Key: key, Op: update.Delete})
+	runtime.KeepAlive(tx)
+	return err
+}
+
+// Modify buffers a field modification of table's record in the
+// transaction.
+func (tx *EngineTx) Modify(table string, key uint64, off int, val []byte) error {
+	if off < 0 || off > 0xffff {
+		return fmt.Errorf("masm: modify offset %d out of range", off)
+	}
+	s, err := tx.sub(table)
+	if err != nil {
+		return err
+	}
+	err = s.Update(update.Record{Key: key, Op: update.Modify,
+		Payload: update.EncodeFields([]update.Field{{Off: uint16(off), Value: append([]byte(nil), val...)}})})
+	runtime.KeepAlive(tx)
+	return err
+}
+
+// Scan reads [begin, end] of tableName at the transaction's snapshot of
+// that table, overlaid with the transaction's own writes to it.
+func (tx *EngineTx) Scan(tableName string, begin, end uint64, fn func(key uint64, body []byte) bool) error {
+	s, err := tx.sub(tableName)
+	if err != nil {
+		return err
+	}
+	e := tx.eng
+	end2, err := s.Scan(e.clock.now(), begin, end, func(row table.Row) bool {
+		return fn(row.Key, row.Body)
+	})
+	e.clock.advance(end2)
+	runtime.KeepAlive(tx)
+	return err
+}
+
+// Get returns the transaction's view of one record of tableName.
+func (tx *EngineTx) Get(tableName string, key uint64) ([]byte, bool, error) {
+	var body []byte
+	found := false
+	err := tx.Scan(tableName, key, key, func(_ uint64, b []byte) bool {
+		body = append([]byte(nil), b...)
+		found = true
+		return false
+	})
+	return body, found, err
+}
+
+// Commit validates and atomically publishes the transaction's writes
+// across every table it touched: one commit record in the shared redo
+// log, consecutive commit timestamps from the shared oracle, and
+// all-or-nothing visibility per table. Under TxSnapshot it returns
+// txn.ErrWriteConflict if any table's write set conflicts with a commit
+// after this transaction first touched that table.
+//
+// A Commit that fails partway through publication (e.g. a table's update
+// cache is exhausted mid-batch) may leave a stamped prefix of its writes
+// applied, like the single-table Tx; additionally, because the commit
+// record goes down before publication (what makes the commit
+// crash-atomic across tables), a crash after such a failure replays the
+// whole write set. A failed cross-table Commit is therefore "partially
+// applied now, possibly fully applied after recovery" — never torn
+// across tables. See masm.CommitAcross for the full rationale.
+func (tx *EngineTx) Commit() error {
+	e := tx.eng
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return txn.ErrDone
+	}
+	tx.done = true
+	subs := make([]*txn.Txn, 0, len(tx.subs))
+	for _, s := range tx.subs {
+		subs = append(subs, s)
+	}
+	if e.closed {
+		for _, s := range subs {
+			s.Abort()
+		}
+		return ErrClosed
+	}
+	end, err := txn.CommitMulti(e.clock.now(), subs)
+	if err != nil {
+		runtime.KeepAlive(tx)
+		return err
+	}
+	e.clock.advance(end)
+	runtime.KeepAlive(tx)
+	return nil
+}
+
+// Abort discards the transaction, releasing every touched table's
+// snapshot and locks.
+func (tx *EngineTx) Abort() {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return
+	}
+	tx.done = true
+	for _, s := range tx.subs {
+		s.Abort()
+	}
+	runtime.KeepAlive(tx)
+}

@@ -1,0 +1,268 @@
+package bench
+
+// The multi-tenant shared-cache benchmark behind BENCH_4.json: the
+// paper's §5 argument, measured. One SSD update cache serving N tables
+// with skewed per-tenant load is compared against the same SSD statically
+// partitioned into N private caches (each tenant gets capacity/N). With
+// skew, the shared pool lets hot tenants borrow the space idle tenants
+// are not using, so the hot tenant migrates far less often and the whole
+// catalog sustains a higher update rate on identical hardware; the static
+// partition burns disk time on premature migrations of the hot tenant
+// while most of the SSD sits idle.
+//
+// Both configurations run on the simulated devices, so the results are
+// machine-independent virtual-time measurements (like the paper
+// experiments), not host wall-clock.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"masm"
+	"masm/internal/sim"
+)
+
+// TenantBenchResult is one configuration's outcome.
+type TenantBenchResult struct {
+	Config string `json:"config"` // "shared" or "private"
+	// UpdatesPerSec is the sustained update rate in simulated time,
+	// migrations included.
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	ElapsedSimSec float64 `json:"elapsed_sim_sec"`
+	Migrations    int64   `json:"migrations"`
+	// PeakCachedBytes is the high-water mark of update bytes held across
+	// all tenants, and SSDFootprintBytes the physical SSD provisioned to
+	// hold them (the over-provisioned volume capacity).
+	PeakCachedBytes   int64 `json:"peak_cached_bytes"`
+	SSDFootprintBytes int64 `json:"ssd_footprint_bytes"`
+	SSDBytesWritten   int64 `json:"ssd_bytes_written"`
+	// PerTenantMigrations shows where the migration pressure landed.
+	PerTenantMigrations map[string]int64 `json:"per_tenant_migrations"`
+}
+
+// TenantBenchReport is the machine-readable BENCH_4.json payload.
+type TenantBenchReport struct {
+	Bench        string            `json:"bench"`
+	Tenants      int               `json:"tenants"`
+	RowsPerTable int               `json:"rows_per_table"`
+	Updates      int               `json:"updates"`
+	Skew         float64           `json:"skew"`
+	CacheBytes   int64             `json:"cache_bytes"`
+	Seed         int64             `json:"seed"`
+	Shared       TenantBenchResult `json:"shared"`
+	Private      TenantBenchResult `json:"private"`
+	// SpeedupSharedOverPrivate is the sustained-rate ratio.
+	SpeedupSharedOverPrivate float64 `json:"speedup_shared_over_private"`
+}
+
+// tenantName names tenant i's table.
+func tenantName(i int) string { return fmt.Sprintf("tenant-%d", i) }
+
+// tenantLoad builds the skewed tenant-selection sequence: tenant 0 is the
+// hottest, following a Zipf-like share, so a shared cache has real slack
+// to reassign.
+func tenantLoad(rng *rand.Rand, tenants, updates int, skew float64) []int {
+	z := rand.NewZipf(rng, skew, 1, uint64(tenants-1))
+	seq := make([]int, updates)
+	for i := range seq {
+		seq[i] = int(z.Uint64())
+	}
+	return seq
+}
+
+// tenantTable is the minimal per-tenant facade the two configurations
+// share: an engine table, or a standalone single-table DB.
+type tenantTable interface {
+	Modify(key uint64, off int, val []byte) error
+	Stats() masm.Stats
+}
+
+// runTenantWorkload drives one update sequence through the tenants,
+// invoking the configuration's migration policy inline after every update
+// (the virtual timeline has no background threads), and reports the
+// simulated completion time, total migrations and the cached-bytes
+// high-water mark. relieve migrates if the configuration's pressure rule
+// says so and names the migrated tenant.
+func runTenantWorkload(tenants []tenantTable, elapsed func() sim.Duration,
+	relieve func(justWrote int) (string, bool, error),
+	seq []int, rows int, seed int64) (sim.Duration, int64, int64, map[string]int64, error) {
+
+	rng := rand.New(rand.NewSource(seed))
+	var migrations int64
+	var peak int64
+	perTenant := make(map[string]int64)
+	val := []byte("qty=42 price=0123")
+	for n, ti := range seq {
+		t := tenants[ti]
+		// In-place field modifications of existing rows: the paper's
+		// steady-state warehouse maintenance stream. (Inserts would grow
+		// the tables and make later migrations incomparably priced
+		// between the two configurations.)
+		key := uint64(rng.Intn(rows)+1) * 2
+		if err := t.Modify(key, 17, val); err != nil {
+			return 0, 0, 0, nil, fmt.Errorf("tenant %d update %d: %w", ti, n, err)
+		}
+		name, ran, err := relieve(ti)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		if ran {
+			migrations++
+			perTenant[name]++
+		}
+		if n%256 == 0 {
+			var cached int64
+			for _, tt := range tenants {
+				cached += tt.Stats().CachedBytes
+			}
+			if cached > peak {
+				peak = cached
+			}
+		}
+	}
+	return elapsed(), migrations, peak, perTenant, nil
+}
+
+// TenantBench runs the shared-vs-private comparison and renders the
+// report (and BENCH_4.json when jsonPath is non-empty).
+func TenantBench(w io.Writer, jsonPath string, seed int64, tenants, rows, updates int) (*TenantBenchReport, error) {
+	if tenants < 2 {
+		return nil, fmt.Errorf("tenantbench: need at least 2 tenants, have %d", tenants)
+	}
+	const skew = 1.4
+	cacheBytes := int64(tenants) * (1 << 20) // 1 MB of shared SSD per tenant
+	bodies := make([][]byte, 64)
+	for i := range bodies {
+		bodies[i] = []byte(fmt.Sprintf("tenant-row-%04d: qty=01 price=0099 status=SHIPPED", i))
+	}
+	loadKeys := make([]uint64, rows)
+	loadBodies := make([][]byte, rows)
+	for i := range loadKeys {
+		loadKeys[i] = uint64(i+1) * 2
+		loadBodies[i] = bodies[i%len(bodies)]
+	}
+	seq := tenantLoad(rand.New(rand.NewSource(seed)), tenants, updates, skew)
+
+	report := &TenantBenchReport{
+		Bench:        "tenantbench",
+		Tenants:      tenants,
+		RowsPerTable: rows,
+		Updates:      updates,
+		Skew:         skew,
+		CacheBytes:   cacheBytes,
+		Seed:         seed,
+	}
+
+	// Shared: one engine, one SSD cache; every tenant may use the whole
+	// pool (the byte-budget allocator and fill-pressure migration keep it
+	// honest).
+	cfg := masm.DefaultConfig()
+	cfg.CacheBytes = cacheBytes
+	cfg.DisableRedoLog = true // both configs: measure the cache, not the log
+	eng, err := masm.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sharedTenants := make([]tenantTable, tenants)
+	for i := 0; i < tenants; i++ {
+		t, err := eng.CreateTable(tenantName(i), masm.TableOptions{Keys: loadKeys, Bodies: loadBodies})
+		if err != nil {
+			return nil, err
+		}
+		sharedTenants[i] = t
+	}
+	sharedRelieve := func(int) (string, bool, error) { return eng.MigrateIfPressured() }
+	el, mig, peak, per, err := runTenantWorkload(sharedTenants, eng.Elapsed, sharedRelieve, seq, rows, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("shared config: %w", err)
+	}
+	est := eng.Stats()
+	report.Shared = TenantBenchResult{
+		Config:              "shared",
+		UpdatesPerSec:       float64(updates) / el.Seconds(),
+		ElapsedSimSec:       el.Seconds(),
+		Migrations:          mig,
+		PeakCachedBytes:     peak,
+		SSDFootprintBytes:   cacheBytes * 2,
+		SSDBytesWritten:     est.SSDBytesWritten,
+		PerTenantMigrations: per,
+	}
+	eng.Close()
+
+	// Private: the same SSD statically split into per-tenant caches of
+	// capacity/N, each its own single-table DB on its own devices (a
+	// dedicated slice of hardware, as a per-object deployment would be).
+	privTenants := make([]tenantTable, tenants)
+	privDBs := make([]*masm.DB, tenants)
+	pcfg := cfg
+	pcfg.CacheBytes = cacheBytes / int64(tenants)
+	for i := 0; i < tenants; i++ {
+		db, err := masm.Open(pcfg, loadKeys, loadBodies)
+		if err != nil {
+			return nil, err
+		}
+		privDBs[i] = db
+		privTenants[i] = db
+	}
+	privElapsed := func() sim.Duration {
+		// Tenants run on private hardware in parallel; the sustained rate
+		// is bounded by the slowest (hottest) tenant's timeline.
+		var max sim.Duration
+		for _, db := range privDBs {
+			if d := db.Elapsed(); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	privRelieve := func(justWrote int) (string, bool, error) {
+		ran, err := privDBs[justWrote].MigrateIfNeeded()
+		return tenantName(justWrote), ran, err
+	}
+	el2, mig2, peak2, per2, err := runTenantWorkload(privTenants, privElapsed, privRelieve, seq, rows, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("private config: %w", err)
+	}
+	var privWritten int64
+	for _, db := range privDBs {
+		privWritten += db.Stats().SSDBytesWritten
+		db.Close()
+	}
+	report.Private = TenantBenchResult{
+		Config:              "private",
+		UpdatesPerSec:       float64(updates) / el2.Seconds(),
+		ElapsedSimSec:       el2.Seconds(),
+		Migrations:          mig2,
+		PeakCachedBytes:     peak2,
+		SSDFootprintBytes:   cacheBytes * 2,
+		SSDBytesWritten:     privWritten,
+		PerTenantMigrations: per2,
+	}
+	report.SpeedupSharedOverPrivate = report.Shared.UpdatesPerSec / report.Private.UpdatesPerSec
+
+	fmt.Fprintf(w, "tenantbench: %d tenants, zipf %.1f load skew, %d updates, %d MB total SSD cache\n",
+		tenants, skew, updates, cacheBytes>>20)
+	fmt.Fprintf(w, "%-10s %14s %12s %12s %14s\n", "config", "upd/s (sim)", "sim time", "migrations", "peak cached")
+	for _, r := range []TenantBenchResult{report.Shared, report.Private} {
+		fmt.Fprintf(w, "%-10s %14.0f %11.2fs %12d %13dK\n",
+			r.Config, r.UpdatesPerSec, r.ElapsedSimSec, r.Migrations, r.PeakCachedBytes>>10)
+	}
+	fmt.Fprintf(w, "shared-cache speedup over static partition: %.2fx\n", report.SpeedupSharedOverPrivate)
+	fmt.Fprintf(w, "hot-tenant migrations: shared %d, private %d\n",
+		report.Shared.PerTenantMigrations[tenantName(0)], report.Private.PerTenantMigrations[tenantName(0)])
+
+	if jsonPath != "" {
+		js, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(jsonPath, append(js, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return report, nil
+}

@@ -3,11 +3,126 @@ package masm
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // extent is a contiguous byte range of the SSD update-cache volume.
 type extent struct {
 	off, size int64
+}
+
+// RunAllocator hands out extents of an SSD update-cache volume to a store's
+// materialized sorted runs. A single-table store owns a private allocator
+// over its whole volume; in a multi-table engine every table draws from one
+// SharedAlloc partitioning a single physical volume by byte budget.
+type RunAllocator interface {
+	// Alloc reserves size bytes, returning the extent's offset.
+	Alloc(size int64) (int64, error)
+	// Release returns an extent to the free pool.
+	Release(off, size int64)
+	// Reserve removes a specific range from the free pool (crash recovery
+	// re-registering surviving runs). It fails if the range is not free.
+	Reserve(off, size int64) error
+}
+
+// Exported RunAllocator methods over the private extent allocator, so a
+// store's default single-owner allocator satisfies the same interface as a
+// shared-partition view. No locking: the owning store's latch serializes.
+func (a *extentAlloc) Alloc(size int64) (int64, error) { return a.alloc(size) }
+func (a *extentAlloc) Release(off, size int64)         { a.release(off, size) }
+func (a *extentAlloc) Reserve(off, size int64) error   { return a.reserve(off, size) }
+
+// SharedAlloc is the multi-table run allocator: one physical extent pool
+// over the shared SSD volume, plus per-table byte accounting against a cap.
+// Tables may be oversubscribed — the sum of caps can exceed the physical
+// volume (the paper's §5 sharing argument: idle objects lend their space to
+// busy ones; the migration scheduler keeps total pressure bounded) — but a
+// single table can never grow past its own cap, so one runaway tenant
+// cannot evict the rest.
+//
+// SharedAlloc is internally latched: partitions belonging to different
+// stores allocate concurrently under their own store latches.
+type SharedAlloc struct {
+	mu   sync.Mutex
+	pool *extentAlloc
+	used map[uint32]int64 // physical bytes held per table
+	cap  map[uint32]int64 // physical byte cap per table
+}
+
+// NewSharedAlloc creates a shared allocator over a physical volume of
+// capacity bytes.
+func NewSharedAlloc(capacity int64) *SharedAlloc {
+	return &SharedAlloc{
+		pool: newExtentAlloc(capacity),
+		used: make(map[uint32]int64),
+		cap:  make(map[uint32]int64),
+	}
+}
+
+// Partition registers table with a physical byte cap and returns its
+// RunAllocator view. Registering an existing table replaces its cap.
+func (sa *SharedAlloc) Partition(table uint32, cap int64) RunAllocator {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.cap[table] = cap
+	return &allocPartition{sa: sa, table: table}
+}
+
+// Drop forgets a table, returning its physical bytes held (which the caller
+// releases extent by extent before dropping).
+func (sa *SharedAlloc) Drop(table uint32) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	delete(sa.used, table)
+	delete(sa.cap, table)
+}
+
+// Used reports the physical bytes currently held by table.
+func (sa *SharedAlloc) Used(table uint32) int64 {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.used[table]
+}
+
+// allocPartition is one table's view of a SharedAlloc.
+type allocPartition struct {
+	sa    *SharedAlloc
+	table uint32
+}
+
+func (p *allocPartition) Alloc(size int64) (int64, error) {
+	sa := p.sa
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if used, cap := sa.used[p.table], sa.cap[p.table]; used+size > cap {
+		return 0, fmt.Errorf("masm: table %d over its SSD cache budget: %d bytes held, %d requested, cap %d",
+			p.table, used, size, cap)
+	}
+	off, err := sa.pool.alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	sa.used[p.table] += size
+	return off, nil
+}
+
+func (p *allocPartition) Release(off, size int64) {
+	sa := p.sa
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.pool.release(off, size)
+	sa.used[p.table] -= size
+}
+
+func (p *allocPartition) Reserve(off, size int64) error {
+	sa := p.sa
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if err := sa.pool.reserve(off, size); err != nil {
+		return err
+	}
+	sa.used[p.table] += size
+	return nil
 }
 
 // extentAlloc is a first-fit extent allocator with coalescing free list.

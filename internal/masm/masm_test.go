@@ -315,7 +315,7 @@ func TestMigrationFoldsUpdatesInPlace(t *testing.T) {
 	}
 	// All SSD extents for the migrated runs must be reclaimed (no
 	// doubling of capacity requirements).
-	if free, want := e.store.alloc.totalFree(), 2*e.store.cfg.SSDCapacity; free != want {
+	if free, want := e.store.alloc.(*extentAlloc).totalFree(), 2*e.store.cfg.SSDCapacity; free != want {
 		t.Fatalf("SSD free = %d after migration, want full volume %d", free, want)
 	}
 	if e.tbl.Rows() == rowsBefore && rep.RowDelta != 0 {
@@ -399,7 +399,7 @@ func TestConcurrentQueryDuringMigration(t *testing.T) {
 		}
 	}
 	// Pinned dead runs must be reclaimed once the query closed.
-	if free, want := e.store.alloc.totalFree(), 2*e.store.cfg.SSDCapacity; free != want {
+	if free, want := e.store.alloc.(*extentAlloc).totalFree(), 2*e.store.cfg.SSDCapacity; free != want {
 		t.Fatalf("SSD free = %d, want %d after pinned runs released", free, want)
 	}
 	e.verifyRange(0, ^uint64(0))

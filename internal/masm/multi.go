@@ -1,0 +1,148 @@
+package masm
+
+import (
+	"fmt"
+	"sort"
+
+	"masm/internal/sim"
+	"masm/internal/update"
+)
+
+// TxnPart is one table's slice of a cross-table transaction write set, in
+// the form the redo log persists: the records are already stamped with
+// their commit timestamps.
+type TxnPart struct {
+	Table uint32
+	Recs  []update.Record
+}
+
+// TxnBatchLogger is implemented by redo loggers that can persist an entire
+// cross-table write set as one atomic log record (a single CRC-framed
+// frame: after a crash either every record of the commit replays or none
+// does). BatchBase identifies the physical log so a commit spanning tables
+// can verify they all share it; per-table wrapper loggers return their
+// parent.
+type TxnBatchLogger interface {
+	LogTxnBatch(at sim.Time, parts []TxnPart) (sim.Time, error)
+	BatchBase() any
+}
+
+// StoreBatch is one store's part of a cross-table commit.
+type StoreBatch struct {
+	Store *Store
+	Recs  []update.Record
+}
+
+// CommitAcross atomically publishes a write set spanning several stores of
+// one engine: every involved store's latch is held (in table-id order)
+// while consecutive commit timestamps from the shared oracle are stamped
+// onto the records, the whole set is written to the shared redo log as one
+// KindTxnBatch frame, and the records enter each table's update buffer.
+// A concurrent snapshot on any involved table therefore sees all of the
+// commit's records for that table or none, and crash recovery replays the
+// commit all-or-nothing (the single frame either passes its CRC or is
+// dropped with the torn tail).
+//
+// All stores must share one oracle and (when logging) one physical redo
+// log. On error a stamped prefix may already be published, exactly as in
+// ApplyBatchAuto; lastTS reports the largest stamped timestamp so callers
+// can keep first-committer-wins validation conservative.
+//
+// The commit record deliberately precedes publication: if any leg's
+// records reach a durable run (a flush during publication forces the
+// buffered log, commit record included), the whole batch is already on
+// disk, so a crash can never resurrect one table's leg without the
+// others — the atomicity the record exists for. The trade-off is the
+// failure path: when publication fails partway (e.g. a table hits its SSD
+// budget), the live state holds only the stamped prefix while the log
+// holds the full batch, so a *later crash* replays the commit in full.
+// In other words, a cross-table commit that returned an error is
+// "published at least partially now, possibly completely after a crash" —
+// never torn across tables after recovery, and its write set is always
+// fully recorded for first-committer-wins, so no later transaction can
+// have validated against its absence.
+func CommitAcross(at sim.Time, batches []StoreBatch) (lastTS int64, end sim.Time, err error) {
+	if len(batches) == 0 {
+		return 0, at, nil
+	}
+	if len(batches) == 1 {
+		return batches[0].Store.ApplyBatchAuto(at, batches[0].Recs)
+	}
+	sorted := append([]StoreBatch(nil), batches...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Store.tableID < sorted[j].Store.tableID
+	})
+	oracle := sorted[0].Store.oracle
+	var base any
+	unlogged := 0
+	for i, b := range sorted {
+		if i > 0 && b.Store.tableID == sorted[i-1].Store.tableID {
+			return 0, at, fmt.Errorf("masm: cross-table commit names table %d twice", b.Store.tableID)
+		}
+		if b.Store.oracle != oracle {
+			return 0, at, fmt.Errorf("masm: cross-table commit spans stores with different oracles")
+		}
+		for r := range b.Recs {
+			if err := b.Store.checkRecordSize(&b.Recs[r]); err != nil {
+				return 0, at, err
+			}
+		}
+		if b.Store.log == nil {
+			unlogged++
+			continue
+		}
+		bl, ok := b.Store.log.(TxnBatchLogger)
+		if !ok {
+			return 0, at, fmt.Errorf("masm: table %d's redo logger cannot write atomic transaction batches", b.Store.tableID)
+		}
+		if base == nil {
+			base = bl.BatchBase()
+		} else if bl.BatchBase() != base {
+			return 0, at, fmt.Errorf("masm: cross-table commit spans stores with different redo logs")
+		}
+	}
+	if base != nil && unlogged > 0 {
+		return 0, at, fmt.Errorf("masm: cross-table commit mixes logged and unlogged stores")
+	}
+
+	// Latch every store in table-id order (the engine-wide lock order for
+	// multi-store operations) and hold them all through stamping, logging
+	// and publication.
+	for _, b := range sorted {
+		b.Store.mu.Lock()
+	}
+	defer func() {
+		for i := len(sorted) - 1; i >= 0; i-- {
+			sorted[i].Store.mu.Unlock()
+		}
+	}()
+
+	parts := make([]TxnPart, 0, len(sorted))
+	for _, b := range sorted {
+		for i := range b.Recs {
+			b.Recs[i].TS = oracle.Next()
+			lastTS = b.Recs[i].TS
+		}
+		parts = append(parts, TxnPart{Table: b.Store.tableID, Recs: b.Recs})
+	}
+	now := at
+	if base != nil {
+		// One commit record: the whole cross-table write set in one frame,
+		// written before any record becomes readable from a buffer.
+		t, err := sorted[0].Store.log.(TxnBatchLogger).LogTxnBatch(now, parts)
+		if err != nil {
+			return lastTS, at, err
+		}
+		now = t
+	}
+	for _, b := range sorted {
+		for i := range b.Recs {
+			t, err := b.Store.applyNoLogLocked(now, b.Recs[i])
+			if err != nil {
+				return lastTS, at, err
+			}
+			now = t
+		}
+	}
+	return lastTS, now, nil
+}

@@ -25,8 +25,19 @@ import (
 func Restore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 	logger RedoLogger, runs []RunMeta, pending []update.Record,
 	redoMigration []int64, at sim.Time) (*Store, sim.Time, error) {
+	return RestoreShared(cfg, tbl, ssd, oracle, logger,
+		newExtentAlloc(ssd.Size()), 0, runs, pending, redoMigration, at)
+}
 
-	s, err := NewStore(cfg, tbl, ssd, oracle, logger)
+// RestoreShared is Restore for one table of a multi-table engine: the
+// rebuilt store draws from the engine's shared allocator (re-reserving the
+// surviving runs' extents in it) and carries the table identity. Restore is
+// the single-table special case.
+func RestoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
+	logger RedoLogger, alloc RunAllocator, tableID uint32, runs []RunMeta,
+	pending []update.Record, redoMigration []int64, at sim.Time) (*Store, sim.Time, error) {
+
+	s, err := NewStoreShared(cfg, tbl, ssd, oracle, logger, alloc, tableID)
 	if err != nil {
 		return nil, at, err
 	}
@@ -43,9 +54,10 @@ func Restore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 		if err != nil {
 			return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, err)
 		}
+		run.Table = s.tableID
 		at = end
 		extSize := roundUp(rm.Size, int64(cfg.SSDPage))
-		if err := s.alloc.reserve(rm.Off, extSize); err != nil {
+		if err := s.alloc.Reserve(rm.Off, extSize); err != nil {
 			return nil, at, err
 		}
 		s.extents[rm.RunID] = extent{off: rm.Off, size: extSize}

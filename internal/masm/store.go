@@ -83,6 +83,10 @@ type Store struct {
 	ssd    *storage.Volume
 	oracle *Oracle
 	log    RedoLogger
+	// tableID names this store's table within a multi-table engine sharing
+	// one SSD volume, WAL and oracle; a standalone single-table store is
+	// table 0.
+	tableID uint32
 
 	mu   sync.Mutex
 	buf  *memtable.Buffer
@@ -91,7 +95,7 @@ type Store struct {
 	// mutation so the per-update cache-fill check is O(1) instead of a
 	// walk of the run list under the latch.
 	runBytes  int64
-	alloc     *extentAlloc
+	alloc     RunAllocator
 	nextRunID int64
 	// queryPagesInUse counts memory pages pinned by open queries'
 	// Run_scan read buffers; MaSM-M steals idle query pages for the
@@ -135,6 +139,19 @@ type Store struct {
 // update cache) and shared timestamp oracle. logger may be nil to run
 // without a redo log.
 func NewStore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle, logger RedoLogger) (*Store, error) {
+	// The private allocator manages the whole physical volume, which may be
+	// over-provisioned relative to the logical cache capacity; the
+	// transient space lets 2-pass merges write their output before
+	// the input runs are released, as real SSDs over-provision flash.
+	return NewStoreShared(cfg, tbl, ssd, oracle, logger, newExtentAlloc(ssd.Size()), 0)
+}
+
+// NewStoreShared creates a MaSM store drawing its run extents from a shared
+// allocator over a (possibly multi-table) SSD volume, identified as tableID
+// within the engine that owns the volume. NewStore is the single-table
+// special case: a private allocator and table 0.
+func NewStoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
+	logger RedoLogger, alloc RunAllocator, tableID uint32) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,17 +160,14 @@ func NewStore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 			ssd.Size(), cfg.SSDCapacity)
 	}
 	s := &Store{
-		cfg:    cfg,
-		tbl:    tbl,
-		ssd:    ssd,
-		oracle: oracle,
-		log:    logger,
-		buf:    memtable.New(cfg.SPages() * cfg.SSDPage),
-		// The allocator manages the whole physical volume, which may be
-		// over-provisioned relative to the logical cache capacity; the
-		// transient space lets 2-pass merges write their output before
-		// the input runs are released, as real SSDs over-provision flash.
-		alloc:           newExtentAlloc(ssd.Size()),
+		cfg:             cfg,
+		tbl:             tbl,
+		ssd:             ssd,
+		oracle:          oracle,
+		log:             logger,
+		tableID:         tableID,
+		buf:             memtable.New(cfg.SPages() * cfg.SSDPage),
+		alloc:           alloc,
 		activeQueries:   make(map[*Query]int64),
 		snaps:           make(map[*Snapshot]int64),
 		pins:            make(map[int64]int),
@@ -167,6 +181,36 @@ func NewStore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 
 // Config returns the store's configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// TableID returns the table identity this store carries within its engine
+// (0 for a standalone single-table store).
+func (s *Store) TableID() uint32 { return s.tableID }
+
+// Idle reports whether the store has no open queries, snapshots or
+// in-flight migration — the precondition for dropping its table from a
+// catalog.
+func (s *Store) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.activeQueries) == 0 && len(s.snaps) == 0 && !s.migrating
+}
+
+// ReleaseAllRuns frees every live run's extent back to the allocator and
+// empties the run set; DropTable uses it to return a dropped table's SSD
+// space to the shared pool. It fails unless the store is idle.
+func (s *Store) ReleaseAllRuns() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.activeQueries) != 0 || len(s.snaps) != 0 || s.migrating {
+		return fmt.Errorf("masm: table %d still has active readers or a migration", s.tableID)
+	}
+	for _, r := range s.runs {
+		s.runBytes -= r.Size
+		s.releaseRunLocked(r)
+	}
+	s.runs = nil
+	return nil
+}
 
 // SetScanGranularity switches the effective run-index granularity used by
 // subsequent queries, selecting between the paper's coarse-grain and
@@ -331,6 +375,15 @@ func (s *Store) applyLocked(at sim.Time, rec update.Record) (sim.Time, error) {
 		}
 		at = t
 	}
+	return s.applyNoLogLocked(at, rec)
+}
+
+// applyNoLogLocked buffers one stamped record without writing a per-record
+// redo entry: the caller has already made the record recoverable (a
+// cross-table transaction batch logs its whole write set as one frame
+// before publication). Flushes triggered here still log their run records.
+// Caller holds s.mu.
+func (s *Store) applyNoLogLocked(at sim.Time, rec update.Record) (sim.Time, error) {
 	for !s.buf.Append(rec) {
 		// Buffer full. Steal an idle query page if one exists (Fig 8,
 		// Incoming Updates lines 2–3), otherwise materialize a 1-pass run
@@ -366,7 +419,7 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 		size += int64(update.EncodedSize(&recs[i]))
 	}
 	extSize := roundUp(size, int64(s.cfg.SSDPage))
-	off, err := s.alloc.alloc(extSize)
+	off, err := s.alloc.Alloc(extSize)
 	if err != nil {
 		// Put the drained records back: they were acknowledged to their
 		// writers and must stay readable. The buffer overfills past its
@@ -379,9 +432,10 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 	run, end, err := runfile.WriteRun(s.ssd, off, at, id, recs, s.cfg.Run)
 	if err != nil {
 		s.buf.Restore(recs)
-		s.alloc.release(off, extSize)
+		s.alloc.Release(off, extSize)
 		return at, err
 	}
+	run.Table = s.tableID
 	s.extents[id] = extent{off: off, size: extSize}
 	s.runs = append(s.runs, run)
 	s.runBytes += run.Size
@@ -535,7 +589,7 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	// pull granularity stays at one record.
 
 	extSize := roundUp(totalSize, int64(s.cfg.SSDPage))
-	off, err := s.alloc.alloc(extSize)
+	off, err := s.alloc.Alloc(extSize)
 	if err != nil {
 		return at, err
 	}
@@ -563,10 +617,11 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	if err != nil {
 		return at, err
 	}
+	merged.Table = s.tableID
 	// Duplicate combining can shrink the merged run well below the sum of
 	// its inputs; return the unused tail of the extent.
 	if used := roundUp(merged.Size, int64(s.cfg.SSDPage)); used < extSize {
-		s.alloc.release(off+used, extSize-used)
+		s.alloc.Release(off+used, extSize-used)
 		extSize = used
 	}
 	// The writer's virtual time must not run ahead of the readers': the
@@ -632,7 +687,7 @@ func (s *Store) releaseRunLocked(r *runfile.Run) {
 		return
 	}
 	if e, ok := s.extents[r.ID]; ok {
-		s.alloc.release(e.off, e.size)
+		s.alloc.Release(e.off, e.size)
 		delete(s.extents, r.ID)
 	}
 }

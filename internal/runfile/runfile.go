@@ -72,6 +72,12 @@ type Run struct {
 	Off   int64 // byte offset of the run's data within the SSD volume
 	Size  int64 // data size in bytes
 	Count int64 // number of update records
+	// Table identifies the catalog table that owns this run when several
+	// tables materialize runs onto one shared SSD volume (0 for a
+	// standalone single-table store). Ownership is metadata: the extent
+	// itself comes from the shared allocator, and the WAL's table-tagged
+	// records route the run back to its owner during recovery.
+	Table uint32
 
 	MinKey, MaxKey uint64
 	MinTS, MaxTS   int64

@@ -124,9 +124,50 @@ func (v *Volume) Discard(off, length int64) error {
 	return nil
 }
 
+// Slice returns a view of [off, off+size) of the volume as a Volume of its
+// own: reads and writes are shifted by off, and the simulated-device
+// pricing keeps the parent's base, so a slice at off is priced exactly like
+// the same bytes addressed through the parent. A multi-table engine uses
+// slices to give each table's heap its own region of one shared data file.
+// Closing a slice is a no-op — the parent owns the backend.
+func (v *Volume) Slice(off, size int64) (*Volume, error) {
+	if err := v.check(off, size); err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("storage: non-positive slice size %d", size)
+	}
+	return &Volume{dev: v.dev, base: v.base + off, size: size, be: &sliceBackend{be: v.be, off: off, size: size}}, nil
+}
+
+// sliceBackend shifts a window of a parent backend. Close is a no-op: the
+// parent volume owns the backend's lifetime.
+type sliceBackend struct {
+	be   Backend
+	off  int64
+	size int64
+}
+
+func (s *sliceBackend) ReadAt(p []byte, off int64) error  { return s.be.ReadAt(p, s.off+off) }
+func (s *sliceBackend) WriteAt(p []byte, off int64) error { return s.be.WriteAt(p, s.off+off) }
+func (s *sliceBackend) Size() int64                       { return s.size }
+func (s *sliceBackend) Sync() error                       { return s.be.Sync() }
+func (s *sliceBackend) Close() error                      { return nil }
+
+// Discard passes through to the parent when it can reclaim space.
+func (s *sliceBackend) Discard(off, length int64) error {
+	if d, ok := s.be.(Discarder); ok {
+		return d.Discard(s.off+off, length)
+	}
+	return nil
+}
+
 func (v *Volume) check(off, length int64) error {
-	if off < 0 || length < 0 || off+length > v.size {
-		return fmt.Errorf("storage: access [%d,%d) outside volume size %d", off, off+length, v.size)
+	// Subtraction form: off+length could wrap negative for hostile int64
+	// values (e.g. offsets decoded from an untrusted manifest) and slip
+	// past an addition-based bound.
+	if off < 0 || length < 0 || off > v.size || length > v.size-off {
+		return fmt.Errorf("storage: access [%d,+%d) outside volume size %d", off, length, v.size)
 	}
 	return nil
 }

@@ -349,6 +349,103 @@ func (t *Txn) Commit(at sim.Time) (sim.Time, error) {
 	return now, nil
 }
 
+// Store returns the MaSM store this manager's transactions commit into.
+func (m *Manager) Store() *masm.Store { return m.store }
+
+// CommitMulti commits several sub-transactions — one per table, each from
+// its own Manager — as one atomic cross-table transaction: validation
+// (first-committer-wins, per table against that table's commit history)
+// and publication happen while every involved manager's commit mutex is
+// held, and the publication itself is masm.CommitAcross, which stamps the
+// whole write set under every store's latch and logs it as a single redo
+// record. A concurrent reader of any involved table therefore sees the
+// commit's records for that table all-or-nothing, and recovery replays
+// the cross-table write set all-or-nothing.
+//
+// All sub-transactions are finished by the call, whatever the outcome
+// (like Commit). Managers are locked in table-id order — the engine-wide
+// lock order — so cross-table commits never deadlock each other or
+// single-table commits.
+func CommitMulti(at sim.Time, subs []*Txn) (sim.Time, error) {
+	if len(subs) == 0 {
+		return at, nil
+	}
+	if len(subs) == 1 {
+		return subs[0].Commit(at)
+	}
+	sorted := append([]*Txn(nil), subs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].m.store.TableID() < sorted[j].m.store.TableID()
+	})
+	for i, t := range sorted {
+		if t.done {
+			return at, ErrDone
+		}
+		if i > 0 && t.m == sorted[i-1].m {
+			return at, errors.New("txn: cross-table commit names one table twice")
+		}
+	}
+	for _, t := range sorted {
+		t.m.commitMu.Lock()
+	}
+	defer func() {
+		for i := len(sorted) - 1; i >= 0; i-- {
+			sorted[i].m.commitMu.Unlock()
+		}
+	}()
+	finishAll := func() {
+		for _, t := range sorted {
+			t.finish()
+			if t.mode == Locking {
+				t.m.unlockAll(t)
+			}
+		}
+	}
+	for _, t := range sorted {
+		if t.mode != Snapshot {
+			continue
+		}
+		t.m.mu.Lock()
+		for key := range t.writes {
+			if t.m.lastCommit[key] > t.startTS {
+				t.m.mu.Unlock()
+				finishAll()
+				return at, fmt.Errorf("table %d key %d: %w", t.m.store.TableID(), key, ErrWriteConflict)
+			}
+		}
+		t.m.mu.Unlock()
+	}
+	batches := make([]masm.StoreBatch, len(sorted))
+	for i, t := range sorted {
+		batches[i] = masm.StoreBatch{Store: t.m.store, Recs: t.private}
+	}
+	commitTS, now, err := masm.CommitAcross(at, batches)
+	// Record the write sets under the largest stamped timestamp whether or
+	// not the publication fully succeeded: over-marking unpublished keys
+	// only causes spurious conflicts, while under-marking would let a
+	// later transaction silently overwrite a published prefix (the same
+	// conservative rule as the single-table Commit).
+	if commitTS > 0 {
+		for _, t := range sorted {
+			if len(t.writes) == 0 {
+				continue
+			}
+			t.m.mu.Lock()
+			for key := range t.writes {
+				if t.m.lastCommit[key] < commitTS {
+					t.m.lastCommit[key] = commitTS
+				}
+			}
+			t.m.mu.Unlock()
+		}
+	}
+	finishAll()
+	if err != nil {
+		return at, err
+	}
+	return now, nil
+}
+
 // Abort discards the private buffer and releases locks.
 func (t *Txn) Abort() {
 	if t.done {

@@ -8,6 +8,7 @@ package wal
 // framing.
 
 import (
+	"bytes"
 	"testing"
 
 	"masm/internal/masm"
@@ -66,8 +67,49 @@ func FuzzDecodeEntry(f *testing.F) {
 	f.Add(uint8(KindMigrationBegin), encodeIDs(make([]byte, 8), []int64{7}))
 	f.Add(uint8(KindMigrationEnd), make([]byte, 8))
 	f.Add(uint8(KindUpdate), update.AppendEncode(nil, &update.Record{TS: 1, Key: 2, Op: update.Insert, Payload: []byte("x")}))
+	// Format-v3 table-tagged kinds: the u32 table prefix, well-formed,
+	// truncated mid-prefix, and absent.
+	tagSeed := func(base Kind, payload []byte) (Kind, []byte) {
+		k, p := tagged(7, base, payload)
+		return k, p
+	}
+	for _, base := range []Kind{KindUpdate, KindFlush, KindMerge, KindMigrationBegin, KindMigrationEnd} {
+		k, p := tagSeed(base, nil)
+		f.Add(uint8(k), p)
+	}
+	k, p := tagSeed(KindFlush, encodeRunMeta(nil, masm.RunMeta{RunID: 3, Size: 64}))
+	f.Add(uint8(k), p)
+	f.Add(uint8(KindTableUpdate), []byte{1, 0})     // torn table tag
+	f.Add(uint8(KindTxnBatch), []byte{})            // short batch
+	f.Add(uint8(KindTxnBatch), []byte{2, 0, 0, 0})  // truncated part header
+	f.Add(uint8(KindTxnBatch), encodeTxnBatch(nil)) // empty batch
+	f.Add(uint8(KindTxnBatch), encodeTxnBatch([]masm.TxnPart{
+		{Table: 0, Recs: []update.Record{{TS: 9, Key: 1, Op: update.Insert, Payload: []byte("a")}}},
+		{Table: 3, Recs: []update.Record{{TS: 10, Key: 2, Op: update.Delete}}},
+	}))
 	f.Fuzz(func(t *testing.T, kind uint8, p []byte) {
 		_, _ = decodeEntry(Kind(kind), p) // must not panic
+	})
+}
+
+// FuzzDecodeTxnBatch hammers the cross-table commit-record decoder on its
+// own: implausible part/record counts, truncation at every boundary, and
+// trailing garbage must all surface as errors, never panics or giant
+// allocations.
+func FuzzDecodeTxnBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Add(encodeTxnBatch([]masm.TxnPart{
+		{Table: 1, Recs: []update.Record{{TS: 1, Key: 5, Op: update.Insert, Payload: []byte("xy")}}},
+	}))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		parts, err := decodeTxnBatch(p)
+		if err == nil {
+			if reenc := encodeTxnBatch(parts); !bytes.Equal(reenc, p) {
+				t.Fatalf("txn batch not canonical: %x != %x", reenc, p)
+			}
+		}
 	})
 }
 
@@ -83,6 +125,7 @@ func FuzzReadAll(f *testing.F) {
 	f.Add(append(append([]byte{}, h[:]...), 1, 200, 0, 0, 0, 9, 9, 9, 9))
 	// A legitimate small log, then mangled variants via mutation.
 	f.Add(validLogBytes(f, 3))
+	f.Add(validMultiTableLogBytes(f))
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		if len(raw) > 1<<20 {
 			raw = raw[:1<<20]
@@ -125,6 +168,51 @@ func validLogBytes(f *testing.F, n int) []byte {
 		}
 	}
 	if now, err = l.LogFlush(now, masm.RunMeta{RunID: 1, Size: 64, MaxTS: int64(n), Passes: 1, Format: 1, CRC: 7}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err = l.Sync(now); err != nil {
+		f.Fatal(err)
+	}
+	raw := make([]byte, l.EndOffset()+frameHeaderSize)
+	if err := vol.PeekAt(raw, 0); err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+// validMultiTableLogBytes renders a small catalog log — tagged records
+// from two tables plus one cross-table transaction batch — for the replay
+// fuzzer's seed corpus.
+func validMultiTableLogBytes(f *testing.F) []byte {
+	f.Helper()
+	dev := sim.NewDevice(sim.Barracuda7200())
+	vol, err := storage.NewVolume(dev, 0, 1<<20)
+	if err != nil {
+		f.Fatal(err)
+	}
+	l := Open(vol)
+	t0 := l.ForTable(0)
+	t5 := l.ForTable(5)
+	now := sim.Time(0)
+	if now, err = t0.LogUpdate(now, update.Record{TS: 1, Key: 10, Op: update.Insert, Payload: []byte("t0")}); err != nil {
+		f.Fatal(err)
+	}
+	if now, err = t5.LogUpdate(now, update.Record{TS: 2, Key: 10, Op: update.Insert, Payload: []byte("t5")}); err != nil {
+		f.Fatal(err)
+	}
+	if now, err = t5.LogFlush(now, masm.RunMeta{RunID: 1, Size: 64, MaxTS: 2, Passes: 1, Format: 1, CRC: 7}); err != nil {
+		f.Fatal(err)
+	}
+	if now, err = l.LogTxnBatch(now, []masm.TxnPart{
+		{Table: 0, Recs: []update.Record{{TS: 3, Key: 11, Op: update.Insert, Payload: []byte("x")}}},
+		{Table: 5, Recs: []update.Record{{TS: 4, Key: 12, Op: update.Delete}}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if now, err = t5.LogMigrationBegin(now, 5, []int64{1}); err != nil {
+		f.Fatal(err)
+	}
+	if now, err = t5.LogMigrationEnd(now, 5); err != nil {
 		f.Fatal(err)
 	}
 	if _, err = l.Sync(now); err != nil {

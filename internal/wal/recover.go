@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"fmt"
+
 	"masm/internal/masm"
 	"masm/internal/sim"
 	"masm/internal/storage"
@@ -8,15 +10,104 @@ import (
 	"masm/internal/update"
 )
 
-// Recover replays a redo log and rebuilds a MaSM store: the crash-recovery
-// procedure of paper §3.6. It determines, from the log alone,
+// TableState is one table's recovered state after log replay: which
+// materialized runs are live, which logged updates were still in the lost
+// in-memory buffer, and whether a migration must be redone.
+type TableState struct {
+	Runs    []masm.RunMeta
+	Pending []update.Record
+	// RedoMigration is non-nil when a migration began without completing;
+	// it holds the logged run ids (the redo itself migrates everything
+	// live, which is a superset and idempotent).
+	RedoMigration []int64
+}
+
+// ReplayEntries routes decoded log entries to per-table recovered state —
+// the crash-recovery procedure of paper §3.6, generalized to the shared
+// multi-table log of §5. Untagged (format v2) entries belong to table 0;
+// tagged entries to the table in their prefix; a KindTxnBatch fans its
+// parts out to every table it names. For each table it determines, in log
+// order,
 //
 //   - which materialized sorted runs are live (flushed or merged, and not
 //     yet migrated),
 //   - which logged updates were still in the lost in-memory buffer (those
 //     not covered by any flush), and
-//   - whether a migration began without completing (in which case it is
-//     redone, idempotently).
+//   - whether a migration began without completing.
+func ReplayEntries(entries []Entry) map[uint32]*TableState {
+	states := make(map[uint32]*TableState)
+	live := make(map[uint32]map[int64]masm.RunMeta)
+	state := func(t uint32) *TableState {
+		st := states[t]
+		if st == nil {
+			st = &TableState{}
+			states[t] = st
+			live[t] = make(map[int64]masm.RunMeta)
+		}
+		return st
+	}
+	for _, e := range entries {
+		switch baseKind(e.Kind) {
+		case KindUpdate:
+			st := state(e.Table)
+			st.Pending = append(st.Pending, e.Rec)
+		case KindFlush:
+			st := state(e.Table)
+			live[e.Table][e.Run.RunID] = e.Run
+			// Updates with timestamps ≤ MaxTS are durable in the run.
+			kept := st.Pending[:0]
+			for _, r := range st.Pending {
+				if r.TS > e.Run.MaxTS {
+					kept = append(kept, r)
+				}
+			}
+			st.Pending = kept
+		case KindMerge:
+			state(e.Table)
+			for _, id := range e.Consumed {
+				delete(live[e.Table], id)
+			}
+			live[e.Table][e.Run.RunID] = e.Run
+		case KindMigrationBegin:
+			state(e.Table).RedoMigration = append([]int64(nil), e.RunIDs...)
+		case KindMigrationEnd:
+			st := state(e.Table)
+			for _, id := range st.RedoMigration {
+				delete(live[e.Table], id)
+			}
+			st.RedoMigration = nil
+		case KindTxnBatch:
+			// A decoded batch is a committed (durable) cross-table write
+			// set: its records join their tables' buffers like individually
+			// logged updates.
+			for _, p := range e.Parts {
+				st := state(p.Table)
+				st.Pending = append(st.Pending, p.Recs...)
+			}
+		}
+	}
+	for t, st := range states {
+		st.Runs = st.Runs[:0]
+		for _, rm := range live[t] {
+			st.Runs = append(st.Runs, rm)
+		}
+	}
+	return states
+}
+
+// baseKind collapses a tagged kind onto its untagged counterpart (the
+// Entry already carries the table id) and maps KindTxnBatch to itself.
+func baseKind(k Kind) Kind {
+	if base, ok := untagged(k); ok {
+		return base
+	}
+	return k
+}
+
+// Recover replays a single-table redo log and rebuilds its MaSM store: the
+// crash-recovery procedure of paper §3.6. It refuses logs that name other
+// tables — a catalog log is recovered per table by the engine, which calls
+// ReplayEntries and masm.RestoreShared itself.
 //
 // newLog becomes the rebuilt store's redo logger for subsequent activity.
 func Recover(cfg masm.Config, tbl *table.Table, ssd *storage.Volume,
@@ -27,42 +118,15 @@ func Recover(cfg masm.Config, tbl *table.Table, ssd *storage.Volume,
 	if err != nil {
 		return nil, at, err
 	}
-
-	live := make(map[int64]masm.RunMeta)
-	var pending []update.Record
-	var redoMigration []int64
-
-	for _, e := range entries {
-		switch e.Kind {
-		case KindUpdate:
-			pending = append(pending, e.Rec)
-		case KindFlush:
-			live[e.Run.RunID] = e.Run
-			// Updates with timestamps ≤ MaxTS are durable in the run.
-			kept := pending[:0]
-			for _, r := range pending {
-				if r.TS > e.Run.MaxTS {
-					kept = append(kept, r)
-				}
-			}
-			pending = kept
-		case KindMerge:
-			for _, id := range e.Consumed {
-				delete(live, id)
-			}
-			live[e.Run.RunID] = e.Run
-		case KindMigrationBegin:
-			redoMigration = append([]int64(nil), e.RunIDs...)
-		case KindMigrationEnd:
-			for _, id := range redoMigration {
-				delete(live, id)
-			}
-			redoMigration = nil
+	states := ReplayEntries(entries)
+	for t := range states {
+		if t != 0 {
+			return nil, now, fmt.Errorf("wal: log names table %d: a multi-table catalog log must be recovered through its engine", t)
 		}
 	}
-	runs := make([]masm.RunMeta, 0, len(live))
-	for _, rm := range live {
-		runs = append(runs, rm)
+	st := states[0]
+	if st == nil {
+		st = &TableState{}
 	}
 	// If the new log reuses storage (or simply starts empty), checkpoint
 	// the recovered state into it first — run metadata, then the
@@ -71,9 +135,9 @@ func Recover(cfg masm.Config, tbl *table.Table, ssd *storage.Volume,
 	// checkpoint. Pending updates always carry timestamps above every
 	// live run's MaxTS, so replay ordering is preserved.
 	if l, ok := newLog.(*Log); ok && l != nil {
-		if now, err = l.Checkpoint(now, runs, pending); err != nil {
+		if now, err = l.Checkpoint(now, st.Runs, st.Pending); err != nil {
 			return nil, now, err
 		}
 	}
-	return masm.Restore(cfg, tbl, ssd, oracle, newLog, runs, pending, redoMigration, now)
+	return masm.Restore(cfg, tbl, ssd, oracle, newLog, st.Runs, st.Pending, st.RedoMigration, now)
 }

@@ -6,7 +6,7 @@
 // re-reading the update records from this log, and the run-set metadata,
 // by re-reading flush/merge/migration records.
 //
-// # On-disk format (version 2)
+// # On-disk format (version 3)
 //
 // The log opens with a 16-byte header — magic, format version, header CRC —
 // so an unrelated or stale byte region is never misread as a log. Entries
@@ -21,6 +21,15 @@
 // decoded as garbage. Appends are buffered and written sequentially in
 // group-commit fashion; Sync forces the buffered batch down to the
 // volume's backend (fsync on file-backed volumes).
+//
+// Version 3 makes one log shareable by every table of a multi-table
+// engine: the table-tagged kinds (KindTableUpdate …) prefix the version-2
+// payloads with the owning table's id, and KindTxnBatch carries an entire
+// cross-table transaction write set in one frame, so a commit spanning
+// tables is durable all-or-nothing. Table 0 keeps writing the untagged
+// version-2 kinds — a single-table log is byte-identical under both
+// versions — and version-2 logs replay cleanly as "everything belongs to
+// table 0".
 package wal
 
 import (
@@ -53,17 +62,36 @@ const (
 	// KindMigrationEnd records that the migration completed.
 	KindMigrationEnd
 
+	// The table-tagged kinds (format v3) are their untagged counterparts
+	// with a u32 table id prefixed to the payload. Table 0 always writes
+	// the untagged kinds, so a single-table log stays byte-identical to
+	// format v2 and a v2 log replays as table 0.
+	KindTableUpdate
+	KindTableFlush
+	KindTableMerge
+	KindTableMigrationBegin
+	KindTableMigrationEnd
+	// KindTxnBatch carries a whole cross-table transaction write set in
+	// one frame: [n u32] n × ([table u32][nrecs u32] nrecs × record).
+	// Because it is a single CRC-framed record, recovery replays the
+	// commit all-or-nothing.
+	KindTxnBatch
+
 	// kindMax is the largest valid kind; replay treats anything above it
 	// as a torn tail.
-	kindMax = KindMigrationEnd
+	kindMax = KindTxnBatch
 )
 
 // Format constants. Version 2 introduced the log header and per-record
 // CRC-32C framing (version 1, the unversioned [kind][len][payload] format,
-// predates durable storage and is no longer readable).
+// predates durable storage and is no longer readable). Version 3 added the
+// table-tagged kinds and the transaction batch record; untagged records
+// are unchanged, so readers accept both 2 and 3.
 const (
 	// FormatVersion is the current log format.
-	FormatVersion = 2
+	FormatVersion = 3
+	// minReadVersion is the oldest format this build replays.
+	minReadVersion = 2
 	// headerSize is the size of the log header: 8-byte magic, u32 version,
 	// u32 CRC of the preceding 12 bytes.
 	headerSize = 16
@@ -358,18 +386,37 @@ func (l *Log) logRunRecordLocked(at sim.Time, kind Kind, payload []byte) (sim.Ti
 // purpose: checkpointed runs are already durable, that is how they
 // survived the crash, so one force at the end is the only barrier needed.
 func (l *Log) Checkpoint(at sim.Time, runs []masm.RunMeta, pending []update.Record) (sim.Time, error) {
+	return l.CheckpointAll(at, []TableCheckpoint{{Runs: runs, Pending: pending}})
+}
+
+// TableCheckpoint is one table's recovered state for CheckpointAll.
+type TableCheckpoint struct {
+	Table   uint32
+	Runs    []masm.RunMeta
+	Pending []update.Record
+}
+
+// CheckpointAll is Checkpoint for a whole catalog: every table's live run
+// set and still-buffered updates, appended in one batch and forced with a
+// single sync. Table 0's records use the untagged kinds, so a one-table
+// checkpoint is byte-identical to the single-table Checkpoint.
+func (l *Log) CheckpointAll(at sim.Time, tables []TableCheckpoint) (sim.Time, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := at
 	var err error
-	for _, rm := range runs {
-		if now, err = l.appendLocked(now, KindFlush, encodeRunMeta(nil, rm)); err != nil {
-			return at, err
+	for _, tc := range tables {
+		for _, rm := range tc.Runs {
+			kind, payload := tagged(tc.Table, KindFlush, encodeRunMeta(nil, rm))
+			if now, err = l.appendLocked(now, kind, payload); err != nil {
+				return at, err
+			}
 		}
-	}
-	for i := range pending {
-		if now, err = l.appendLocked(now, KindUpdate, update.AppendEncode(nil, &pending[i])); err != nil {
-			return at, err
+		for i := range tc.Pending {
+			kind, payload := tagged(tc.Table, KindUpdate, update.AppendEncode(nil, &tc.Pending[i]))
+			if now, err = l.appendLocked(now, kind, payload); err != nil {
+				return at, err
+			}
 		}
 	}
 	return l.syncLocked(now)
@@ -451,8 +498,8 @@ func ReadAll(vol *storage.Volume, at sim.Time) ([]Entry, sim.Time, error) {
 	if crc32.Checksum(hdrBuf[:12], castagnoli) != binary.LittleEndian.Uint32(hdrBuf[12:]) {
 		return nil, now, fmt.Errorf("wal: log header checksum mismatch (corrupted log)")
 	}
-	if v := binary.LittleEndian.Uint32(hdrBuf[8:]); v != FormatVersion {
-		return nil, now, fmt.Errorf("wal: unsupported log format version %d (this build reads %d)", v, FormatVersion)
+	if v := binary.LittleEndian.Uint32(hdrBuf[8:]); v < minReadVersion || v > FormatVersion {
+		return nil, now, fmt.Errorf("wal: unsupported log format version %d (this build reads %d–%d)", v, minReadVersion, FormatVersion)
 	}
 
 	// Replay streams the log in large sequential chunks and parses frames
@@ -590,17 +637,40 @@ func corruptionBeyondTornBatch(buf []byte) (int, bool) {
 
 // Entry is one decoded log record.
 type Entry struct {
-	Kind     Kind
-	Rec      update.Record // KindUpdate
-	Run      masm.RunMeta  // KindFlush, KindMerge
-	Consumed []int64       // KindMerge
-	MigTS    int64         // KindMigrationBegin/End
-	RunIDs   []int64       // KindMigrationBegin
+	Kind Kind
+	// Table is the owning table (0 for the untagged kinds of a
+	// single-table log; the id prefix for the table-tagged kinds).
+	Table    uint32
+	Rec      update.Record  // KindUpdate / KindTableUpdate
+	Run      masm.RunMeta   // KindFlush, KindMerge (and tagged forms)
+	Consumed []int64        // KindMerge / KindTableMerge
+	MigTS    int64          // migration begin/end (and tagged forms)
+	RunIDs   []int64        // migration begin (and tagged forms)
+	Parts    []masm.TxnPart // KindTxnBatch
 }
 
 func decodeEntry(kind Kind, p []byte) (Entry, error) {
+	// The tagged kinds are the untagged payloads behind a u32 table id.
+	if base, ok := untagged(kind); ok {
+		if len(p) < 4 {
+			return Entry{Kind: kind}, fmt.Errorf("wal: short table tag")
+		}
+		e, err := decodeEntry(base, p[4:])
+		if err != nil {
+			return e, err
+		}
+		e.Kind = kind
+		e.Table = binary.LittleEndian.Uint32(p)
+		return e, nil
+	}
 	e := Entry{Kind: kind}
 	switch kind {
+	case KindTxnBatch:
+		parts, err := decodeTxnBatch(p)
+		if err != nil {
+			return e, err
+		}
+		e.Parts = parts
 	case KindUpdate:
 		rec, _, err := update.Decode(p)
 		if err != nil {
@@ -645,4 +715,203 @@ func decodeEntry(kind Kind, p []byte) (Entry, error) {
 		return e, fmt.Errorf("wal: unknown entry kind %d", kind)
 	}
 	return e, nil
+}
+
+// tagTable maps an untagged kind to its table-tagged counterpart.
+func tagTable(base Kind) Kind {
+	switch base {
+	case KindUpdate:
+		return KindTableUpdate
+	case KindFlush:
+		return KindTableFlush
+	case KindMerge:
+		return KindTableMerge
+	case KindMigrationBegin:
+		return KindTableMigrationBegin
+	case KindMigrationEnd:
+		return KindTableMigrationEnd
+	}
+	panic(fmt.Sprintf("wal: kind %d has no tagged form", base))
+}
+
+// untagged maps a table-tagged kind back to its untagged counterpart.
+func untagged(kind Kind) (Kind, bool) {
+	switch kind {
+	case KindTableUpdate:
+		return KindUpdate, true
+	case KindTableFlush:
+		return KindFlush, true
+	case KindTableMerge:
+		return KindMerge, true
+	case KindTableMigrationBegin:
+		return KindMigrationBegin, true
+	case KindTableMigrationEnd:
+		return KindMigrationEnd, true
+	}
+	return 0, false
+}
+
+// tagged renders the (kind, payload) pair a record for table should be
+// written with: table 0 keeps the untagged v2 kinds (so single-table logs
+// stay byte-identical across format versions), every other table gets the
+// tagged kind with the u32 table id prefixed to the payload.
+func tagged(table uint32, base Kind, payload []byte) (Kind, []byte) {
+	if table == 0 {
+		return base, payload
+	}
+	p := make([]byte, 4, 4+len(payload))
+	binary.LittleEndian.PutUint32(p, table)
+	return tagTable(base), append(p, payload...)
+}
+
+// ForTable returns the redo logger a table's store should log through: the
+// log itself for table 0, or a tagging wrapper that prefixes every record
+// with the table id. All wrappers share the log's latch, buffer and
+// group-commit batching.
+func (l *Log) ForTable(table uint32) masm.RedoLogger {
+	if table == 0 {
+		return l
+	}
+	return &tableLogger{l: l, table: table}
+}
+
+// BatchBase implements masm.TxnBatchLogger: the Log is its own physical
+// log.
+func (l *Log) BatchBase() any { return l }
+
+// LogTxnBatch implements masm.TxnBatchLogger: the entire cross-table write
+// set goes down as one CRC-framed record, so it replays all-or-nothing.
+// Like per-record updates it is group-committed; Sync (or a filled batch)
+// makes it durable.
+func (l *Log) LogTxnBatch(at sim.Time, parts []masm.TxnPart) (sim.Time, error) {
+	payload := encodeTxnBatch(parts)
+	if len(payload) > maxPayload {
+		return at, fmt.Errorf("wal: transaction batch of %d bytes exceeds the %d-byte record bound", len(payload), maxPayload)
+	}
+	return l.append(at, KindTxnBatch, payload)
+}
+
+func encodeTxnBatch(parts []masm.TxnPart) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(parts)))
+	for _, p := range parts {
+		b = binary.LittleEndian.AppendUint32(b, p.Table)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Recs)))
+		for i := range p.Recs {
+			b = update.AppendEncode(b, &p.Recs[i])
+		}
+	}
+	return b
+}
+
+func decodeTxnBatch(p []byte) ([]masm.TxnPart, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("wal: short txn batch")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if n < 0 || n > maxPayload/8 {
+		return nil, fmt.Errorf("wal: implausible txn batch part count %d", n)
+	}
+	parts := make([]masm.TxnPart, 0, min(n, 64))
+	for i := 0; i < n; i++ {
+		if len(p) < 8 {
+			return nil, fmt.Errorf("wal: truncated txn batch part header")
+		}
+		table := binary.LittleEndian.Uint32(p)
+		nrecs := int(binary.LittleEndian.Uint32(p[4:]))
+		p = p[8:]
+		if nrecs < 0 || nrecs > maxPayload/8 {
+			return nil, fmt.Errorf("wal: implausible txn batch record count %d", nrecs)
+		}
+		recs := make([]update.Record, 0, min(nrecs, 256))
+		for r := 0; r < nrecs; r++ {
+			rec, used, err := update.Decode(p)
+			if err != nil {
+				return nil, fmt.Errorf("wal: txn batch record: %w", err)
+			}
+			rec.Payload = append([]byte(nil), rec.Payload...)
+			recs = append(recs, rec)
+			p = p[used:]
+		}
+		parts = append(parts, masm.TxnPart{Table: table, Recs: recs})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after txn batch", len(p))
+	}
+	return parts, nil
+}
+
+// tableLogger is a Log view that tags every record with one table's id.
+// It mirrors the Log's own RedoLogger implementation method for method —
+// including the hook ordering around flush/merge records and the forced
+// migration boundaries — with the tagged kinds and prefixed payloads.
+type tableLogger struct {
+	l     *Log
+	table uint32
+}
+
+var (
+	_ masm.RedoLogger     = (*tableLogger)(nil)
+	_ masm.TxnBatchLogger = (*tableLogger)(nil)
+)
+
+// BatchBase implements masm.TxnBatchLogger: wrappers share their parent's
+// physical log.
+func (t *tableLogger) BatchBase() any { return t.l }
+
+// LogTxnBatch delegates to the shared log (the batch already names every
+// table it touches).
+func (t *tableLogger) LogTxnBatch(at sim.Time, parts []masm.TxnPart) (sim.Time, error) {
+	return t.l.LogTxnBatch(at, parts)
+}
+
+func (t *tableLogger) LogUpdate(at sim.Time, rec update.Record) (sim.Time, error) {
+	kind, payload := tagged(t.table, KindUpdate, update.AppendEncode(nil, &rec))
+	return t.l.append(at, kind, payload)
+}
+
+func (t *tableLogger) LogFlush(at sim.Time, run masm.RunMeta) (sim.Time, error) {
+	t.l.mu.Lock()
+	defer t.l.mu.Unlock()
+	kind, payload := tagged(t.table, KindFlush, encodeRunMeta(nil, run))
+	return t.l.logRunRecordLocked(at, kind, payload)
+}
+
+func (t *tableLogger) LogMerge(at sim.Time, run masm.RunMeta, consumed []int64) (sim.Time, error) {
+	t.l.mu.Lock()
+	defer t.l.mu.Unlock()
+	kind, payload := tagged(t.table, KindMerge, encodeIDs(encodeRunMeta(nil, run), consumed))
+	return t.l.logRunRecordLocked(at, kind, payload)
+}
+
+func (t *tableLogger) LogMigrationBegin(at sim.Time, migTS int64, runIDs []int64) (sim.Time, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
+	kind, payload := tagged(t.table, KindMigrationBegin, encodeIDs(b[:], runIDs))
+	t.l.mu.Lock()
+	defer t.l.mu.Unlock()
+	now, err := t.l.appendLocked(at, kind, payload)
+	if err != nil {
+		return at, err
+	}
+	return t.l.syncLocked(now)
+}
+
+func (t *tableLogger) LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
+	kind, payload := tagged(t.table, KindMigrationEnd, b[:])
+	t.l.mu.Lock()
+	defer t.l.mu.Unlock()
+	if t.l.hooks.Checkpoint != nil {
+		if err := t.l.hooks.Checkpoint(); err != nil {
+			return at, fmt.Errorf("wal: checkpoint before migration end: %w", err)
+		}
+	}
+	now, err := t.l.appendLocked(at, kind, payload)
+	if err != nil {
+		return at, err
+	}
+	return t.l.syncLocked(now)
 }

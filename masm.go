@@ -17,6 +17,26 @@
 //	db.Scan(0, 100, func(key uint64, body []byte) bool { ... return true })
 //	db.Migrate() // fold cached updates back into the main data
 //
+// # Catalog and multi-tenancy
+//
+// DB is the single-table special case of the Engine catalog (the paper's
+// §5: one SSD caching updates for many objects). An Engine serves any
+// number of named tables, each a full MaSM instance, all sharing one SSD
+// update-cache volume (partitioned by a byte-budget allocator), one redo
+// log (records carry the owning table's id), one commit-timestamp oracle,
+// and one migration scheduler that arbitrates across tables by cache-fill
+// pressure:
+//
+//	eng, _ := masm.NewEngine(masm.DefaultConfig())
+//	orders, _ := eng.CreateTable("orders", masm.TableOptions{Keys: ..., Bodies: ...})
+//	items, _ := eng.CreateTable("lineitem", masm.TableOptions{Keys: ..., Bodies: ...})
+//	orders.Insert(...); items.Scan(...)
+//	tx, _ := eng.BeginTx(masm.TxSnapshot) // atomic commit spanning tables
+//
+// Open and OpenDir construct a one-table engine and return its "default"
+// table wrapped as a DB; every timing and every byte they produce is
+// identical to the historical single-table implementation.
+//
 // # Concurrency and snapshot isolation
 //
 // DB is safe for concurrent use by multiple goroutines, and reads do not
@@ -37,6 +57,9 @@
 //     for open scans and snapshots older than its timestamp.
 //   - Background migration (StartMigrationScheduler) runs off the update
 //     path and observes the same rules.
+//   - One table's migration never blocks another table's scans or
+//     updates: reader registration, run pinning and the migration wait
+//     are all per table.
 //
 // Lower-level building blocks live in the internal packages: the device
 // and timing model (internal/sim), the table heap (internal/table), the
@@ -50,24 +73,18 @@ package masm
 
 import (
 	"errors"
-	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	core "masm/internal/masm"
 	"masm/internal/sim"
-	"masm/internal/storage"
-	"masm/internal/table"
-	"masm/internal/txn"
-	"masm/internal/update"
-	"masm/internal/wal"
 )
 
-// Config configures a DB.
+// Config configures a DB (and, as the engine configuration, the shared
+// infrastructure of a multi-table Engine).
 type Config struct {
 	// CacheBytes is the SSD update-cache capacity; the paper recommends
-	// 1–10 % of the main data size.
+	// 1–10 % of the main data size. For an Engine this is the total shared
+	// cache; per-table caps are set in TableOptions.
 	CacheBytes int64
 	// Alpha in [2/∛M, 2] selects the MaSM variant: 2 = MaSM-2M (minimal
 	// SSD writes), 1 = MaSM-M (half the memory, ~1.75 writes/update).
@@ -95,14 +112,18 @@ func DefaultConfig() Config {
 
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
-	Rows            int64
-	CachedBytes     int64
+	Rows        int64
+	CachedBytes int64
+	// CacheFill is CachedBytes as a fraction of the table's SSD cache
+	// capacity (its budget, for a table inside an Engine).
 	CacheFill       float64
 	Runs            int
 	UpdatesAccepted int64
 	WritesPerUpdate float64
 	Migrations      int64
-	// Device-level truth for the paper's design goals.
+	// Device-level truth for the paper's design goals. The devices are
+	// engine-wide, so these are zero in Table.Stats and filled in
+	// DB.Stats/Engine.Stats.
 	SSDBytesWritten int64
 	SSDRandomWrites int64
 	DiskBytesRead   int64
@@ -125,32 +146,16 @@ func (c *clock) advance(t sim.Time) {
 	}
 }
 
-// DB is an open MaSM-backed warehouse table. All methods are safe for
-// concurrent use; see the package comment for the isolation semantics.
+// DB is an open MaSM-backed warehouse table: a thin wrapper over a
+// one-table Engine (the table is named DefaultTableName). All methods are
+// safe for concurrent use; see the package comment for the isolation
+// semantics.
 type DB struct {
-	cfg    Config
-	hdd    *sim.Device
-	ssd    *sim.Device
-	tbl    *table.Table
-	store  *core.Store
-	oracle *core.Oracle
-	logVol *storage.Volume
-	log    *wal.Log
-	txns   *txn.Manager
-	// fs is non-nil for file-backed databases (OpenDir): the open files,
-	// the directory identity, and the manifest writer.
-	fs *dirState
-
-	clock clock
-	// mu guards the lifecycle state (closed, sched). Operations hold the
-	// read side only long enough to check closed; Close and Crash take the
-	// write side. The engine beneath is internally latched.
-	mu     sync.RWMutex
-	closed bool
-	sched  *MigrationScheduler
+	eng *Engine
+	t   *Table
 }
 
-// ErrClosed reports use of a closed DB.
+// ErrClosed reports use of a closed DB or Engine.
 var ErrClosed = errors.New("masm: database closed")
 
 // ErrActiveQueries is returned by Migrate, ScanAndMigrate and MigrateStep
@@ -169,47 +174,23 @@ var ErrMigrationInProgress = core.ErrMigrationInProgress
 var ErrSnapshotClosed = core.ErrSnapshotClosed
 
 // Open bulk-loads a table from records in strictly increasing key order
-// and attaches a MaSM update cache to it.
+// and attaches a MaSM update cache to it: a one-table engine whose single
+// table owns the whole cache.
 func Open(cfg Config, keys []uint64, bodies [][]byte) (*DB, error) {
-	if cfg.CacheBytes <= 0 {
-		return nil, fmt.Errorf("masm: non-positive cache size %d", cfg.CacheBytes)
-	}
-	db := &DB{
-		cfg:    cfg,
-		hdd:    sim.NewDevice(sim.Barracuda7200()),
-		ssd:    sim.NewDevice(sim.IntelX25E()),
-		oracle: &core.Oracle{},
-	}
-	arena := storage.NewArena(db.hdd)
-	dataVol, err := arena.Alloc(dataBytesFor(keys, bodies))
+	eng, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	db.tbl, err = table.Load(dataVol, table.DefaultConfig(), keys, bodies)
+	t, err := eng.CreateTable(DefaultTableName, TableOptions{CacheBytes: cfg.CacheBytes, Keys: keys, Bodies: bodies})
 	if err != nil {
 		return nil, err
 	}
-	ssdVol, err := storage.NewVolume(db.ssd, 0, cfg.CacheBytes*2)
-	if err != nil {
-		return nil, err
-	}
-	ccfg := coreConfig(cfg)
-	var logger core.RedoLogger
-	if !cfg.DisableRedoLog {
-		db.logVol, err = arena.Alloc(256 << 20)
-		if err != nil {
-			return nil, err
-		}
-		db.log = wal.Open(db.logVol)
-		logger = db.log
-	}
-	db.store, err = core.NewStore(ccfg, db.tbl, ssdVol, db.oracle, logger)
-	if err != nil {
-		return nil, err
-	}
-	db.txns = txn.NewManager(db.store)
-	return db, nil
+	return &DB{eng: eng, t: t}, nil
 }
+
+// Engine returns the catalog engine beneath this DB; CreateTable on it
+// adds further tables sharing the same SSD cache, redo log and timeline.
+func (db *DB) Engine() *Engine { return db.eng }
 
 func coreConfig(cfg Config) core.Config {
 	ccfg := core.DefaultConfig(roundTo(cfg.CacheBytes, 4<<10))
@@ -257,63 +238,20 @@ func roundTo(n, unit int64) int64 {
 
 // Insert caches an insertion of (key, body): a well-formed update, applied
 // to queries immediately and to the main data at the next migration.
-func (db *DB) Insert(key uint64, body []byte) error {
-	return db.apply(update.Record{Key: key, Op: update.Insert, Payload: append([]byte(nil), body...)})
-}
+func (db *DB) Insert(key uint64, body []byte) error { return db.t.Insert(key, body) }
 
 // Delete caches a deletion of key.
-func (db *DB) Delete(key uint64) error {
-	return db.apply(update.Record{Key: key, Op: update.Delete})
-}
+func (db *DB) Delete(key uint64) error { return db.t.Delete(key) }
 
 // Modify caches an in-record field modification: len(val) bytes at byte
 // offset off of the record body.
-func (db *DB) Modify(key uint64, off int, val []byte) error {
-	if off < 0 || off > 0xffff {
-		return fmt.Errorf("masm: modify offset %d out of range", off)
-	}
-	return db.apply(update.Record{Key: key, Op: update.Modify,
-		Payload: update.EncodeFields([]update.Field{{Off: uint16(off), Value: append([]byte(nil), val...)}})})
-}
-
-func (db *DB) apply(rec update.Record) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	end, shouldMigrate, err := db.store.ApplyAutoHint(db.clock.now(), rec)
-	if err != nil {
-		return err
-	}
-	db.clock.advance(end)
-	// Nudge the background migration scheduler off the update path when
-	// the cache crosses its threshold; the hint is O(1) and came from the
-	// latch the apply already held, so it costs no extra round trip.
-	if shouldMigrate && db.sched != nil {
-		db.sched.Kick()
-	}
-	return nil
-}
+func (db *DB) Modify(key uint64, off int, val []byte) error { return db.t.Modify(key, off, val) }
 
 // Snapshot pins a consistent logical view of the database: every scan
 // opened from it sees exactly the updates applied before the snapshot was
 // taken, regardless of concurrent writers. Close must be called when done;
 // an open snapshot blocks migration.
-func (db *DB) Snapshot() (*Snapshot, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, ErrClosed
-	}
-	snap := &Snapshot{db: db, snap: db.store.Snapshot()}
-	// Safety net mirroring Begin's: a Snapshot abandoned without Close
-	// would block migration and pin SSD run extents for the DB's
-	// lifetime. Close is idempotent, so the cleanup is a no-op for
-	// properly closed snapshots.
-	runtime.AddCleanup(snap, func(sn *core.Snapshot) { sn.Close() }, snap.snap)
-	return snap, nil
-}
+func (db *DB) Snapshot() (*Snapshot, error) { return db.t.Snapshot() }
 
 // Scan calls fn for every live record with key in [begin, end], in key
 // order, reflecting every update committed before the scan started. fn
@@ -323,117 +261,28 @@ func (db *DB) Snapshot() (*Snapshot, error) {
 // concurrent Insert/Delete/Modify proceed unblocked and are invisible to
 // this scan (snapshot isolation).
 func (db *DB) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) error {
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return ErrClosed
-	}
-	// A single scan needs no Snapshot wrapper: NewQuery issues the read
-	// timestamp and registers the query atomically under the store latch,
-	// which is the same isolation a one-shot snapshot would pin, without
-	// double-pinning the run set on the hottest read path. Snapshot exists
-	// for callers that want several reads of one consistent view.
-	q, err := db.store.NewQuery(db.clock.now(), begin, end)
-	db.mu.RUnlock()
-	if err != nil {
-		return err
-	}
-	return db.drainQuery(q, fn)
-}
-
-// drainQuery iterates a query to completion (or early stop), advancing
-// the virtual clock and closing the query — the shared tail of DB.Scan
-// and Snapshot.Scan.
-func (db *DB) drainQuery(q *core.Query, fn func(key uint64, body []byte) bool) error {
-	defer func() {
-		db.clock.advance(q.Time())
-		q.Close()
-	}()
-	for {
-		row, ok, err := q.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		if !fn(row.Key, row.Body) {
-			return nil
-		}
-	}
+	return db.t.Scan(begin, end, fn)
 }
 
 // Get returns the freshest version of one record, or ok=false if it does
 // not exist.
-func (db *DB) Get(key uint64) ([]byte, bool, error) {
-	var body []byte
-	found := false
-	err := db.Scan(key, key, func(_ uint64, b []byte) bool {
-		body = append([]byte(nil), b...)
-		found = true
-		return false
-	})
-	return body, found, err
-}
+func (db *DB) Get(key uint64) ([]byte, bool, error) { return db.t.Get(key) }
 
 // Sync forces the redo log to stable storage. Updates are group-committed
 // (batched) by default; an update is guaranteed to survive Crash only
 // after a Sync (or after enough later traffic flushed its batch).
-func (db *DB) Sync() error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if db.log == nil {
-		return nil
-	}
-	end, err := db.log.Sync(db.clock.now())
-	if err != nil {
-		return err
-	}
-	db.clock.advance(end)
-	return nil
-}
+func (db *DB) Sync() error { return db.eng.Sync() }
 
 // Flush forces the in-memory update buffer into a materialized sorted run
 // on the SSD.
-func (db *DB) Flush() error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	end, err := db.store.Flush(db.clock.now())
-	if err != nil {
-		return err
-	}
-	db.clock.advance(end)
-	return nil
-}
+func (db *DB) Flush() error { return db.t.Flush() }
 
 // Migrate folds every cached update back into the main data, in place,
 // and deletes the materialized runs. It runs concurrently with incoming
 // updates, but waits for scans and snapshots older than its timestamp
 // (returning an error while they are open, like the engine's
 // BeginMigration).
-func (db *DB) Migrate() error {
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return ErrClosed
-	}
-	// Drop the lifecycle lock before the long table rewrite, as Scan does:
-	// holding it would let a concurrent Close (a queued writer) stall every
-	// new operation behind this migration.
-	db.mu.RUnlock()
-	end, _, err := db.store.Migrate(db.clock.now())
-	if err != nil {
-		return err
-	}
-	db.clock.advance(end)
-	return nil
-}
+func (db *DB) Migrate() error { return db.t.Migrate() }
 
 // ScanAndMigrate migrates every cached update into the main data while
 // streaming the fresh, post-migration rows to fn in key order — the
@@ -442,24 +291,7 @@ func (db *DB) Migrate() error {
 // twice. fn returning false stops the stream; the migration still
 // completes.
 func (db *DB) ScanAndMigrate(fn func(key uint64, body []byte) bool) error {
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return ErrClosed
-	}
-	mig, err := db.store.BeginMigration(db.clock.now())
-	db.mu.RUnlock()
-	if err != nil {
-		return err
-	}
-	end, _, err := mig.RunWithScan(func(row table.Row) bool {
-		return fn(row.Key, row.Body)
-	})
-	if err != nil {
-		return err
-	}
-	db.clock.advance(end)
-	return nil
+	return db.t.ScanAndMigrate(fn)
 }
 
 // MigrateStep performs one step of incremental migration, folding the
@@ -468,37 +300,13 @@ func (db *DB) ScanAndMigrate(fn func(key uint64, body []byte) bool) error {
 // small operations). It reports whether this step completed a full sweep
 // of the table, after which fully-applied runs are deleted.
 func (db *DB) MigrateStep(portionPages int) (sweepDone bool, err error) {
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return false, ErrClosed
-	}
-	db.mu.RUnlock()
-	end, done, err := db.store.MigratePortion(db.clock.now(), portionPages)
-	if err != nil {
-		return false, err
-	}
-	db.clock.advance(end)
-	return done, nil
+	return db.t.MigrateStep(portionPages)
 }
 
 // MigrateIfNeeded migrates when cache occupancy exceeds the configured
 // threshold; it reports whether a migration ran. It is a no-op (false,
 // nil) while open scans or an in-flight migration block it.
-func (db *DB) MigrateIfNeeded() (bool, error) {
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return false, ErrClosed
-	}
-	db.mu.RUnlock()
-	end, ran, err := db.store.MigrateIfNeeded(db.clock.now())
-	if err != nil {
-		return false, err
-	}
-	db.clock.advance(end)
-	return ran, nil
-}
+func (db *DB) MigrateIfNeeded() (bool, error) { return db.t.MigrateIfNeeded() }
 
 // Begin starts a transaction. TxSnapshot gives snapshot isolation with
 // first-committer-wins; TxLocking gives two-phase locking. The
@@ -507,45 +315,22 @@ func (db *DB) MigrateIfNeeded() (bool, error) {
 // migration wait (the paper's rule, §3.2): under continuously overlapping
 // transactions, leave gaps or bound transaction lifetimes so migration
 // can run.
-func (db *DB) Begin(mode TxMode) (*Tx, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, ErrClosed
-	}
-	tx := &Tx{db: db, t: db.txns.Begin(txn.Mode(mode))}
-	// Safety net for abandoned transactions: an unreferenced Tx that never
-	// reached Commit or Abort would pin its snapshot (and Locking-mode
-	// locks) forever, permanently blocking migration. Abort is idempotent,
-	// so the cleanup is a no-op for properly finished transactions.
-	runtime.AddCleanup(tx, func(t *txn.Txn) { t.Abort() }, tx.t)
-	return tx, nil
-}
+func (db *DB) Begin(mode TxMode) (*Tx, error) { return db.t.Begin(mode) }
 
 // Elapsed returns the simulated time consumed by all operations so far.
 // With concurrent callers it reports the furthest point any operation has
 // reached on the shared virtual timeline.
-func (db *DB) Elapsed() sim.Duration { return sim.Duration(db.clock.now()) }
+func (db *DB) Elapsed() sim.Duration { return db.eng.Elapsed() }
 
 // Stats returns a snapshot of engine counters.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	st := db.store.Stats()
-	ssd := db.ssd.Stats()
-	hdd := db.hdd.Stats()
-	return Stats{
-		Rows:            db.tbl.Rows(),
-		CachedBytes:     db.store.CachedBytes(),
-		CacheFill:       db.store.Fill(),
-		Runs:            db.store.Runs(),
-		UpdatesAccepted: st.UpdatesAccepted,
-		WritesPerUpdate: st.WritesPerUpdate(),
-		Migrations:      st.Migrations,
-		SSDBytesWritten: ssd.BytesWritten,
-		SSDRandomWrites: ssd.RandomWrites,
-		DiskBytesRead:   hdd.BytesRead,
-	}
+	st := db.t.Stats()
+	ssd := db.eng.ssd.Stats()
+	hdd := db.eng.hdd.Stats()
+	st.SSDBytesWritten = ssd.BytesWritten
+	st.SSDRandomWrites = ssd.RandomWrites
+	st.DiskBytesRead = hdd.BytesRead
+	return st
 }
 
 // Close marks the database closed and stops the background migration
@@ -557,33 +342,18 @@ func (db *DB) Stats() Stats {
 // redo log's buffered tail is forced, every file is fsynced, and the
 // descriptors are released, so the next OpenDir recovers the complete
 // state. For the abrupt variant, see HardStop.
-func (db *DB) Close() error {
-	db.mu.Lock()
-	alreadyClosed := db.closed
-	db.closed = true
-	sched := db.sched
-	db.sched = nil
-	fs := db.fs
-	now := db.clock.now()
-	db.mu.Unlock()
-	// Stop outside the lock: the scheduler goroutine takes the read lock.
-	if sched != nil {
-		sched.Stop()
-	}
-	if fs == nil || alreadyClosed {
-		return nil
-	}
-	var firstErr error
-	if db.log != nil {
-		if _, err := db.log.Sync(now); err != nil {
-			firstErr = err
-		}
-	}
-	if err := fs.closeFiles(true); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	return firstErr
-}
+func (db *DB) Close() error { return db.eng.Close() }
+
+// HardStop abandons the database with no clean shutdown whatsoever: no
+// log sync, no file sync, no manifest write — the in-process equivalent of
+// kill -9. In-flight operations fail as their file descriptors close.
+// Updates not yet forced by Sync (or a filled group-commit batch) are
+// lost, exactly as a crash would lose them; everything committed is
+// recovered by the next OpenDir. On a memory-backed DB it is Close.
+//
+// It exists for crash-recovery tests and demos; production code wants
+// Close.
+func (db *DB) HardStop() error { return db.eng.HardStop() }
 
 // Crash simulates a failure: every volatile structure (the in-memory
 // update buffer, run metadata, run indexes) is dropped, and a new DB is
@@ -596,64 +366,13 @@ func (db *DB) Close() error {
 // abandoned without any sync (HardStop) and the returned DB is a fresh
 // OpenDir recovery of the same directory.
 func (db *DB) Crash() (*DB, error) {
-	db.mu.RLock()
-	fs := db.fs
-	db.mu.RUnlock()
-	if fs != nil {
-		if err := db.HardStop(); err != nil {
-			return nil, err
-		}
-		opts := fs.opts
-		opts.Keys, opts.Bodies = nil, nil
-		return OpenDir(fs.dir, opts)
-	}
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if db.log == nil {
-		db.mu.Unlock()
-		return nil, errors.New("masm: crash recovery requires the redo log")
-	}
-	db.closed = true
-	sched := db.sched
-	db.sched = nil
-	now := db.clock.now()
-	db.mu.Unlock()
-	if sched != nil {
-		sched.Stop()
-	}
-	// Force no sync: entries not yet written are genuinely lost, exactly
-	// as a crash would lose them.
-	newDB := &DB{
-		cfg:    db.cfg,
-		hdd:    db.hdd,
-		ssd:    db.ssd,
-		tbl:    db.tbl,
-		oracle: &core.Oracle{},
-		logVol: db.logVol,
-	}
-	newDB.clock.advance(now)
-	// Recovery writes a fresh log after replay. Reuse the same volume:
-	// the new log overwrites from the start after replay completes, which
-	// is safe because Restore re-persists nothing until new activity
-	// arrives. A production system would switch segments; the prototype
-	// reuses the region and re-logs the recovered buffer.
-	ssdVol := db.storeSSDVol()
-	newLog := wal.Open(db.logVol)
-	store, end, err := wal.Recover(coreConfig(db.cfg), db.tbl, ssdVol, newDB.oracle, db.logVol, newLog, now)
+	e2, err := db.eng.Crash()
 	if err != nil {
 		return nil, err
 	}
-	// Re-log the recovered in-memory buffer under the new log so a second
-	// crash still recovers. (Restore already has the records in memory.)
-	newDB.log = newLog
-	newDB.store = store
-	newDB.txns = txn.NewManager(store)
-	newDB.clock.advance(end)
-	return newDB, nil
+	t, err := e2.OpenTable(DefaultTableName)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: e2, t: t}, nil
 }
-
-// storeSSDVol exposes the SSD volume for recovery plumbing.
-func (db *DB) storeSSDVol() *storage.Volume { return db.store.SSDVolume() }

@@ -7,19 +7,26 @@ import (
 	"time"
 )
 
-// MigrationScheduler runs migration off the update path: a background
-// goroutine watches the update cache's fill level and folds cached updates
-// back into the main data whenever occupancy crosses the configured
-// MigrateThreshold — the paper's migration thread (§3.2), which "migrates
-// when the system load is low or when updates reach e.g. 90% of the SSD
-// size". Writers nudge it when their update tips the cache over the
-// threshold, and a ticker retries while older scans temporarily block
-// migration.
+// MigrationScheduler runs migration off the update path for every table of
+// an engine: a background goroutine watches cache occupancy and folds
+// cached updates back into the main data — the paper's migration thread
+// (§3.2), which "migrates when the system load is low or when updates
+// reach e.g. 90% of the SSD size", generalized to the §5 shared cache.
 //
-// Obtain one with DB.StartMigrationScheduler. Stop is idempotent and is
-// invoked automatically by DB.Close.
+// Arbitration is by cache-fill pressure rather than a single fill hint:
+// each round the scheduler ranks the catalog's tables by occupancy and
+// migrates, most-pressured first, every table over its own threshold; and
+// when the *total* cached bytes cross the engine cache's threshold while
+// no individual table has (many moderately busy tenants), it migrates the
+// single largest consumer to relieve the shared pool. Writers nudge it
+// when their update tips a table over its threshold, and a ticker retries
+// while older scans temporarily block a migration.
+//
+// Obtain one with StartMigrationScheduler (on the Engine, or on a DB,
+// whose scheduler is the one-table special case). Stop is idempotent and
+// is invoked automatically by Close.
 type MigrationScheduler struct {
-	db       *DB
+	eng      *Engine
 	interval time.Duration
 	kick     chan struct{}
 	quit     chan struct{}
@@ -27,6 +34,9 @@ type MigrationScheduler struct {
 	stopOnce sync.Once
 	ran      atomic.Int64
 	failed   atomic.Value // errBox
+
+	mu      sync.Mutex
+	byTable map[string]int64
 }
 
 // errBox gives every stored error the same concrete type: atomic.Value
@@ -40,42 +50,50 @@ type errBox struct{ err error }
 const DefaultMigrationInterval = 50 * time.Millisecond
 
 // StartMigrationScheduler starts (or returns the already-running)
-// background migration scheduler. interval is the retry/poll cadence; a
-// non-positive value selects DefaultMigrationInterval. When a scheduler
-// is already running, it is returned as-is and its original cadence is
-// kept — Stop it first to change the interval. After Stop, a new
-// scheduler may be started.
-func (db *DB) StartMigrationScheduler(interval time.Duration) (*MigrationScheduler, error) {
+// background migration scheduler for the whole catalog. interval is the
+// retry/poll cadence; a non-positive value selects
+// DefaultMigrationInterval. When a scheduler is already running, it is
+// returned as-is and its original cadence is kept — Stop it first to
+// change the interval. After Stop, a new scheduler may be started.
+func (e *Engine) StartMigrationScheduler(interval time.Duration) (*MigrationScheduler, error) {
 	if interval <= 0 {
 		interval = DefaultMigrationInterval
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
 		return nil, ErrClosed
 	}
-	if db.sched != nil {
+	if e.sched != nil {
 		// A scheduler that is stopped or mid-Stop (quit closed, loop not
 		// yet exited) must not be handed out as running — replace it. The
 		// old loop exits on its own; a momentary overlap is harmless since
-		// the store serializes migrations, and the old Stop's detach is
-		// conditional on db.sched still pointing at it.
+		// each store serializes its migrations, and the old Stop's detach
+		// is conditional on e.sched still pointing at it.
 		select {
-		case <-db.sched.quit:
+		case <-e.sched.quit:
 		default:
-			return db.sched, nil
+			return e.sched, nil
 		}
 	}
 	ms := &MigrationScheduler{
-		db:       db,
+		eng:      e,
 		interval: interval,
 		kick:     make(chan struct{}, 1),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
+		byTable:  make(map[string]int64),
 	}
-	db.sched = ms
+	e.sched = ms
 	go ms.loop()
 	return ms, nil
+}
+
+// StartMigrationScheduler starts the engine's background migration
+// scheduler; for a single-table DB that scheduler watches exactly this
+// table, as it always has.
+func (db *DB) StartMigrationScheduler(interval time.Duration) (*MigrationScheduler, error) {
+	return db.eng.StartMigrationScheduler(interval)
 }
 
 func (ms *MigrationScheduler) loop() {
@@ -89,27 +107,41 @@ func (ms *MigrationScheduler) loop() {
 		case <-tick.C:
 		case <-ms.kick:
 		}
-		// MigrateIfNeeded already absorbs the transient blocked-by-readers
-		// and migration-in-flight conditions into (false, nil).
-		ran, err := ms.db.MigrateIfNeeded()
-		if errors.Is(err, ErrClosed) {
+		if !ms.sweep() {
 			return
-		}
-		if err != nil {
-			// Record the failure but keep running: a transient error (e.g.
-			// one redo-log write) must not silently end background
-			// migration for the DB's lifetime while writes keep filling
-			// the cache. The next tick retries.
-			ms.failed.Store(errBox{err})
-			continue
-		}
-		if ran {
-			ms.ran.Add(1)
 		}
 	}
 }
 
-// Kick asks the scheduler to check the cache fill now instead of waiting
+// sweep drains the engine's cache pressure through MigrateIfPressured —
+// each round migrates the most-pressured table (or, under total-pool
+// pressure, the largest consumer) until nothing qualifies; it reports
+// false when the engine has closed and the loop should exit.
+func (ms *MigrationScheduler) sweep() bool {
+	for {
+		name, ran, err := ms.eng.MigrateIfPressured()
+		if errors.Is(err, ErrClosed) {
+			return false
+		}
+		if err != nil {
+			// Record the failure but keep running: a transient error (e.g.
+			// one redo-log write) must not silently end background
+			// migration for the engine's lifetime while writes keep
+			// filling the cache. The next tick retries.
+			ms.failed.Store(errBox{err})
+			return true
+		}
+		if !ran {
+			return true
+		}
+		ms.ran.Add(1)
+		ms.mu.Lock()
+		ms.byTable[name]++
+		ms.mu.Unlock()
+	}
+}
+
+// Kick asks the scheduler to check cache pressure now instead of waiting
 // for the next tick. It never blocks.
 func (ms *MigrationScheduler) Kick() {
 	select {
@@ -118,8 +150,21 @@ func (ms *MigrationScheduler) Kick() {
 	}
 }
 
-// Migrations returns how many migrations the scheduler has run.
+// Migrations returns how many migrations the scheduler has run, across
+// every table.
 func (ms *MigrationScheduler) Migrations() int64 { return ms.ran.Load() }
+
+// TableMigrations returns how many migrations the scheduler has run per
+// table — which table each migrated run set belonged to.
+func (ms *MigrationScheduler) TableMigrations() map[string]int64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make(map[string]int64, len(ms.byTable))
+	for k, v := range ms.byTable {
+		out[k] = v
+	}
+	return out
+}
 
 // Err returns the most recent unexpected migration error, if any. The
 // scheduler keeps retrying after errors; Err lets callers surface them.
@@ -131,16 +176,16 @@ func (ms *MigrationScheduler) Err() error {
 }
 
 // Stop halts the scheduler and waits for its goroutine to exit, then
-// detaches it from the DB so a later StartMigrationScheduler starts a
+// detaches it from the engine so a later StartMigrationScheduler starts a
 // fresh one instead of returning this dead instance. Stop is idempotent
-// and safe to call concurrently with DB.Close.
+// and safe to call concurrently with Close.
 func (ms *MigrationScheduler) Stop() {
 	ms.stopOnce.Do(func() { close(ms.quit) })
 	<-ms.done
-	db := ms.db
-	db.mu.Lock()
-	if db.sched == ms {
-		db.sched = nil
+	e := ms.eng
+	e.mu.Lock()
+	if e.sched == ms {
+		e.sched = nil
 	}
-	db.mu.Unlock()
+	e.mu.Unlock()
 }

@@ -7,16 +7,17 @@ import (
 	core "masm/internal/masm"
 )
 
-// Snapshot is a pinned, consistent view of the database at one point in
-// the update timeline. Scans opened from it all observe the same state:
+// Snapshot is a pinned, consistent view of one table at one point in the
+// update timeline. Scans opened from it all observe the same state:
 // exactly the updates applied before the snapshot was taken, none after.
-// Concurrent writers proceed unblocked while a snapshot is open; migration
-// waits for it.
+// Concurrent writers proceed unblocked while a snapshot is open; the
+// table's migration waits for it (other tables of the same engine migrate
+// freely).
 //
 // A Snapshot must be Closed when no longer needed — an open snapshot pins
-// SSD run extents and blocks migration.
+// SSD run extents and blocks its table's migration.
 type Snapshot struct {
-	db        *DB
+	t         *Table
 	snap      *core.Snapshot
 	closeOnce sync.Once
 }
@@ -30,19 +31,19 @@ func (s *Snapshot) TS() int64 { return s.snap.TS() }
 // number of Scans may run from one snapshot, concurrently or sequentially;
 // they all see identical data.
 func (s *Snapshot) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) error {
-	db := s.db
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return ErrClosed
+	e := s.t.eng
+	e.mu.RLock()
+	if err := s.t.liveLocked(); err != nil {
+		e.mu.RUnlock()
+		return err
 	}
-	q, err := s.snap.NewQuery(db.clock.now(), begin, end)
-	db.mu.RUnlock()
+	q, err := s.snap.NewQuery(e.clock.now(), begin, end)
+	e.mu.RUnlock()
 	if err != nil {
 		return err
 	}
-	err = db.drainQuery(q, fn)
-	runtime.KeepAlive(s) // see DB.Snapshot's AddCleanup
+	err = e.drainQuery(q, fn)
+	runtime.KeepAlive(s) // see Table.Snapshot's AddCleanup
 	return err
 }
 
@@ -63,5 +64,5 @@ func (s *Snapshot) Get(key uint64) ([]byte, bool, error) {
 // idempotent; scans already running from this snapshot finish normally.
 func (s *Snapshot) Close() {
 	s.closeOnce.Do(func() { s.snap.Close() })
-	runtime.KeepAlive(s) // see DB.Snapshot's AddCleanup
+	runtime.KeepAlive(s) // see Table.Snapshot's AddCleanup
 }

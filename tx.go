@@ -20,31 +20,32 @@ const (
 	TxLocking TxMode = TxMode(txn.Locking)
 )
 
-// Tx is a transaction over the database: reads see the snapshot at Begin
+// Tx is a transaction over one table: reads see the snapshot at Begin
 // plus the transaction's own writes; writes stay in a private buffer until
-// Commit publishes them to the MaSM update cache.
+// Commit publishes them to the MaSM update cache. For transactions
+// spanning several tables of one engine, see Engine.BeginTx.
 type Tx struct {
-	db *DB
-	t  *txn.Txn
+	t  *Table
+	tx *txn.Txn
 }
 
 // Insert buffers an insertion in the transaction.
 func (tx *Tx) Insert(key uint64, body []byte) error {
-	err := tx.t.Update(update.Record{Key: key, Op: update.Insert, Payload: append([]byte(nil), body...)})
+	err := tx.tx.Update(update.Record{Key: key, Op: update.Insert, Payload: append([]byte(nil), body...)})
 	runtime.KeepAlive(tx) // see Begin's AddCleanup: tx must outlive the inner call
 	return err
 }
 
 // Delete buffers a deletion in the transaction.
 func (tx *Tx) Delete(key uint64) error {
-	err := tx.t.Update(update.Record{Key: key, Op: update.Delete})
+	err := tx.tx.Update(update.Record{Key: key, Op: update.Delete})
 	runtime.KeepAlive(tx)
 	return err
 }
 
 // Modify buffers a field modification in the transaction.
 func (tx *Tx) Modify(key uint64, off int, val []byte) error {
-	err := tx.t.Update(update.Record{Key: key, Op: update.Modify,
+	err := tx.tx.Update(update.Record{Key: key, Op: update.Modify,
 		Payload: update.EncodeFields([]update.Field{{Off: uint16(off), Value: append([]byte(nil), val...)}})})
 	runtime.KeepAlive(tx)
 	return err
@@ -53,16 +54,17 @@ func (tx *Tx) Modify(key uint64, off int, val []byte) error {
 // Scan reads [begin, end] at the transaction's snapshot, overlaid with its
 // own writes. It holds no database-wide lock while iterating.
 func (tx *Tx) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) error {
-	tx.db.mu.RLock()
-	if tx.db.closed {
-		tx.db.mu.RUnlock()
-		return ErrClosed
+	e := tx.t.eng
+	e.mu.RLock()
+	err := tx.t.liveLocked()
+	e.mu.RUnlock()
+	if err != nil {
+		return err
 	}
-	tx.db.mu.RUnlock()
-	end2, err := tx.t.Scan(tx.db.clock.now(), begin, end, func(row table.Row) bool {
+	end2, err := tx.tx.Scan(e.clock.now(), begin, end, func(row table.Row) bool {
 		return fn(row.Key, row.Body)
 	})
-	tx.db.clock.advance(end2)
+	e.clock.advance(end2)
 	runtime.KeepAlive(tx)
 	return err
 }
@@ -79,28 +81,29 @@ func (tx *Tx) Scan(begin, end uint64, fn func(key uint64, body []byte) bool) err
 // validation stays sound (the write set is conservatively recorded), and
 // migration is the way to clear the exhaustion.
 func (tx *Tx) Commit() error {
-	tx.db.mu.RLock()
-	defer tx.db.mu.RUnlock()
-	if tx.db.closed {
+	e := tx.t.eng
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := tx.t.liveLocked(); err != nil {
 		// Abort rather than bail: a bare return would leak the
 		// transaction's pinned snapshot and, in Locking mode, its key
 		// locks, since callers are not required to Abort after a failed
 		// Commit.
-		tx.t.Abort()
-		return ErrClosed
+		tx.tx.Abort()
+		return err
 	}
-	end, err := tx.t.Commit(tx.db.clock.now())
+	end, err := tx.tx.Commit(e.clock.now())
 	if err != nil {
 		runtime.KeepAlive(tx)
 		return err
 	}
-	tx.db.clock.advance(end)
+	e.clock.advance(end)
 	runtime.KeepAlive(tx)
 	return nil
 }
 
 // Abort discards the transaction.
 func (tx *Tx) Abort() {
-	tx.t.Abort()
+	tx.tx.Abort()
 	runtime.KeepAlive(tx) // see Begin's AddCleanup
 }
