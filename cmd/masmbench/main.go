@@ -10,6 +10,7 @@
 //	masmbench -shardbench -nodes 4 -rows 200000
 //	masmbench -durabench -backend file -rows 200000
 //	masmbench -mergebench -json BENCH_3.json
+//	masmbench -chaos -seed 1 -steps 20000
 //
 // The paper experiments always run on the simulated in-memory backend —
 // their figures are virtual-time measurements and do not depend on the
@@ -30,6 +31,7 @@ import (
 
 	"masm"
 	"masm/internal/bench"
+	"masm/internal/chaos"
 	"masm/internal/shard"
 	"masm/internal/table"
 	"masm/internal/update"
@@ -55,6 +57,9 @@ func main() {
 		tenantBnc = flag.Bool("tenantbench", false, "run the multi-tenant shared-cache benchmark (one engine, N tables, one SSD vs N private caches) instead of a paper experiment")
 		tenants   = flag.Int("tenants", 6, "tenantbench: number of tables sharing the engine")
 		tenantUpd = flag.Int("updates", 60_000, "tenantbench: updates across all tenants")
+		chaosBnc  = flag.Bool("chaos", false, "run the deterministic chaos scenario runner (seeded whole-engine simulation with fault injection and a model-checked oracle) instead of a paper experiment")
+		chaosStep = flag.Int("steps", 20_000, "chaos: scenario length in operations")
+		chaosOut  = flag.String("chaosout", "", "chaos: on an oracle failure, also write seed + shrunk trace + repro test to this file")
 	)
 	flag.Parse()
 
@@ -84,6 +89,13 @@ func main() {
 			out = "BENCH_3.json"
 		}
 		if _, err := bench.MergeBench(os.Stdout, out, *seed, *mergeRec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosBnc {
+		if err := chaosRun(*seed, *chaosStep, *chaosOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -135,6 +147,38 @@ func main() {
 		res.Format(os.Stdout)
 		fmt.Printf("(%s wall time: %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
+}
+
+// chaosRun drives the deterministic chaos harness (internal/chaos): a
+// seeded multi-table scenario over fault-injecting storage, every
+// surviving state checked against the model oracle. The run is
+// bit-deterministic: the same seed and steps always produce the same
+// final state hash, which CI verifies by running it twice.
+func chaosRun(seed int64, steps int, outPath string) error {
+	t0 := time.Now()
+	res, err := chaos.Run(chaos.Options{Seed: seed, Steps: steps, Verbose: os.Stdout})
+	if err != nil {
+		return err
+	}
+	if res.Failure != nil {
+		var b strings.Builder
+		fmt.Fprintf(&b, "chaos FAILURE (reproduce with -chaos -seed %d -steps %d)\n%v\n", seed, steps, res.Failure)
+		fmt.Fprintf(&b, "\nshrunk trace (%d of %d ops):\n", len(res.ShrunkTrace), len(res.Trace))
+		for _, op := range res.ShrunkTrace {
+			fmt.Fprintf(&b, "  %v\n", op)
+		}
+		fmt.Fprintf(&b, "\nrepro test:\n%s", res.Repro)
+		fmt.Fprint(os.Stderr, b.String())
+		if outPath != "" {
+			if werr := os.WriteFile(outPath, []byte(b.String()), 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+			}
+		}
+		return fmt.Errorf("chaos: oracle failure at step %d (seed %d)", res.Failure.Step, seed)
+	}
+	fmt.Printf("chaos OK: seed=%d steps=%d crashes=%d reopens=%d final state hash=%016x (%v wall)\n",
+		seed, res.Steps, res.Crashes, res.Reopens, res.Hash, time.Since(t0).Round(time.Millisecond))
+	return nil
 }
 
 // shardBench compares the sequential and goroutine-parallel fan-out

@@ -81,6 +81,16 @@ type EngineDirOptions struct {
 	// Zero selects a default. On reopen the effective capacity is the
 	// larger of this and the directory's, so a catalog can be grown.
 	DataBytes int64
+	// WrapBackend, when non-nil, wraps each storage file's backend as it is
+	// opened, before the engine issues any I/O through it. name is the
+	// file's name within the directory ("main.data", "cache.runs",
+	// "wal.log", or — during recovery, for the checkpoint log that
+	// atomically replaces wal.log — "wal.log.new"). It is the
+	// fault-injection and instrumentation seam the deterministic chaos
+	// harness (internal/chaos) uses to count writes and fsyncs, tear
+	// writes, and cut power at chosen sync points; production opens leave
+	// it nil.
+	WrapBackend func(name string, be storage.Backend) storage.Backend
 }
 
 // defaultEngineDataBytes sizes main.data when EngineDirOptions.DataBytes
@@ -179,9 +189,11 @@ type dirState struct {
 	dir  string
 	opts EngineDirOptions
 
-	data  *filedev.File
-	cache *filedev.File
-	wal   *filedev.File
+	// The directory's storage backends: filedev files, wrapped by
+	// opts.WrapBackend when a test harness injects faults or counters.
+	data  storage.Backend
+	cache storage.Backend
+	wal   storage.Backend
 	// lock holds the advisory flock that gives this process exclusive
 	// ownership of the directory; the kernel releases it when the
 	// descriptor closes, so even a hard stop or process death frees it.
@@ -429,6 +441,54 @@ func readManifest(dir string) (*manifest, error) {
 	return m, nil
 }
 
+// checkManifest re-reads MANIFEST from disk, re-validates it, and
+// cross-checks it against the live catalog — the durable half of
+// Engine.CheckInvariants. Rows and page refs are deliberately not
+// compared: the manifest snapshots them only at create/drop/migration
+// checkpoints, so they lag the live table between checkpoints by design.
+func (ds *dirState) checkManifest(tables []*Table, nextID uint32) error {
+	m, err := readManifest(ds.dir)
+	if err != nil {
+		return fmt.Errorf("masm: invariant probe: %w", err)
+	}
+	if len(m.Tables) != len(tables) {
+		return fmt.Errorf("masm: manifest lists %d tables, catalog holds %d", len(m.Tables), len(tables))
+	}
+	byID := make(map[uint32]*tableManifest, len(m.Tables))
+	var dataHigh int64
+	for i := range m.Tables {
+		tm := &m.Tables[i]
+		byID[tm.ID] = tm
+		if end := tm.DataOff + tm.DataBytes; end > dataHigh {
+			dataHigh = end
+		}
+	}
+	for _, t := range tables {
+		tm, ok := byID[t.id]
+		if !ok {
+			return fmt.Errorf("masm: live table %q (id %d) missing from the manifest", t.name, t.id)
+		}
+		if tm.Name != t.name {
+			return fmt.Errorf("masm: manifest names table id %d %q, catalog %q", t.id, tm.Name, t.name)
+		}
+		if tm.DataOff != t.dataOff || tm.DataBytes != t.dataBytes {
+			return fmt.Errorf("masm: table %q heap region diverged: manifest [%d,+%d), catalog [%d,+%d)",
+				t.name, tm.DataOff, tm.DataBytes, t.dataOff, t.dataBytes)
+		}
+		if tm.CacheBytes != t.cacheBudget {
+			return fmt.Errorf("masm: table %q cache cap diverged: manifest %d, catalog %d", t.name, tm.CacheBytes, t.cacheBudget)
+		}
+	}
+	if m.NextTableID < nextID {
+		return fmt.Errorf("masm: manifest next-table-id %d behind the engine's %d (a dropped id could be recycled)",
+			m.NextTableID, nextID)
+	}
+	if m.DataNext < dataHigh {
+		return fmt.Errorf("masm: manifest data cursor %d below the highest table region end %d", m.DataNext, dataHigh)
+	}
+	return nil
+}
+
 // hooks wires the write-ahead ordering between the redo log and the data
 // files (see wal.Hooks). The checkpoint covers the whole catalog: all
 // tables share main.data and the manifest. It reads the dirState's own
@@ -447,13 +507,26 @@ func (ds *dirState) hooks() wal.Hooks {
 	}
 }
 
+// openBackend opens (creating if absent) one of the directory's files as a
+// storage backend of the given capacity, applying the WrapBackend seam.
+func (ds *dirState) openBackend(name string, size int64) (storage.Backend, error) {
+	f, err := filedev.Open(filepath.Join(ds.dir, name), size)
+	if err != nil {
+		return nil, err
+	}
+	if ds.opts.WrapBackend != nil {
+		return ds.opts.WrapBackend(name, f), nil
+	}
+	return f, nil
+}
+
 // closeFiles closes the directory's files, optionally syncing data and
 // cache first (the WAL is synced by the caller through the log), and
 // finally drops the directory lock. A crash test passes sync=false to
 // model kill -9.
 func (ds *dirState) closeFiles(sync bool) error {
 	var firstErr error
-	for _, f := range []*filedev.File{ds.data, ds.cache, ds.wal} {
+	for _, f := range []storage.Backend{ds.data, ds.cache, ds.wal} {
 		if f == nil {
 			continue
 		}
@@ -583,13 +656,13 @@ func createEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 			ds.closeFiles(false)
 		}
 	}()
-	if ds.data, err = filedev.Open(filepath.Join(dir, dataFileName), m.DataBytes); err != nil {
+	if ds.data, err = ds.openBackend(dataFileName, m.DataBytes); err != nil {
 		return nil, err
 	}
-	if ds.cache, err = filedev.Open(filepath.Join(dir, cacheFileName), m.CacheBytes*2); err != nil {
+	if ds.cache, err = ds.openBackend(cacheFileName, m.CacheBytes*2); err != nil {
 		return nil, err
 	}
-	if ds.wal, err = filedev.Open(filepath.Join(dir, walFileName), m.LogBytes); err != nil {
+	if ds.wal, err = ds.openBackend(walFileName, m.LogBytes); err != nil {
 		return nil, err
 	}
 	e = &Engine{
@@ -644,7 +717,7 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		opts.DataBytes = m.DataBytes
 	}
 	ds := &dirState{dir: dir, opts: opts, m: *m, lock: lock}
-	var oldWal *filedev.File
+	var oldWal storage.Backend
 	defer func() {
 		if err != nil {
 			ds.closeFiles(false)
@@ -653,20 +726,20 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 			}
 		}
 	}()
-	if ds.data, err = filedev.Open(filepath.Join(dir, dataFileName), m.DataBytes); err != nil {
+	if ds.data, err = ds.openBackend(dataFileName, m.DataBytes); err != nil {
 		return nil, err
 	}
-	if ds.cache, err = filedev.Open(filepath.Join(dir, cacheFileName), m.CacheBytes*2); err != nil {
+	if ds.cache, err = ds.openBackend(cacheFileName, m.CacheBytes*2); err != nil {
 		return nil, err
 	}
-	if oldWal, err = filedev.Open(filepath.Join(dir, walFileName), m.LogBytes); err != nil {
+	if oldWal, err = ds.openBackend(walFileName, m.LogBytes); err != nil {
 		return nil, err
 	}
 	// Recovery rewrites the log as a checkpoint of the recovered state.
 	// It goes to a temp file that atomically replaces wal.log only after
 	// recovery fully succeeds: a crash mid-recovery leaves the old log
 	// authoritative and recovery simply runs again.
-	if ds.wal, err = filedev.Open(filepath.Join(dir, walTmpFileName), m.LogBytes); err != nil {
+	if ds.wal, err = ds.openBackend(walTmpFileName, m.LogBytes); err != nil {
 		return nil, err
 	}
 	e = &Engine{
@@ -729,7 +802,23 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		return nil, fmt.Errorf("masm: recover %s: %w", dir, err)
 	}
 	states := wal.ReplayEntries(entries)
-	cps := make([]wal.TableCheckpoint, 0, len(ordered))
+	// Resume the shared oracle above every logged timestamp — including
+	// migration timestamps already stamped onto data pages, which would
+	// otherwise suppress post-recovery updates (see wal.TableState.MaxTS).
+	var maxTS int64
+	for _, st := range states {
+		e.oracle.AdvanceTo(st.MaxTS)
+		if st.MaxTS > maxTS {
+			maxTS = st.MaxTS
+		}
+	}
+	cps := make([]wal.TableCheckpoint, 0, len(ordered)+1)
+	if maxTS > 0 {
+		// Persist the engine-wide high water itself (an entry with no runs
+		// or pending records writes only the oracle-advance record), so the
+		// NEXT recovery of this checkpoint also resumes above the stamps.
+		cps = append(cps, wal.TableCheckpoint{MaxTS: maxTS})
+	}
 	for _, tm := range ordered {
 		if st := states[tm.ID]; st != nil {
 			cps = append(cps, wal.TableCheckpoint{Table: tm.ID, Runs: st.Runs, Pending: st.Pending})
@@ -738,17 +827,33 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 	if now, err = e.log.CheckpointAll(now, cps); err != nil {
 		return nil, err
 	}
+	// Re-register EVERY table's surviving run extents with the shared
+	// allocator before restoring ANY table: a restore can allocate fresh
+	// extents (an interrupted migration's redo flushes the replayed
+	// buffer), and a later table's durable runs must already be off the
+	// free list or the allocation overwrites them.
+	allocs := make(map[uint32]core.RunAllocator, len(ordered))
+	for _, tm := range ordered {
+		t := e.byID[tm.ID]
+		alloc := e.shared.Partition(t.id, t.cacheBudget*2)
+		allocs[t.id] = alloc
+		if st := states[tm.ID]; st != nil {
+			ccfg := coreConfig(e.cfg)
+			if err = core.ReserveRunExtents(ccfg, alloc, st.Runs); err != nil {
+				return nil, fmt.Errorf("masm: recover %s table %q: %w", dir, tm.Name, err)
+			}
+		}
+	}
 	for _, tm := range ordered {
 		t := e.byID[tm.ID]
 		st := states[tm.ID]
 		if st == nil {
 			st = &wal.TableState{}
 		}
-		alloc := e.shared.Partition(t.id, t.cacheBudget*2)
 		ccfg := coreConfig(e.cfg)
 		ccfg.SSDCapacity = roundTo(t.cacheBudget, 4<<10)
 		store, end, rerr := core.RestoreShared(ccfg, t.tbl, e.ssdVol, e.oracle,
-			e.log.ForTable(t.id), alloc, t.id, st.Runs, st.Pending, st.RedoMigration, now)
+			e.log.ForTable(t.id), core.PreReserved(allocs[t.id]), t.id, st.Runs, st.Pending, st.RedoMigration, now)
 		if rerr != nil {
 			return nil, fmt.Errorf("masm: recover %s table %q: %w", dir, t.name, rerr)
 		}

@@ -663,6 +663,53 @@ func (e *Engine) Stats() EngineStats {
 	return es
 }
 
+// CheckInvariants verifies the engine's cross-layer accounting: every
+// table's store passes its own probe (run/extent/pin bookkeeping, see
+// core Store.CheckInvariants), the shared SSD allocator's per-table
+// ledger agrees byte for byte with what each store actually holds, table
+// ids sit below the next-id watermark, and — on a file-backed engine —
+// the MANIFEST on disk parses, matches the live catalog and covers every
+// table's heap region. It is the model-checking probe the deterministic
+// chaos harness runs between operations; call it at a quiescent point
+// (no concurrent migration checkpoint mid-write).
+func (e *Engine) CheckInvariants() error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	fs := e.fs
+	nextID := e.nextID
+	e.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].id < tables[j].id })
+	var total int64
+	for _, t := range tables {
+		if t.id >= nextID {
+			return fmt.Errorf("masm: table %q id %d at or above the next-id watermark %d", t.name, t.id, nextID)
+		}
+		ext, err := t.store.CheckInvariants()
+		if err != nil {
+			return err
+		}
+		if used := e.shared.Used(t.id); used != ext {
+			return fmt.Errorf("masm: table %q (id %d): shared allocator ledger says %d bytes, store holds %d",
+				t.name, t.id, used, ext)
+		}
+		total += ext
+	}
+	if total > e.ssdVol.Size() {
+		return fmt.Errorf("masm: tables hold %d extent bytes on a %d-byte shared volume", total, e.ssdVol.Size())
+	}
+	if fs != nil {
+		return fs.checkManifest(tables, nextID)
+	}
+	return nil
+}
+
 // Sync forces the shared redo log to stable storage; see DB.Sync.
 func (e *Engine) Sync() error {
 	e.mu.RLock()
@@ -802,9 +849,21 @@ func (e *Engine) Crash() (*Engine, error) {
 		return nil, err
 	}
 	states := wal.ReplayEntries(entries)
+	// Resume the oracle above every logged timestamp, migration stamps
+	// included (see wal.TableState.MaxTS).
+	var maxTS int64
+	for _, st := range states {
+		e2.oracle.AdvanceTo(st.MaxTS)
+		if st.MaxTS > maxTS {
+			maxTS = st.MaxTS
+		}
+	}
 	// Checkpoint the recovered state into the fresh log (which reuses the
 	// volume) so a second crash recovers too, then rebuild each table.
-	cps := make([]wal.TableCheckpoint, 0, len(tables))
+	cps := make([]wal.TableCheckpoint, 0, len(tables)+1)
+	if maxTS > 0 {
+		cps = append(cps, wal.TableCheckpoint{MaxTS: maxTS})
+	}
 	for _, t := range tables {
 		st := states[t.id]
 		if st == nil {
@@ -815,16 +874,27 @@ func (e *Engine) Crash() (*Engine, error) {
 	if now, err = newLog.CheckpointAll(now, cps); err != nil {
 		return nil, err
 	}
+	// As in reopenEngineDir: every table's surviving extents must be off
+	// the shared free list before any table's restore can allocate.
+	allocs := make(map[uint32]core.RunAllocator, len(tables))
+	for _, t := range tables {
+		alloc := e2.shared.Partition(t.id, t.cacheBudget*2)
+		allocs[t.id] = alloc
+		if st := states[t.id]; st != nil {
+			if err := core.ReserveRunExtents(coreConfig(e.cfg), alloc, st.Runs); err != nil {
+				return nil, fmt.Errorf("masm: recover table %q: %w", t.name, err)
+			}
+		}
+	}
 	for _, t := range tables {
 		st := states[t.id]
 		if st == nil {
 			st = &wal.TableState{}
 		}
-		alloc := e2.shared.Partition(t.id, t.cacheBudget*2)
 		ccfg := coreConfig(e.cfg)
 		ccfg.SSDCapacity = roundTo(t.cacheBudget, 4<<10)
 		store, end, err := core.RestoreShared(ccfg, t.tbl, e2.ssdVol, e2.oracle,
-			newLog.ForTable(t.id), alloc, t.id, st.Runs, st.Pending, st.RedoMigration, now)
+			newLog.ForTable(t.id), core.PreReserved(allocs[t.id]), t.id, st.Runs, st.Pending, st.RedoMigration, now)
 		if err != nil {
 			return nil, fmt.Errorf("masm: recover table %q: %w", t.name, err)
 		}

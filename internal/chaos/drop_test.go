@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"masm"
+)
+
+// DropTable × crash interleavings. The drop's commit point is the
+// MANIFEST rewrite (tmp + rename + dir fsync): recovery ignores WAL
+// records of tables absent from the manifest. These tests pin both sides
+// of that commit point under crashes, plus the PR 4 watermark rule that
+// table ids are never recycled (a recycled id would route a dropped
+// table's surviving WAL records into the new table).
+
+// dropSetup builds a two-table engine with synced data in both and
+// returns it plus table B's expected contents.
+func dropSetup(t *testing.T, dir string) (*masm.Engine, map[uint64][]byte, uint32) {
+	t.Helper()
+	eng, _ := openHardeningEngine(t, dir)
+	keys, bodies := sweepBase()
+	if _, err := eng.CreateTable("keepA", masm.TableOptions{Keys: keys, Bodies: bodies}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.CreateTable("dropB", masm.TableOptions{Keys: keys, Bodies: bodies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRows := make(map[uint64][]byte)
+	for i, k := range keys {
+		bRows[k] = bodies[i]
+	}
+	for i := 0; i < 30; i++ {
+		k := uint64(2*i + 1)
+		body := []byte(fmt.Sprintf("b row %04d", k))
+		if err := b.Insert(k, body); err != nil {
+			t.Fatal(err)
+		}
+		bRows[k] = body
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, bRows, b.ID()
+}
+
+// TestDropTableCrashAfterCommit: drop B, crash, reopen — B must stay
+// dropped, its WAL records must not resurrect anywhere, the next created
+// table must get a fresh id above the watermark, and A must be intact.
+func TestDropTableCrashAfterCommit(t *testing.T) {
+	dir := t.TempDir()
+	eng, _, bID := dropSetup(t, dir)
+	if err := eng.DropTable("dropB"); err != nil {
+		t.Fatal(err)
+	}
+	eng.HardStop() // crash right after the drop's manifest commit
+
+	eng2, _ := openHardeningEngine(t, dir)
+	defer eng2.Close()
+	if err := eng2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.OpenTable("dropB"); err == nil {
+		t.Fatal("dropped table resurrected by crash recovery")
+	}
+	a, err := eng2.OpenTable("keepA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	if err := a.Scan(0, ^uint64(0), func(uint64, []byte) bool { rows++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 120 {
+		t.Fatalf("survivor table holds %d rows, want 120", rows)
+	}
+	// Watermark rule: a fresh table must never reuse the dropped id, even
+	// though B is gone from the manifest — else B's surviving WAL records
+	// (still in wal.log at crash time) could route into it.
+	c, err := eng2.CreateTable("freshC", masm.TableOptions{Keys: []uint64{2}, Bodies: [][]byte{[]byte("c")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID() <= bID {
+		t.Fatalf("new table id %d not above dropped id %d: ids recycled across drop+crash", c.ID(), bID)
+	}
+	got := 0
+	if err := c.Scan(0, ^uint64(0), func(k uint64, b []byte) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("fresh table holds %d rows, want its 1 bulk row (stale records leaked in)", got)
+	}
+}
+
+// TestDropTableManifestRenameLost: the drop's manifest rename never
+// becomes durable (a crash before the directory fsync can leave the OLD
+// manifest in place). Reopening with the old manifest must bring B back
+// COMPLETE — every synced record routed to it from the still-present WAL
+// — because the drop never committed.
+func TestDropTableManifestRenameLost(t *testing.T) {
+	dir := t.TempDir()
+	eng, bRows, bID := dropSetup(t, dir)
+	// Capture the pre-drop manifest: the image a lost rename leaves.
+	oldManifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.DropTable("dropB"); err != nil {
+		t.Fatal(err)
+	}
+	eng.HardStop()
+	// Simulate the un-durable rename: the old manifest is back.
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), oldManifest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, _ := openHardeningEngine(t, dir)
+	defer eng2.Close()
+	if err := eng2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng2.OpenTable("dropB")
+	if err != nil {
+		t.Fatalf("un-committed drop must leave the table alive: %v", err)
+	}
+	if b.ID() != bID {
+		t.Fatalf("table id changed %d -> %d across the aborted drop", bID, b.ID())
+	}
+	got := make(map[uint64][]byte)
+	if err := b.Scan(0, ^uint64(0), func(k uint64, body []byte) bool {
+		got[k] = append([]byte(nil), body...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(bRows) {
+		t.Fatalf("revived table holds %d rows, want %d", len(got), len(bRows))
+	}
+	for k, want := range bRows {
+		if !bytes.Equal(got[k], want) {
+			t.Fatalf("revived table key %d: got %q want %q", k, got[k], want)
+		}
+	}
+}
+
+// TestDropTableWatermarkSurvivesCleanReopens: ids keep growing across
+// drop + clean close cycles too (the watermark is persisted in the
+// manifest, not rederived from the surviving tables).
+func TestDropTableWatermarkSurvivesCleanReopens(t *testing.T) {
+	dir := t.TempDir()
+	eng, _, bID := dropSetup(t, dir)
+	if err := eng.DropTable("dropB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng2, _ := openHardeningEngine(t, dir)
+	defer eng2.Close()
+	c, err := eng2.CreateTable("c", masm.TableOptions{Keys: []uint64{2}, Bodies: [][]byte{[]byte("c")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID() <= bID {
+		t.Fatalf("id %d recycled (dropped table had %d)", c.ID(), bID)
+	}
+}

@@ -1,0 +1,420 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// model is the in-memory oracle the engine is checked against. It tracks,
+// per table slot:
+//
+//   - rows: the expected current state — every acknowledged operation
+//     applied in order. Live scans, gets and snapshot reads are compared
+//     against it (snapshots against a copy taken at open).
+//   - ghosts: keys whose engine-side state is uncertain because an
+//     operation on them FAILED after it may have reached the redo log (a
+//     failed insert whose WAL record was already appended, a cross-table
+//     commit that failed mid-publication). The engine's documented
+//     contract for those is "not applied now, possibly applied after
+//     recovery" — so the oracle excludes exactly those keys from
+//     comparison until the next reopen re-synchronizes them, and checks
+//     everything else strictly.
+//
+// and globally:
+//
+//   - base: the durable baseline — the state every table had at the last
+//     (re)open, which recovery checkpointed and made fully durable.
+//   - journal: every acknowledged update since base, in ack order (the
+//     redo-log order). After a crash, the surviving state must equal base
+//     plus some PREFIX of the journal — the committed-prefix contract:
+//     the WAL replays in order and truncates at its torn tail, so any
+//     other shape (a hole, a reordering, a value no one wrote) is a
+//     durability bug.
+//   - floor: the journal length at the last successful Sync. A matching
+//     prefix shorter than the floor means acknowledged-durable data was
+//     lost — the loudest possible oracle failure.
+//
+// Catalog changes (create/drop) are durable at the moment they return —
+// the manifest is written synchronously with tmp+rename+fsync — so they
+// move base directly and never enter the journal.
+type model struct {
+	tables  map[int]*tableModel
+	journal []jop
+	floor   int
+}
+
+// tableModel is one slot's expected state.
+type tableModel struct {
+	name   string
+	id     uint32
+	rows   map[uint64][]byte
+	base   map[uint64][]byte
+	ghosts map[uint64]bool
+}
+
+// jop is one acknowledged update in redo order. val == nil means delete.
+type jop struct {
+	slot int
+	key  uint64
+	val  []byte
+}
+
+func newModel() *model {
+	return &model{tables: make(map[int]*tableModel)}
+}
+
+func copyRows(m map[uint64][]byte) map[uint64][]byte {
+	c := make(map[uint64][]byte, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// createTable registers a freshly created (and durably manifested) table.
+func (m *model) createTable(slot int, name string, id uint32, rows map[uint64][]byte) {
+	m.tables[slot] = &tableModel{
+		name:   name,
+		id:     id,
+		rows:   copyRows(rows),
+		base:   copyRows(rows),
+		ghosts: make(map[uint64]bool),
+	}
+}
+
+// dropTable unregisters a dropped table and prunes its journal entries —
+// the drop is durable, so nothing of it may resurface after any crash.
+func (m *model) dropTable(slot int) {
+	delete(m.tables, slot)
+	kept := m.journal[:0]
+	fl := 0
+	for i, j := range m.journal {
+		if j.slot == slot {
+			if i < m.floor {
+				// Floor entries of other tables keep their must-survive
+				// status; the dropped table's are simply gone.
+				continue
+			}
+			continue
+		}
+		kept = append(kept, j)
+		if i < m.floor {
+			fl = len(kept)
+		}
+	}
+	m.journal = kept
+	m.floor = fl
+}
+
+// ack records one acknowledged update: applied to rows and appended to the
+// journal.
+func (m *model) ack(slot int, key uint64, val []byte) {
+	t := m.tables[slot]
+	if val == nil {
+		delete(t.rows, key)
+	} else {
+		t.rows[key] = val
+	}
+	m.journal = append(m.journal, jop{slot: slot, key: key, val: val})
+}
+
+// ghost marks a key's engine state as unknown until the next reopen.
+func (m *model) ghost(slot int, key uint64) {
+	if t, ok := m.tables[slot]; ok {
+		t.ghosts[key] = true
+	}
+}
+
+// synced records a successful explicit Sync: everything acked so far must
+// survive any later crash.
+func (m *model) synced() { m.floor = len(m.journal) }
+
+// checkScan compares a live scan's output over [begin, end] of slot with
+// the model, skipping ghost keys on both sides.
+func (m *model) checkScan(slot int, begin, end uint64, got []kv) error {
+	t := m.tables[slot]
+	return diffStates(subRange(t.rows, begin, end), got, t.ghosts, fmt.Sprintf("table %q scan [%d,%d]", t.name, begin, end))
+}
+
+// kv is one scanned row.
+type kv struct {
+	k uint64
+	v []byte
+}
+
+func subRange(rows map[uint64][]byte, begin, end uint64) map[uint64][]byte {
+	out := make(map[uint64][]byte)
+	for k, v := range rows {
+		if k >= begin && k <= end {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// diffStates compares want (model) against got (engine scan output, key
+// ordered), ignoring keys in ghosts.
+func diffStates(want map[uint64][]byte, got []kv, ghosts map[uint64]bool, what string) error {
+	var prev uint64
+	seen := make(map[uint64]bool, len(got))
+	for i, e := range got {
+		if i > 0 && e.k <= prev {
+			return fmt.Errorf("%s: keys not strictly increasing: %d after %d", what, e.k, prev)
+		}
+		prev = e.k
+		seen[e.k] = true
+		if ghosts[e.k] {
+			continue
+		}
+		w, ok := want[e.k]
+		if !ok {
+			return fmt.Errorf("%s: engine returned key %d the model does not hold", what, e.k)
+		}
+		if !bytes.Equal(w, e.v) {
+			return fmt.Errorf("%s: key %d: engine %q, model %q", what, e.k, e.v, w)
+		}
+	}
+	for k := range want {
+		if !seen[k] && !ghosts[k] {
+			return fmt.Errorf("%s: model key %d missing from engine", what, k)
+		}
+	}
+	return nil
+}
+
+// adoptReopen verifies a CLEAN reopen (nothing may be lost: shutdown
+// synced everything) and resets the durability baseline. got maps slot →
+// full-scan state. Ghost keys are adopted from the engine and cleared —
+// the reopen replayed the log, so their fate is now decided.
+func (m *model) adoptReopen(got map[int][]kv) error {
+	if err := m.checkTableSets(got); err != nil {
+		return err
+	}
+	for slot, t := range m.tables {
+		if err := diffStates(t.rows, got[slot], t.ghosts, fmt.Sprintf("table %q after clean reopen", t.name)); err != nil {
+			return err
+		}
+	}
+	m.adopt(got)
+	return nil
+}
+
+// adoptCrash runs the committed-prefix durability check after a crash and
+// reopen, then resets the baseline to the surviving state. The surviving
+// state of every table must equal base plus one common prefix of the
+// journal (ghost keys excluded), and that prefix must cover the floor.
+func (m *model) adoptCrash(got map[int][]kv) error {
+	if err := m.checkTableSets(got); err != nil {
+		return err
+	}
+	// Current reconstruction state: base copies.
+	cur := make(map[int]map[uint64][]byte, len(m.tables))
+	gotMap := make(map[int]map[uint64][]byte, len(got))
+	for slot, t := range m.tables {
+		cur[slot] = copyRows(t.base)
+		g := make(map[uint64][]byte, len(got[slot]))
+		var prev uint64
+		for i, e := range got[slot] {
+			if i > 0 && e.k <= prev {
+				return fmt.Errorf("table %q after crash: keys not strictly increasing: %d after %d", t.name, e.k, prev)
+			}
+			prev = e.k
+			g[e.k] = e.v
+		}
+		gotMap[slot] = g
+	}
+	// Incremental diff count between cur and gotMap over non-ghost keys.
+	mismatch := make(map[int]map[uint64]bool, len(m.tables))
+	diff := 0
+	keyMatches := func(slot int, key uint64) bool {
+		gv, gok := gotMap[slot][key]
+		cv, cok := cur[slot][key]
+		return gok == cok && (!gok || bytes.Equal(gv, cv))
+	}
+	recheck := func(slot int, key uint64) {
+		if m.tables[slot].ghosts[key] {
+			return
+		}
+		bad := !keyMatches(slot, key)
+		if bad && !mismatch[slot][key] {
+			mismatch[slot][key] = true
+			diff++
+		} else if !bad && mismatch[slot][key] {
+			delete(mismatch[slot], key)
+			diff--
+		}
+	}
+	for slot, t := range m.tables {
+		mismatch[slot] = make(map[uint64]bool)
+		for k := range t.base {
+			recheck(slot, k)
+		}
+		for k := range gotMap[slot] {
+			if _, ok := cur[slot][k]; !ok {
+				recheck(slot, k)
+			}
+		}
+	}
+	bestDiff, bestP := diff, 0
+	matchP := -1
+	if diff == 0 {
+		matchP = 0
+	}
+	for p := 1; p <= len(m.journal); p++ {
+		j := m.journal[p-1]
+		if _, live := cur[j.slot]; live {
+			if j.val == nil {
+				delete(cur[j.slot], j.key)
+			} else {
+				cur[j.slot][j.key] = j.val
+			}
+			recheck(j.slot, j.key)
+		}
+		if diff == 0 && matchP < 0 {
+			matchP = p
+		}
+		if diff < bestDiff {
+			bestDiff, bestP = diff, p
+		}
+	}
+	// Prefer the longest matching prefix ≥ floor; a shorter one also
+	// passes the floor only if ≥ floor. (diff can return to 0 multiple
+	// times; the first is enough — any matching prefix at or past the
+	// floor satisfies the contract.)
+	if matchP < 0 {
+		if debugIO {
+			// Re-walk to bestP and dump the mismatches.
+			cur3 := make(map[int]map[uint64][]byte, len(m.tables))
+			for slot, t := range m.tables {
+				cur3[slot] = copyRows(t.base)
+			}
+			for p := 1; p <= bestP; p++ {
+				j := m.journal[p-1]
+				if _, live := cur3[j.slot]; live {
+					if j.val == nil {
+						delete(cur3[j.slot], j.key)
+					} else {
+						cur3[j.slot][j.key] = j.val
+					}
+				}
+			}
+			for slot, t := range m.tables {
+				for k, v := range cur3[slot] {
+					gv, ok := gotMap[slot][k]
+					if t.ghosts[k] {
+						continue
+					}
+					if !ok {
+						fmt.Printf("DBG slot %d key %d: model %q, engine MISSING\n", slot, k, v)
+					} else if !bytes.Equal(gv, v) {
+						fmt.Printf("DBG slot %d key %d: model %q, engine %q\n", slot, k, v, gv)
+					}
+				}
+				for k, gv := range gotMap[slot] {
+					if _, ok := cur3[slot][k]; !ok && !t.ghosts[k] {
+						fmt.Printf("DBG slot %d key %d: model MISSING, engine %q\n", slot, k, gv)
+					}
+				}
+			}
+		}
+		return fmt.Errorf("durability: post-crash state matches NO prefix of the %d acked updates (best: %d keys off at prefix %d)",
+			len(m.journal), bestDiff, bestP)
+	}
+	if matchP < m.floor {
+		// A prefix matched, but it cuts before the durability floor. Scan
+		// forward: maybe a later prefix ≥ floor also matches.
+		savedCur := matchP // re-walk from scratch for clarity; journals are short
+		ok := false
+		cur2 := make(map[int]map[uint64][]byte, len(m.tables))
+		for slot, t := range m.tables {
+			cur2[slot] = copyRows(t.base)
+		}
+		for p := 0; p <= len(m.journal); p++ {
+			if p > 0 {
+				j := m.journal[p-1]
+				if _, live := cur2[j.slot]; live {
+					if j.val == nil {
+						delete(cur2[j.slot], j.key)
+					} else {
+						cur2[j.slot][j.key] = j.val
+					}
+				}
+			}
+			if p >= m.floor && statesEqual(cur2, gotMap, m.ghostSets()) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("durability: committed updates lost — surviving state matches only prefix %d of the journal, but %d updates were acknowledged durable (floor)",
+				savedCur, m.floor)
+		}
+	}
+	m.adopt(got)
+	return nil
+}
+
+func (m *model) ghostSets() map[int]map[uint64]bool {
+	gs := make(map[int]map[uint64]bool, len(m.tables))
+	for slot, t := range m.tables {
+		gs[slot] = t.ghosts
+	}
+	return gs
+}
+
+func statesEqual(a, b map[int]map[uint64][]byte, ghosts map[int]map[uint64]bool) bool {
+	for slot, am := range a {
+		bm := b[slot]
+		for k, av := range am {
+			if ghosts[slot][k] {
+				continue
+			}
+			bv, ok := bm[k]
+			if !ok || !bytes.Equal(av, bv) {
+				return false
+			}
+		}
+		for k := range bm {
+			if ghosts[slot][k] {
+				continue
+			}
+			if _, ok := am[k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkTableSets verifies the surviving catalog matches the model's —
+// catalog changes are synchronously durable, so they must never be lost
+// or resurrected.
+func (m *model) checkTableSets(got map[int][]kv) error {
+	for slot, t := range m.tables {
+		if _, ok := got[slot]; !ok {
+			return fmt.Errorf("catalog: table %q (slot %d) lost across restart", t.name, slot)
+		}
+	}
+	for slot := range got {
+		if _, ok := m.tables[slot]; !ok {
+			return fmt.Errorf("catalog: slot %d resurrected a dropped/unknown table", slot)
+		}
+	}
+	return nil
+}
+
+// adopt resets the durability baseline to the observed state: rows and
+// base become what the engine now holds, ghosts clear, journal empties.
+func (m *model) adopt(got map[int][]kv) {
+	for slot, t := range m.tables {
+		rows := make(map[uint64][]byte, len(got[slot]))
+		for _, e := range got[slot] {
+			rows[e.k] = e.v
+		}
+		t.rows = rows
+		t.base = copyRows(rows)
+		t.ghosts = make(map[uint64]bool)
+	}
+	m.journal = nil
+	m.floor = 0
+}

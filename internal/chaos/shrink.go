@@ -1,0 +1,58 @@
+package chaos
+
+// Shrink minimizes a failing trace by delta debugging: repeatedly try to
+// drop chunks of ops, keeping any removal that still reproduces the same
+// class of oracle failure. Op semantics make this sound — every op
+// tolerates missing context (empty slot, closed snapshot), so any
+// subsequence is executable, and execution is deterministic, so "still
+// fails" is a pure function of the trace.
+//
+// The budget caps total re-executions; shrinking is best-effort and the
+// original failure always remains reproducible from (seed, step) alone.
+func Shrink(opts Options, ops []Op, orig *Failure) []Op {
+	// Replays must each start from a pristine database: a caller-supplied
+	// Dir still holds the failed run's files (kept for inspection), and
+	// recovering them would poison every replay. Fresh temp dirs per
+	// replay instead.
+	opts.Dir = ""
+	// Ops past the failing step never executed: drop them outright.
+	cur := append([]Op(nil), ops...)
+	if orig.Step+1 < len(cur) {
+		cur = cur[:orig.Step+1]
+	}
+	budget := 120
+	fails := func(trace []Op) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		res, err := Execute(opts, trace)
+		return err == nil && res.Failure != nil && res.Failure.Check == orig.Check
+	}
+	for chunk := (len(cur) + 1) / 2; chunk >= 1 && budget > 0; {
+		removed := false
+		for start := 0; start < len(cur) && budget > 0; {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) > 0 && fails(cand) {
+				cur = cand
+				removed = true
+			} else {
+				start = end
+			}
+		}
+		if chunk == 1 {
+			if !removed {
+				break
+			}
+			continue // 1-op granularity keeps sweeping while it helps
+		}
+		chunk /= 2
+	}
+	return cur
+}

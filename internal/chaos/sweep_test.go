@@ -1,0 +1,263 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"masm"
+	"masm/internal/storage"
+)
+
+// sweepConfig is the scripted workload's engine configuration.
+func sweepConfig() masm.Config {
+	cfg := masm.DefaultConfig()
+	cfg.CacheBytes = 1 << 20
+	return cfg
+}
+
+// openSweepEngine opens dir with a FaultBackend on every file, arming a
+// power cut at the WAL's armAtSync-th fsync (0 = no fault). It returns
+// the engine and the WAL fault backend.
+func openSweepEngine(t *testing.T, dir string, armAtSync int64) (*masm.Engine, *FaultBackend) {
+	t.Helper()
+	var wal *FaultBackend
+	opts := masm.EngineDirOptions{Config: sweepConfig(), DataBytes: 128 << 20}
+	opts.WrapBackend = func(name string, be storage.Backend) storage.Backend {
+		fb := NewFaultBackend(be, name, 42)
+		if roleFor(name) == "wal" {
+			wal = fb
+			if armAtSync > 0 {
+				fb.SetPlan(Plan{CrashAtSync: armAtSync}) // strict: drop all un-synced
+			}
+		}
+		return fb
+	}
+	eng, err := masm.OpenEngineDir(dir, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return eng, wal
+}
+
+// sweepWorkload runs the scripted single-table workload: groups of
+// inserts, each group acknowledged durable by one explicit Sync. It
+// returns on the first error (the armed crash tearing an op off) and
+// reports how many inserts had been acknowledged as durable by a
+// completed Sync (tracked via the WAL backend's genuine-sync callback).
+func sweepWorkload(t *testing.T, eng *masm.Engine, wal *FaultBackend) (durableInserts int) {
+	t.Helper()
+	const groups, perGroup = 14, 8
+	tbl, err := eng.OpenTable("sweep")
+	if err != nil {
+		keys, bodies := sweepBase()
+		if tbl, err = eng.CreateTable("sweep", masm.TableOptions{Keys: keys, Bodies: bodies}); err != nil {
+			return 0 // crash during creation: nothing beyond the bulk load
+		}
+	}
+	acked := 0
+	wal.SetOnSync(func(int64) { durableInserts = acked })
+	for g := 0; g < groups; g++ {
+		for i := 0; i < perGroup; i++ {
+			k := uint64(2*(g*perGroup+i) + 1) // odd keys: fresh inserts
+			if err := tbl.Insert(k, sweepBody(k)); err != nil {
+				return durableInserts
+			}
+			acked++
+		}
+		if err := eng.Sync(); err != nil {
+			return durableInserts
+		}
+	}
+	return durableInserts
+}
+
+func sweepBase() ([]uint64, [][]byte) {
+	keys := make([]uint64, 120)
+	bodies := make([][]byte, len(keys))
+	for i := range keys {
+		keys[i] = uint64(2 * (i + 1))
+		bodies[i] = sweepBody(keys[i])
+	}
+	return keys, bodies
+}
+
+func sweepBody(k uint64) []byte {
+	return []byte(fmt.Sprintf("sweep row %08d ........................", k))
+}
+
+// verifySweep asserts the reopened table holds the base rows plus EXACTLY
+// the first durableInserts odd-key inserts: the committed prefix
+// survives, the uncommitted tail vanishes (the strict crash model drops
+// every un-synced write, so nothing else may appear).
+func verifySweep(t *testing.T, eng *masm.Engine, durableInserts int, when string) {
+	t.Helper()
+	tbl, err := eng.OpenTable("sweep")
+	if err != nil {
+		t.Fatalf("%s: OpenTable: %v", when, err)
+	}
+	want := make(map[uint64][]byte)
+	bkeys, bbodies := sweepBase()
+	for i, k := range bkeys {
+		want[k] = bbodies[i]
+	}
+	for i := 0; i < durableInserts; i++ {
+		k := uint64(2*i + 1)
+		want[k] = sweepBody(k)
+	}
+	got := 0
+	err = tbl.Scan(0, ^uint64(0), func(k uint64, b []byte) bool {
+		w, ok := want[k]
+		if !ok {
+			t.Fatalf("%s: key %d survived but was never acknowledged durable (uncommitted tail resurrected)", when, k)
+		}
+		if !bytes.Equal(w, b) {
+			t.Fatalf("%s: key %d: got %q want %q", when, k, b, w)
+		}
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("%s: scan: %v", when, err)
+	}
+	if got != len(want) {
+		t.Fatalf("%s: %d rows survived, want %d (committed prefix lost)", when, got, len(want))
+	}
+}
+
+// TestCrashPointSweep pins the durability contract EXHAUSTIVELY, not by
+// sampling: the scripted workload is run once fault-free to count its
+// WAL fsyncs, then re-run from scratch crashing at fsync point k for
+// EVERY k — each time reopening and asserting that exactly the updates
+// acknowledged durable before the crash survive and the un-synced tail
+// vanishes.
+func TestCrashPointSweep(t *testing.T) {
+	// Pass 1: fault-free, count the sync points.
+	dir := t.TempDir()
+	eng, wal := openSweepEngine(t, dir, 0)
+	durable := sweepWorkload(t, eng, wal)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	totalSyncs := wal.Syncs()
+	if totalSyncs < 10 {
+		t.Fatalf("scripted workload produced only %d WAL syncs; sweep would be vacuous", totalSyncs)
+	}
+	if durable == 0 {
+		t.Fatal("scripted workload acknowledged nothing durable")
+	}
+
+	// Pass 2: crash at every fsync point. Sync 1 is the creation-time
+	// header bootstrap; crashing there fails directory creation itself,
+	// which is covered by TestCrashDuringBootstrap below.
+	for k := int64(2); k <= totalSyncs; k++ {
+		k := k
+		t.Run(fmt.Sprintf("fsync%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			eng, wal := openSweepEngine(t, dir, k)
+			durableInserts := sweepWorkload(t, eng, wal)
+			if !wal.Crashed() {
+				// The armed point lies in the shutdown's final syncs.
+				if err := eng.Close(); err == nil && wal.Syncs() < k {
+					t.Fatalf("workload finished with only %d syncs but pass 1 had %d", wal.Syncs(), k)
+				}
+			}
+			eng.HardStop()
+
+			eng2, _ := openSweepEngine(t, dir, 0)
+			defer eng2.Close()
+			if err := eng2.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after crash at fsync %d: %v", k, err)
+			}
+			verifySweep(t, eng2, durableInserts, fmt.Sprintf("crash at fsync %d", k))
+		})
+	}
+}
+
+// TestCrashDuringRecovery sweeps power cuts through RECOVERY itself: the
+// checkpoint log (wal.log.new) replaces wal.log only after recovery fully
+// succeeds, so a crash at any of its fsync points must leave the old log
+// authoritative — the next, fault-free reopen recovers the same committed
+// state as if the crashed recovery never ran.
+func TestCrashDuringRecovery(t *testing.T) {
+	// Build one crashed directory image and count recovery's fsyncs.
+	build := func(dir string) int {
+		eng, wal := openSweepEngine(t, dir, 0)
+		durable := sweepWorkload(t, eng, wal)
+		eng.HardStop()
+		return durable
+	}
+	probeDir := t.TempDir()
+	build(probeDir)
+	var newWal *FaultBackend
+	opts := masm.EngineDirOptions{Config: sweepConfig(), DataBytes: 128 << 20}
+	opts.WrapBackend = func(name string, be storage.Backend) storage.Backend {
+		fb := NewFaultBackend(be, name, 42)
+		if name == "wal.log.new" {
+			newWal = fb
+		}
+		return fb
+	}
+	eng, err := masm.OpenEngineDir(probeDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only fsyncs issued DURING recovery count: after the rename this
+	// backend is the live log and keeps syncing in normal operation.
+	newWalSyncs := newWal.Syncs()
+	eng.Close()
+	if newWalSyncs < 2 {
+		t.Fatalf("recovery produced only %d checkpoint-log fsyncs; sweep vacuous", newWalSyncs)
+	}
+
+	for k := int64(1); k <= newWalSyncs; k++ {
+		k := k
+		t.Run(fmt.Sprintf("recoveryFsync%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			durable := build(dir)
+			// Reopen with a power cut at the k-th fsync of the checkpoint log.
+			opts := masm.EngineDirOptions{Config: sweepConfig(), DataBytes: 128 << 20}
+			opts.WrapBackend = func(name string, be storage.Backend) storage.Backend {
+				fb := NewFaultBackend(be, name, 42)
+				if name == "wal.log.new" {
+					fb.SetPlan(Plan{CrashAtSync: k})
+				}
+				return fb
+			}
+			if _, err := masm.OpenEngineDir(dir, opts); err == nil {
+				t.Fatalf("recovery survived a power cut at checkpoint fsync %d", k)
+			}
+			// The old log is still authoritative: a clean reopen recovers
+			// the full committed state.
+			eng2, _ := openSweepEngine(t, dir, 0)
+			defer eng2.Close()
+			if err := eng2.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			verifySweep(t, eng2, durable, fmt.Sprintf("reopen after recovery crashed at fsync %d", k))
+		})
+	}
+}
+
+// TestCrashDuringBootstrap: cutting power at the very first WAL fsync
+// (the creation-time header bootstrap) fails OpenEngineDir; the directory
+// must remain openable afterwards and simply come up empty.
+func TestCrashDuringBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	opts := masm.EngineDirOptions{Config: sweepConfig(), DataBytes: 128 << 20}
+	opts.WrapBackend = func(name string, be storage.Backend) storage.Backend {
+		fb := NewFaultBackend(be, name, 42)
+		if roleFor(name) == "wal" {
+			fb.SetPlan(Plan{CrashAtSync: 1})
+		}
+		return fb
+	}
+	if _, err := masm.OpenEngineDir(dir, opts); err == nil {
+		t.Fatal("creation survived a crash at the bootstrap fsync")
+	}
+	eng, _ := openSweepEngine(t, dir, 0)
+	defer eng.Close()
+	if got := eng.Tables(); len(got) != 0 {
+		t.Fatalf("crashed-at-bootstrap directory lists tables %v", got)
+	}
+}

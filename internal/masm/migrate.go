@@ -305,8 +305,28 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 	for _, sc := range scanners {
 		end = sim.MaxTime(end, sc.Time())
 	}
+	// Close the begin record with a PORTION record, not a migration end: an
+	// end record would delete the whole begin set at replay, discarding
+	// every run record outside this portion's key range. The portion record
+	// consumes only the runs a completed sweep fully applied (computed
+	// first, logged, and only then released — the record must be durable
+	// before their extents can be reused).
+	var consumed []int64
+	if last {
+		s.mu.Lock()
+		for _, r := range s.runs {
+			if r.MaxTS < s.sweepFloorTS {
+				consumed = append(consumed, r.ID)
+			}
+		}
+		s.mu.Unlock()
+	}
 	if s.log != nil {
-		if end, err = s.log.LogMigrationEnd(end, migTS); err != nil {
+		if end, err = s.log.LogMigrationPortion(end, migTS, consumed); err != nil {
+			// The portion's pages are written but not declared: recovery
+			// sees the begin record without a close and redoes a full
+			// (idempotent) migration. Nothing is released, the cursor does
+			// not advance, and the store stays usable.
 			s.abortMigration(runsR)
 			return at, false, err
 		}
@@ -319,11 +339,17 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 	s.stats.MigratedRecords += res.RecordsApplied
 	if last {
 		// Sweep complete: every run whose newest record predates the
-		// sweep's first portion has been applied across the whole table.
-		floor := s.sweepFloorTS
+		// sweep's first portion has been applied across the whole table —
+		// exactly the set logged as consumed above (concurrent flushes and
+		// merges only mint runs with newer records or new ids, so the
+		// recomputation by id is stable).
+		del := make(map[int64]bool, len(consumed))
+		for _, id := range consumed {
+			del[id] = true
+		}
 		kept := s.runs[:0]
 		for _, r := range s.runs {
-			if r.MaxTS < floor {
+			if del[r.ID] {
 				s.runBytes -= r.Size
 				s.releaseRunLocked(r)
 			} else {

@@ -44,6 +44,12 @@ type RedoLogger interface {
 	LogMerge(at sim.Time, run RunMeta, consumed []int64) (sim.Time, error)
 	LogMigrationBegin(at sim.Time, migTS int64, runIDs []int64) (sim.Time, error)
 	LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error)
+	// LogMigrationPortion closes a migration-begin record for one portion
+	// of an incremental migration: the portion's pages are durable and
+	// recovery need not redo it, but — unlike LogMigrationEnd — the begin
+	// set stays live; only the runs listed in consumed (those a completed
+	// sweep fully applied, empty mid-sweep) are deleted.
+	LogMigrationPortion(at sim.Time, migTS int64, consumed []int64) (sim.Time, error)
 }
 
 // Stats accumulates the counters behind the paper's design-goal analysis
@@ -436,6 +442,23 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 		return at, err
 	}
 	run.Table = s.tableID
+	if s.log != nil {
+		// Log the flush record before publishing the run. If the record
+		// cannot be made durable (EIO/ENOSPC on the log path), the run would
+		// be unrecoverable after a crash while recovery also dropped its
+		// updates from the replayed buffer — so the flush unwinds completely
+		// instead: records back in the buffer, extent back in the pool, and
+		// the store exactly as it was. The caller sees an ENOSPC-like,
+		// lossless failure.
+		t, lerr := s.log.LogFlush(end, RunMeta{RunID: id, Off: off, Size: run.Size, MaxTS: run.MaxTS,
+			Passes: 1, Format: runfile.FormatVersion, CRC: run.CRC})
+		if lerr != nil {
+			s.buf.Restore(recs)
+			s.alloc.Release(off, extSize)
+			return at, lerr
+		}
+		end = t
+	}
 	s.extents[id] = extent{off: off, size: extSize}
 	s.runs = append(s.runs, run)
 	s.runBytes += run.Size
@@ -451,14 +474,6 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 	// "Reset the in-memory buffer to have S empty pages").
 	s.stolenPages = 0
 	s.buf.SetCapacity(s.cfg.SPages() * s.cfg.SSDPage)
-	if s.log != nil {
-		t, err := s.log.LogFlush(end, RunMeta{RunID: id, Off: off, Size: run.Size, MaxTS: run.MaxTS,
-			Passes: 1, Format: runfile.FormatVersion, CRC: run.CRC})
-		if err != nil {
-			return at, err
-		}
-		end = t
-	}
 	return end, nil
 }
 
@@ -597,24 +612,28 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	s.nextRunID++
 	w, err := runfile.NewWriter(s.ssd, off, at, id, s.cfg.Run)
 	if err != nil {
+		s.alloc.Release(off, extSize)
 		return at, err
 	}
 	var count int64
 	for {
 		rec, ok, err := combined.Next()
 		if err != nil {
+			s.alloc.Release(off, extSize)
 			return at, err
 		}
 		if !ok {
 			break
 		}
 		if err := w.Append(rec); err != nil {
+			s.alloc.Release(off, extSize)
 			return at, err
 		}
 		count++
 	}
 	merged, end, err := w.Close(passes)
 	if err != nil {
+		s.alloc.Release(off, extSize)
 		return at, err
 	}
 	merged.Table = s.tableID
@@ -628,6 +647,26 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	// merge finishes when both the last read and last write complete.
 	for _, it := range iters {
 		end = sim.MaxTime(end, it.(*runfile.Scanner).Time())
+	}
+	if s.log != nil {
+		// As in flushLocked, the merge record goes down before the in-memory
+		// run set changes: if the record cannot be written, the merge unwinds
+		// (only the output extent is released) and the input runs stay live —
+		// nothing is lost and the store remains usable. The write-ahead
+		// ordering is unchanged: the record still becomes durable before the
+		// consumed runs' extents can ever be reused.
+		oldIDs := make([]int64, len(olds))
+		for i, o := range olds {
+			oldIDs[i] = o.ID
+		}
+		t, lerr := s.log.LogMerge(end,
+			RunMeta{RunID: id, Off: off, Size: merged.Size, MaxTS: merged.MaxTS,
+				Passes: 2, Format: runfile.FormatVersion, CRC: merged.CRC}, oldIDs)
+		if lerr != nil {
+			s.alloc.Release(off, extSize)
+			return at, lerr
+		}
+		end = t
 	}
 	// Replace the old runs with the merged one at the position of the
 	// earliest, preserving time order of the remaining runs.
@@ -663,19 +702,6 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	s.stats.TwoPassMerges++
 	s.stats.RecordWritesSSD += count
 	s.stats.BytesWrittenSSD += merged.Size
-	if s.log != nil {
-		oldIDs := make([]int64, len(olds))
-		for i, o := range olds {
-			oldIDs[i] = o.ID
-		}
-		t, err := s.log.LogMerge(end,
-			RunMeta{RunID: id, Off: off, Size: merged.Size, MaxTS: merged.MaxTS,
-				Passes: 2, Format: runfile.FormatVersion, CRC: merged.CRC}, oldIDs)
-		if err != nil {
-			return at, err
-		}
-		end = t
-	}
 	return end, nil
 }
 

@@ -20,6 +20,14 @@ type TableState struct {
 	// it holds the logged run ids (the redo itself migrates everything
 	// live, which is a superset and idempotent).
 	RedoMigration []int64
+	// MaxTS is the largest timestamp named anywhere in the table's log —
+	// updates, run high-water marks AND migration timestamps. Recovery
+	// must resume the oracle above it: migration timestamps are stamped
+	// onto rewritten data pages, and an oracle resuming below a page
+	// stamp would issue new updates timestamps the page-timestamp check
+	// silently suppresses (found by the chaos harness: crash during an
+	// incremental migration, reopen, insert — the insert was invisible).
+	MaxTS int64
 }
 
 // ReplayEntries routes decoded log entries to per-table recovered state —
@@ -46,13 +54,20 @@ func ReplayEntries(entries []Entry) map[uint32]*TableState {
 		}
 		return st
 	}
+	seen := func(t uint32, ts int64) {
+		if st := state(t); ts > st.MaxTS {
+			st.MaxTS = ts
+		}
+	}
 	for _, e := range entries {
 		switch baseKind(e.Kind) {
 		case KindUpdate:
 			st := state(e.Table)
 			st.Pending = append(st.Pending, e.Rec)
+			seen(e.Table, e.Rec.TS)
 		case KindFlush:
 			st := state(e.Table)
+			seen(e.Table, e.Run.MaxTS)
 			live[e.Table][e.Run.RunID] = e.Run
 			// Updates with timestamps ≤ MaxTS are durable in the run.
 			kept := st.Pending[:0]
@@ -64,18 +79,36 @@ func ReplayEntries(entries []Entry) map[uint32]*TableState {
 			st.Pending = kept
 		case KindMerge:
 			state(e.Table)
+			seen(e.Table, e.Run.MaxTS)
 			for _, id := range e.Consumed {
 				delete(live[e.Table], id)
 			}
 			live[e.Table][e.Run.RunID] = e.Run
 		case KindMigrationBegin:
 			state(e.Table).RedoMigration = append([]int64(nil), e.RunIDs...)
+			seen(e.Table, e.MigTS)
 		case KindMigrationEnd:
 			st := state(e.Table)
+			seen(e.Table, e.MigTS)
 			for _, id := range st.RedoMigration {
 				delete(live[e.Table], id)
 			}
 			st.RedoMigration = nil
+		case KindMigrationPortion:
+			// One incremental portion completed: the migration no longer
+			// needs redoing, but the runs stay live — only those a finished
+			// sweep fully applied (listed in the record) are consumed.
+			st := state(e.Table)
+			seen(e.Table, e.MigTS)
+			for _, id := range e.Consumed {
+				delete(live[e.Table], id)
+			}
+			st.RedoMigration = nil
+		case KindOracleAdvance:
+			// Engine-wide timestamp high water from a previous recovery's
+			// checkpoint; attach it to table 0 (every recovery consumer
+			// folds all tables' MaxTS into one oracle).
+			seen(0, e.MigTS)
 		case KindTxnBatch:
 			// A decoded batch is a committed (durable) cross-table write
 			// set: its records join their tables' buffers like individually
@@ -83,6 +116,9 @@ func ReplayEntries(entries []Entry) map[uint32]*TableState {
 			for _, p := range e.Parts {
 				st := state(p.Table)
 				st.Pending = append(st.Pending, p.Recs...)
+				for i := range p.Recs {
+					seen(p.Table, p.Recs[i].TS)
+				}
 			}
 		}
 	}
@@ -135,9 +171,13 @@ func Recover(cfg masm.Config, tbl *table.Table, ssd *storage.Volume,
 	// checkpoint. Pending updates always carry timestamps above every
 	// live run's MaxTS, so replay ordering is preserved.
 	if l, ok := newLog.(*Log); ok && l != nil {
-		if now, err = l.Checkpoint(now, st.Runs, st.Pending); err != nil {
+		if now, err = l.CheckpointAll(now, []TableCheckpoint{
+			{Runs: st.Runs, Pending: st.Pending, MaxTS: st.MaxTS}}); err != nil {
 			return nil, now, err
 		}
 	}
+	// Resume the oracle above every logged timestamp, including migration
+	// timestamps already stamped onto data pages (see TableState.MaxTS).
+	oracle.AdvanceTo(st.MaxTS)
 	return masm.Restore(cfg, tbl, ssd, oracle, newLog, st.Runs, st.Pending, st.RedoMigration, now)
 }

@@ -77,19 +77,41 @@ const (
 	// commit all-or-nothing.
 	KindTxnBatch
 
+	// KindMigrationPortion (format v4) closes a migration-begin record for
+	// ONE portion of an incremental migration: the portion's pages are
+	// durable, but only the listed runs (those a completed sweep fully
+	// applied — empty mid-sweep) are consumed. KindMigrationEnd, by
+	// contrast, asserts the whole begin set was applied table-wide and
+	// deletes it; using it for a portion silently discarded every run
+	// record outside the portion's key range at the next recovery — a real
+	// lost-committed-updates bug the deterministic chaos harness found
+	// (repro: insert, one MigrateStep, reopen).
+	KindMigrationPortion
+	KindTableMigrationPortion
+
+	// KindOracleAdvance (format v4) persists the engine-wide timestamp
+	// high-water mark: recovery writes it into the checkpoint so a LATER
+	// recovery still resumes the oracle above every data-page stamp, even
+	// when the checkpoint's runs and pending updates all carry smaller
+	// timestamps (the migration records that proved the high water were
+	// consumed by the first recovery). Untagged: the oracle is shared by
+	// the whole catalog.
+	KindOracleAdvance
+
 	// kindMax is the largest valid kind; replay treats anything above it
 	// as a torn tail.
-	kindMax = KindTxnBatch
+	kindMax = KindOracleAdvance
 )
 
 // Format constants. Version 2 introduced the log header and per-record
 // CRC-32C framing (version 1, the unversioned [kind][len][payload] format,
 // predates durable storage and is no longer readable). Version 3 added the
-// table-tagged kinds and the transaction batch record; untagged records
-// are unchanged, so readers accept both 2 and 3.
+// table-tagged kinds and the transaction batch record; version 4 the
+// migration-portion record. Existing records are unchanged at each bump,
+// so readers accept 2 through the current version.
 const (
 	// FormatVersion is the current log format.
-	FormatVersion = 3
+	FormatVersion = 4
 	// minReadVersion is the oldest format this build replays.
 	minReadVersion = 2
 	// headerSize is the size of the log header: 8-byte magic, u32 version,
@@ -394,6 +416,10 @@ type TableCheckpoint struct {
 	Table   uint32
 	Runs    []masm.RunMeta
 	Pending []update.Record
+	// MaxTS is the table's replayed timestamp high-water mark (see
+	// TableState.MaxTS); CheckpointAll persists the maximum across tables
+	// as a KindOracleAdvance record.
+	MaxTS int64
 }
 
 // CheckpointAll is Checkpoint for a whole catalog: every table's live run
@@ -405,6 +431,19 @@ func (l *Log) CheckpointAll(at sim.Time, tables []TableCheckpoint) (sim.Time, er
 	defer l.mu.Unlock()
 	now := at
 	var err error
+	var maxTS int64
+	for _, tc := range tables {
+		if tc.MaxTS > maxTS {
+			maxTS = tc.MaxTS
+		}
+	}
+	if maxTS > 0 {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(maxTS))
+		if now, err = l.appendLocked(now, KindOracleAdvance, b[:]); err != nil {
+			return at, err
+		}
+	}
 	for _, tc := range tables {
 		for _, rm := range tc.Runs {
 			kind, payload := tagged(tc.Table, KindFlush, encodeRunMeta(nil, rm))
@@ -451,6 +490,29 @@ func (l *Log) LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error) {
 		}
 	}
 	t, err := l.appendLocked(at, KindMigrationEnd, b[:])
+	if err != nil {
+		return at, err
+	}
+	return l.syncLocked(t)
+}
+
+// LogMigrationPortion implements masm.RedoLogger: one incremental
+// portion is done and only the listed runs (empty mid-sweep) are
+// consumed. Like a full migration end it checkpoints first — the
+// portion's rewritten pages and the manifest must be durable before the
+// record asserts they are — and is forced, because consumed runs'
+// extents may be reused by later flushes.
+func (l *Log) LogMigrationPortion(at sim.Time, migTS int64, consumed []int64) (sim.Time, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hooks.Checkpoint != nil {
+		if err := l.hooks.Checkpoint(); err != nil {
+			return at, fmt.Errorf("wal: checkpoint before migration portion: %w", err)
+		}
+	}
+	t, err := l.appendLocked(at, KindMigrationPortion, encodeIDs(b[:], consumed))
 	if err != nil {
 		return at, err
 	}
@@ -711,6 +773,21 @@ func decodeEntry(kind Kind, p []byte) (Entry, error) {
 			return e, fmt.Errorf("wal: short migration end")
 		}
 		e.MigTS = int64(binary.LittleEndian.Uint64(p))
+	case KindMigrationPortion:
+		if len(p) < 8 {
+			return e, fmt.Errorf("wal: short migration portion")
+		}
+		e.MigTS = int64(binary.LittleEndian.Uint64(p))
+		ids, _, err := decodeIDs(p[8:])
+		if err != nil {
+			return e, err
+		}
+		e.Consumed = ids
+	case KindOracleAdvance:
+		if len(p) < 8 {
+			return e, fmt.Errorf("wal: short oracle advance")
+		}
+		e.MigTS = int64(binary.LittleEndian.Uint64(p))
 	default:
 		return e, fmt.Errorf("wal: unknown entry kind %d", kind)
 	}
@@ -730,6 +807,8 @@ func tagTable(base Kind) Kind {
 		return KindTableMigrationBegin
 	case KindMigrationEnd:
 		return KindTableMigrationEnd
+	case KindMigrationPortion:
+		return KindTableMigrationPortion
 	}
 	panic(fmt.Sprintf("wal: kind %d has no tagged form", base))
 }
@@ -747,6 +826,8 @@ func untagged(kind Kind) (Kind, bool) {
 		return KindMigrationBegin, true
 	case KindTableMigrationEnd:
 		return KindMigrationEnd, true
+	case KindTableMigrationPortion:
+		return KindMigrationPortion, true
 	}
 	return 0, false
 }
@@ -907,6 +988,24 @@ func (t *tableLogger) LogMigrationEnd(at sim.Time, migTS int64) (sim.Time, error
 	if t.l.hooks.Checkpoint != nil {
 		if err := t.l.hooks.Checkpoint(); err != nil {
 			return at, fmt.Errorf("wal: checkpoint before migration end: %w", err)
+		}
+	}
+	now, err := t.l.appendLocked(at, kind, payload)
+	if err != nil {
+		return at, err
+	}
+	return t.l.syncLocked(now)
+}
+
+func (t *tableLogger) LogMigrationPortion(at sim.Time, migTS int64, consumed []int64) (sim.Time, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(migTS))
+	kind, payload := tagged(t.table, KindMigrationPortion, encodeIDs(b[:], consumed))
+	t.l.mu.Lock()
+	defer t.l.mu.Unlock()
+	if t.l.hooks.Checkpoint != nil {
+		if err := t.l.hooks.Checkpoint(); err != nil {
+			return at, fmt.Errorf("wal: checkpoint before migration portion: %w", err)
 		}
 	}
 	now, err := t.l.appendLocked(at, kind, payload)
