@@ -9,6 +9,7 @@
 //	masmbench -exp fig12 -table 128MB -cache 8MB
 //	masmbench -shardbench -nodes 4 -rows 200000
 //	masmbench -durabench -backend file -rows 200000
+//	masmbench -durabench -rows 60000 -json BENCH_6.json
 //	masmbench -mergebench -json BENCH_3.json
 //	masmbench -chaos -seed 1 -steps 20000
 //
@@ -16,7 +17,9 @@
 // their figures are virtual-time measurements and do not depend on the
 // host. -durabench instead measures host wall-clock: update ingestion
 // with group commit on the chosen backend (-backend sim|file), and, for
-// the file backend, a hard stop plus full directory recovery.
+// the file backend, a hard stop plus full directory recovery followed
+// by the migration crash-recovery comparison (BENCH_6: in-place
+// baseline vs shadow paging).
 package main
 
 import (
@@ -53,7 +56,7 @@ func main() {
 		dir       = flag.String("dir", "", "durabench: database directory for the file backend (default: a fresh temp dir)")
 		mergeBnc  = flag.Bool("mergebench", false, "run the merge-engine wall-clock microbenchmark (heap vs loser tree) instead of a paper experiment")
 		mergeRec  = flag.Int("mergerecords", 1<<20, "mergebench: records per measurement")
-		jsonOut   = flag.String("json", "default", "mergebench/tenantbench: machine-readable output path; 'default' selects BENCH_3.json / BENCH_4.json per mode, empty skips the file")
+		jsonOut   = flag.String("json", "default", "mergebench/tenantbench/durabench: machine-readable output path; 'default' selects BENCH_3.json / BENCH_4.json / BENCH_6.json per mode, empty skips the file")
 		tenantBnc = flag.Bool("tenantbench", false, "run the multi-tenant shared-cache benchmark (one engine, N tables, one SSD vs N private caches) instead of a paper experiment")
 		tenants   = flag.Int("tenants", 6, "tenantbench: number of tables sharing the engine")
 		tenantUpd = flag.Int("updates", 60_000, "tenantbench: updates across all tenants")
@@ -80,6 +83,19 @@ func main() {
 		if err := duraBench(*backend, *dir, *rows, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		// The migration crash-recovery comparison (in-place baseline vs
+		// shadow paging) needs the file backend's hard stop + directory
+		// recovery; it emits BENCH_6.json.
+		if *backend == "file" {
+			out := *jsonOut
+			if out == "default" {
+				out = "BENCH_6.json"
+			}
+			if err := migCrashBench(*rows, *seed, out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -1,0 +1,202 @@
+package main
+
+// Migration crash-recovery benchmark (BENCH_6): how expensive is a
+// power cut in the middle of a migration, and what did shadow paging
+// cost (or buy) on the migration itself? For each mode — the in-place
+// write-back baseline (re-enabled via table.UnsafeInPlaceMigration) and
+// shadow paging — the benchmark bulk-loads a table into a directory
+// engine, measures a clean migration's wall time and throughput, then
+// arms a power cut at the next migration's main.data fsync with a 50%
+// per-write survivor lottery, hard-stops the engine, and measures the
+// wall time of full directory recovery plus whether every acknowledged
+// update survived.
+//
+// The workload is modify-only (no inserts, so migration never splits
+// pages into overflow): it is the one shape the in-place baseline can
+// recover without losing rows — its partial-page-survival hole needs
+// overflow spill to bite (see internal/chaos's regression test, which
+// pins the loss) — so both modes are timed on a workload both can
+// complete, and the "intact" field reports data integrity rather than
+// assuming it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"masm"
+	"masm/internal/chaos"
+	"masm/internal/storage"
+	"masm/internal/table"
+)
+
+type migBenchMode struct {
+	Mode             string  `json:"mode"` // "inplace" or "shadow"
+	MigrateWallMS    float64 `json:"migrate_wall_ms"`
+	MigrateUpdPerSec float64 `json:"migrate_upd_per_sec"`
+	RecoveryWallMS   float64 `json:"recovery_wall_ms"`
+	RowsAfter        int     `json:"rows_after_recovery"`
+	Intact           bool    `json:"intact"` // every acknowledged update readable after recovery
+}
+
+type migBenchResult struct {
+	Benchmark string         `json:"benchmark"`
+	Rows      int            `json:"rows"`
+	Updates   int            `json:"updates_per_migration"`
+	KeepProb  float64        `json:"crash_keep_prob"`
+	Modes     []migBenchMode `json:"modes"`
+}
+
+// migCrashBench runs both modes and writes jsonPath (empty skips the
+// file).
+func migCrashBench(rows int, seed int64, jsonPath string) error {
+	res := migBenchResult{
+		Benchmark: "migration-crash-recovery",
+		Rows:      rows,
+		Updates:   rows,
+		KeepProb:  0.5,
+	}
+	fmt.Printf("migbench rows=%d (modify-only; crash at migration data fsync, keep=%.2f)\n", rows, res.KeepProb)
+	for _, mode := range []string{"inplace", "shadow"} {
+		m, err := migCrashBenchMode(mode, rows, seed, res.KeepProb)
+		if err != nil {
+			return fmt.Errorf("migbench %s: %w", mode, err)
+		}
+		res.Modes = append(res.Modes, m)
+		fmt.Printf("  %-8s migrate %8.1fms (%8.0f upd/s)   recovery %8.1fms   rows=%d intact=%v\n",
+			m.Mode, m.MigrateWallMS, m.MigrateUpdPerSec, m.RecoveryWallMS, m.RowsAfter, m.Intact)
+	}
+	if jsonPath != "" {
+		js, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// openMigBenchEngine opens dir with a fault backend on every file so the
+// benchmark can cut power mid-migration exactly like the chaos harness.
+func openMigBenchEngine(dir string, cfg masm.Config, seed int64) (*masm.Engine, *chaos.FaultBackend, []*chaos.FaultBackend, error) {
+	var data *chaos.FaultBackend
+	var all []*chaos.FaultBackend
+	opts := masm.EngineDirOptions{Config: cfg, DataBytes: 1 << 30}
+	opts.WrapBackend = func(name string, be storage.Backend) storage.Backend {
+		fb := chaos.NewFaultBackend(be, name, seed+int64(len(all)))
+		if name == "main.data" {
+			data = fb
+		}
+		all = append(all, fb)
+		return fb
+	}
+	eng, err := masm.OpenEngineDir(dir, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return eng, data, all, nil
+}
+
+func migCrashBenchMode(mode string, rows int, seed int64, keep float64) (migBenchMode, error) {
+	out := migBenchMode{Mode: mode}
+	table.UnsafeInPlaceMigration = mode == "inplace"
+	defer func() { table.UnsafeInPlaceMigration = false }()
+
+	dir, err := os.MkdirTemp("", "masm-migbench-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(dir)
+
+	keys := make([]uint64, rows)
+	bodies := make([][]byte, rows)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		bodies[i] = []byte(fmt.Sprintf("fact-%07d: qty=01 price=0099 status=SHIPPED", keys[i]))
+	}
+	cfg := masm.DefaultConfig()
+	cfg.CacheBytes = 64 << 20
+
+	eng, _, _, err := openMigBenchEngine(dir, cfg, seed)
+	if err != nil {
+		return out, err
+	}
+	tbl, err := eng.CreateTable("bench", masm.TableOptions{Keys: keys, Bodies: bodies})
+	if err != nil {
+		return out, err
+	}
+
+	modifyAll := func(t *masm.Table, tag string) error {
+		patch := []byte(fmt.Sprintf("%-4s", tag))
+		for _, k := range keys {
+			if err := t.Modify(k, 5, patch); err != nil {
+				return err
+			}
+		}
+		return eng.Sync()
+	}
+
+	// Leg 1: clean migration throughput.
+	if err := modifyAll(tbl, "m1"); err != nil {
+		return out, err
+	}
+	t0 := time.Now()
+	if err := tbl.Migrate(); err != nil {
+		return out, err
+	}
+	mig := time.Since(t0)
+	out.MigrateWallMS = float64(mig.Microseconds()) / 1e3
+	out.MigrateUpdPerSec = float64(rows) / mig.Seconds()
+
+	// Leg 2: power cut at the next migration's data fsync, then recovery.
+	if err := modifyAll(tbl, "m2"); err != nil {
+		return out, err
+	}
+	eng.HardStop()
+	// Reopen with fresh fault backends so the armed cut is the only fault.
+	eng, data, all, err := openMigBenchEngine(dir, cfg, seed+77)
+	if err != nil {
+		return out, err
+	}
+	tbl, err = eng.OpenTable("bench")
+	if err != nil {
+		return out, err
+	}
+	data.ArmCrashAtSync(1, keep, false)
+	if err := tbl.Migrate(); err == nil {
+		return out, fmt.Errorf("migration survived the armed data-sync power cut")
+	}
+	for _, fb := range all {
+		fb.CrashNow()
+	}
+	eng.HardStop()
+
+	t0 = time.Now()
+	eng2, _, _, err := openMigBenchEngine(dir, cfg, seed+999)
+	if err != nil {
+		return out, err
+	}
+	out.RecoveryWallMS = float64(time.Since(t0).Microseconds()) / 1e3
+	defer eng2.Close()
+
+	tbl2, err := eng2.OpenTable("bench")
+	if err != nil {
+		return out, err
+	}
+	intact := true
+	if err := tbl2.Scan(0, ^uint64(0), func(k uint64, b []byte) bool {
+		out.RowsAfter++
+		if len(b) < 9 || string(b[5:9]) != "m2  " {
+			intact = false
+		}
+		return true
+	}); err != nil {
+		return out, err
+	}
+	out.Intact = intact && out.RowsAfter == rows
+	return out, nil
+}

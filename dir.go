@@ -138,6 +138,13 @@ type tableManifest struct {
 	CacheBytes int64       `json:"cache_bytes"`
 	Rows       int64       `json:"rows"`
 	Refs       []table.Ref `json:"refs"`
+	// MigTS is the shadow-commit record: the newest migration timestamp
+	// that may be stamped on pages reachable through Refs. A manifest
+	// rewrite commits a table's flipped refs and this stamp in one
+	// tmp+rename, so recovery resumes the oracle above every stamp the
+	// committed page set can carry even when the WAL was lost with the
+	// crash. Zero on manifests from before shadow paging.
+	MigTS int64 `json:"mig_ts,omitempty"`
 }
 
 // manifest is the durable directory metadata: the file geometry, the
@@ -257,6 +264,7 @@ func catalogEntry(t *Table) tableManifest {
 		CacheBytes: t.cacheBudget,
 		Rows:       t.tbl.Rows(),
 		Refs:       t.tbl.Refs(),
+		MigTS:      t.tbl.LastMigTS(),
 	}
 }
 
@@ -421,6 +429,19 @@ func parseManifest(raw []byte) (*manifest, error) {
 		}
 		if t.CacheBytes <= 0 || t.CacheBytes > m.CacheBytes {
 			return nil, fmt.Errorf("masm: manifest: table %q cache cap %d outside (0,%d]", t.Name, t.CacheBytes, m.CacheBytes)
+		}
+		if t.MigTS < 0 {
+			return nil, fmt.Errorf("masm: manifest: table %q migration stamp %d negative", t.Name, t.MigTS)
+		}
+		// With shadow paging, refs may point anywhere inside the heap
+		// region — but never beyond it: a ref outside the region would read
+		// another table's pages (table.Restore re-checks order/duplicates).
+		maxPages := t.DataBytes / int64(m.PageSize)
+		for _, r := range t.Refs {
+			if r.PageNo < 0 || r.PageNo >= maxPages {
+				return nil, fmt.Errorf("masm: manifest: table %q ref page %d outside heap region (%d pages)",
+					t.Name, r.PageNo, maxPages)
+			}
 		}
 		seenID[t.ID] = true
 		seenName[t.Name] = true
@@ -782,6 +803,12 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		if terr != nil {
 			return nil, fmt.Errorf("masm: restore table %q: %w", tm.Name, terr)
 		}
+		// The shadow-commit stamp survives independently of the WAL: resume
+		// the oracle above it so no post-recovery update can mint a
+		// timestamp the committed page set already carries, and hand it
+		// back to the table so later manifest rewrites never regress it.
+		tbl.NoteMigTS(tm.MigTS)
+		e.oracle.AdvanceTo(tm.MigTS)
 		t := &Table{eng: e, name: tm.Name, id: tm.ID, cacheBudget: tm.CacheBytes,
 			dataOff: tm.DataOff, dataBytes: tm.DataBytes, tbl: tbl}
 		e.tables[t.name] = t

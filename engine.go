@@ -628,6 +628,16 @@ func (t *Table) Stats() Stats {
 	}
 }
 
+// SlotLedger reports the table's main-store page-slot accounting under
+// shadow-paged migration: live (named by a ref), free, retired (awaiting
+// the next durable checkpoint), parked (pinned by an open MainSnapshot),
+// and the allocation cursor. At quiescent points (no migration batch in
+// flight) live+free+retired+parked equals next; property tests compare
+// ledgers across crash-recovery loops to prove migration leaks no slots.
+func (t *Table) SlotLedger() (live, free, retired, parked, next int64) {
+	return t.tbl.SlotLedger()
+}
+
 // EngineStats aggregates the catalog: total cache pressure, the shared
 // devices' counters, and a per-table breakdown.
 type EngineStats struct {

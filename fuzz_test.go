@@ -45,6 +45,35 @@ func FuzzParseManifest(f *testing.F) {
 			{Name: "orders", ID: 1, DataOff: 512 << 10, DataBytes: 512 << 10, CacheBytes: 1 << 20, Rows: 7},
 		},
 	}))
+	// Shadow-commit record: per-table migration stamp plus refs pointing
+	// at relocated (non-identity) slots, the shape a crash mid-migration
+	// leaves behind.
+	f.Add(manifestImage(f, manifestVersion, manifest{
+		DataBytes: 2 << 20, CacheBytes: 1 << 20, LogBytes: 1 << 20,
+		PageSize: 4096, ScanIO: 1 << 20, FillFraction: 0.9,
+		DataNext: 1 << 20, NextTableID: 1,
+		Tables: []tableManifest{
+			{Name: "shadow", ID: 0, DataOff: 0, DataBytes: 512 << 10, CacheBytes: 512 << 10,
+				Rows: 5, MigTS: 42, Refs: []table.Ref{{FirstKey: 2, PageNo: 7}, {FirstKey: 100, PageNo: 3}}},
+		},
+	}))
+	// Hostile shadow-commit records: a negative stamp and a ref past the
+	// table's heap region must both be rejected.
+	f.Add(manifestImage(f, manifestVersion, manifest{
+		DataBytes: 1 << 20, CacheBytes: 1 << 20, LogBytes: 1 << 20, PageSize: 4096,
+		NextTableID: 1,
+		Tables: []tableManifest{
+			{Name: "a", ID: 0, DataOff: 0, DataBytes: 512 << 10, CacheBytes: 1 << 10, MigTS: -1},
+		},
+	}))
+	f.Add(manifestImage(f, manifestVersion, manifest{
+		DataBytes: 1 << 20, CacheBytes: 1 << 20, LogBytes: 1 << 20, PageSize: 4096,
+		NextTableID: 1,
+		Tables: []tableManifest{
+			{Name: "a", ID: 0, DataOff: 0, DataBytes: 512 << 10, CacheBytes: 1 << 10,
+				Refs: []table.Ref{{FirstKey: 2, PageNo: 1 << 40}}},
+		},
+	}))
 	// Hostile catalogs: duplicate ids, regions past the file, cap above
 	// the engine cache — all must be rejected, not trusted.
 	f.Add(manifestImage(f, manifestVersion, manifest{
@@ -81,6 +110,18 @@ func FuzzParseManifest(f *testing.F) {
 			}
 			if tm.CacheBytes <= 0 || tm.CacheBytes > m.CacheBytes {
 				t.Fatalf("accepted bad cache cap: %+v", tm)
+			}
+			// Shadow-commit record: the migration stamp is non-negative and
+			// every page ref lands inside the table's own heap region —
+			// Restore trusts these when rederiving the free-slot set.
+			if tm.MigTS < 0 {
+				t.Fatalf("accepted negative migration stamp: %+v", tm)
+			}
+			maxPages := tm.DataBytes / int64(m.PageSize)
+			for _, r := range tm.Refs {
+				if r.PageNo < 0 || r.PageNo >= maxPages {
+					t.Fatalf("accepted ref outside heap region: %+v in %+v", r, tm)
+				}
 			}
 			ids[tm.ID] = true
 			names[tm.Name] = true

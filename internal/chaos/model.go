@@ -3,6 +3,7 @@ package chaos
 import (
 	"bytes"
 	"fmt"
+	"sort"
 )
 
 // model is the in-memory oracle the engine is checked against. It tracks,
@@ -61,6 +62,18 @@ type jop struct {
 
 func newModel() *model {
 	return &model{tables: make(map[int]*tableModel)}
+}
+
+// slotOrder returns the live table slots in ascending order, for callers
+// whose iteration order is observable (disk-request order, first-failure
+// selection) and must therefore not depend on map iteration.
+func (m *model) slotOrder() []int {
+	slots := make([]int, 0, len(m.tables))
+	for slot := range m.tables {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	return slots
 }
 
 func copyRows(m map[uint64][]byte) map[uint64][]byte {

@@ -719,9 +719,14 @@ func (x *exec) step(i int, op Op) *Failure {
 		return x.reopen(i, op)
 
 	case OpCrash:
+		// Every backend — main.data included — gets an arbitrary per-write
+		// survivor lottery with torn tails. Shadow-paged migration removed
+		// the old all-or-nothing clamp on main.data: no committed page is
+		// ever overwritten, so any survivor subset of un-committed shadow
+		// writes is harmless by construction.
 		for _, fb := range x.backends {
 			keep := float64(op.A) / 100
-			fb.SetPlan(Plan{KeepProb: dataKeepProb(fb.Name(), keep), TornWrites: fb.Name() != "main.data" && keep > 0})
+			fb.SetPlan(Plan{KeepProb: keep, TornWrites: keep > 0})
 			fb.CrashNow()
 		}
 		return x.recoverCrash(i, op)
@@ -730,10 +735,7 @@ func (x *exec) step(i int, op Op) *Failure {
 		role := []string{"wal", "cache", "data"}[op.Aux%backendCount]
 		if fb := x.backends[role]; fb != nil {
 			keep := float64(op.B) / 100
-			if role == "data" {
-				keep = dataKeepProb("main.data", keep)
-			}
-			fb.ArmCrashAtSync(op.A, keep, role != "data" && op.B > 0)
+			fb.ArmCrashAtSync(op.A, keep, op.B > 0)
 		}
 		return nil
 
@@ -840,7 +842,13 @@ func (x *exec) scanAll(step int, op Op) (map[int][]kv, *Failure) {
 		}
 	}
 	got := make(map[int][]kv, len(names))
-	for slot, t := range x.model.tables {
+	// Scan in slot order: the scans issue real (simulated) disk reads, and
+	// with shadow paging a table's pages are no longer one contiguous run,
+	// so the inter-table scan order changes seek classification — map
+	// iteration order here would make the run's virtual clock (and the
+	// state hash built on it) nondeterministic.
+	for _, slot := range x.model.slotOrder() {
+		t := x.model.tables[slot]
 		tbl, err := x.eng.OpenTable(t.name)
 		if err != nil {
 			return nil, x.fail(step, op, "catalog", "OpenTable(%q): %v", t.name, err)
@@ -888,7 +896,10 @@ func (x *exec) check(step int, op Op) *Failure {
 		}
 		return f
 	}
-	for slot, t := range x.model.tables {
+	// Slot order again, so which table's divergence is reported first (and
+	// therefore the shrink target) is deterministic.
+	for _, slot := range x.model.slotOrder() {
+		t := x.model.tables[slot]
 		if err := diffStates(t.rows, got[slot], t.ghosts, fmt.Sprintf("table %q full check", t.name)); err != nil {
 			return x.fail(step, op, "scan", "%v", err)
 		}
@@ -921,30 +932,6 @@ func (x *exec) stateHash(step int) (uint64, *Failure) {
 	binary.LittleEndian.PutUint64(buf[:], uint64(x.eng.Elapsed()))
 	h.Write(buf[:])
 	return h.Sum64(), nil
-}
-
-// dataKeepProb constrains crash survival for main.data to all-or-nothing
-// per checkpoint interval. The harness found (seed 115, shrunk to a
-// 30-op trace) that a strict SUBSET of one interval's page writes
-// surviving breaks migration-redo idempotency: in-place migration moves
-// rows into freshly allocated overflow pages, and if the rewritten base
-// page (stamped migTS) survives while its overflow page does not, the
-// redo's page-timestamp check skips the stamped page and the spilled
-// rows are gone — base rows lost with no oracle model error. Fixing it
-// needs shadow-paged migration (write modified pages to fresh slots,
-// flip refs atomically via the manifest) or per-page checksums with
-// overflow-atomic redo; until then the documented fault model is "a data
-// checkpoint interval reaches disk together or not at all", and this
-// clamp encodes it. WAL and cache keep arbitrary per-write subset
-// survival (CRC framing and run records make those safe).
-func dataKeepProb(name string, keep float64) float64 {
-	if name != "main.data" {
-		return keep
-	}
-	if keep >= 0.9 {
-		return 1
-	}
-	return 0
 }
 
 func copyGhosts(g map[uint64]bool) map[uint64]bool {

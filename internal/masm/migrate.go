@@ -146,6 +146,11 @@ func (m *Migration) RunWithScan(fn func(row table.Row) bool) (sim.Time, *Migrate
 		}
 		end = t
 	}
+	// The migration-end checkpoint has durably committed the flipped refs
+	// (without a log there is no lagging durable manifest either): the
+	// slots the shadow batches replaced are no longer reachable from any
+	// persisted state and may be reused.
+	s.tbl.ReclaimRetired()
 
 	s.mu.Lock()
 	kept := s.runs[:0]
@@ -326,11 +331,17 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 			// The portion's pages are written but not declared: recovery
 			// sees the begin record without a close and redoes a full
 			// (idempotent) migration. Nothing is released, the cursor does
-			// not advance, and the store stays usable.
+			// not advance, and the store stays usable. The slots retired by
+			// this portion's ref flips stay retired — the lagging durable
+			// manifest may still name them — until the table's next
+			// committed checkpoint reclaims them.
 			s.abortMigration(runsR)
 			return at, false, err
 		}
 	}
+	// The portion checkpoint durably committed the flipped refs; reclaim
+	// the slots they replaced.
+	s.tbl.ReclaimRetired()
 
 	s.mu.Lock()
 	for _, r := range runsR {

@@ -22,7 +22,11 @@ import (
 //   - dead runs are parked only while pinned, and no pin count is
 //     negative;
 //   - the in-memory buffer's occupancy is non-negative and run IDs are
-//     below the next-ID watermark.
+//     below the next-ID watermark;
+//   - the table's shadow-paging slot ledger is sound: the live, free,
+//     retired, parked and in-flight slot sets are pairwise disjoint (no
+//     live ref points at a reclaimed slot) and together account for every
+//     allocated slot.
 func (s *Store) CheckInvariants() (extentBytes int64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,6 +91,9 @@ func (s *Store) CheckInvariants() (extentBytes int64, err error) {
 	}
 	if s.buf.Bytes() < 0 {
 		return 0, fmt.Errorf("masm: table %d: negative buffer occupancy %d", s.tableID, s.buf.Bytes())
+	}
+	if err := s.tbl.CheckSlotInvariants(); err != nil {
+		return 0, fmt.Errorf("masm: table %d: %w", s.tableID, err)
 	}
 	return extentBytes, nil
 }

@@ -86,8 +86,12 @@ func RestoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Or
 	oracle.AdvanceTo(maxTS)
 	// Redo an interrupted migration. The run set may have changed IDs if
 	// the crash also lost merges; migrating everything currently live is
-	// always correct (a superset of the interrupted set, and page
-	// timestamps prevent double application).
+	// always correct (a superset of the interrupted set). The redo is a
+	// fresh shadow-paged pass: the crashed migration's un-flipped pages are
+	// re-merged, while pages whose shadow batch did commit carry the old
+	// pass's stamp and are skipped without a write — re-application can
+	// neither double-apply nor, since no page is ever rewritten in place,
+	// depend on which of the dead pass's writes survived.
 	if redoMigration != nil {
 		end, _, err := s.Migrate(at)
 		if err != nil {

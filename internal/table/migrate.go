@@ -9,6 +9,16 @@ import (
 // from its source per refill.
 const migrateUpdateBatch = 256
 
+// UnsafeInPlaceMigration reverts ApplyStream* to the pre-shadow-paging
+// behaviour: modified pages are written back over their old slots and
+// overflow pages are linked as they are written, with no atomic commit.
+// A crash can then leave a rewritten page (stamped migTS) durable while
+// its overflow pages are not, and the page-timestamp redo check silently
+// loses the spilled rows. It exists only so the committed regression test
+// can demonstrate that failure mode and so benchmarks can measure the
+// in-place baseline; production code must never set it.
+var UnsafeInPlaceMigration bool
+
 // ApplyResult summarizes one migration pass over the table.
 type ApplyResult struct {
 	PagesRead      int64
@@ -18,20 +28,30 @@ type ApplyResult struct {
 	RowDelta       int64 // net inserts minus deletes
 }
 
-// ApplyStream is the table side of MaSM's in-place migration (paper §3.2):
-// a full table scan where each data page is merged with the cached updates
-// covering its key range and written back in place. Pages are processed in
-// batches of up to batchBytes of disk-contiguous pages, so the disk
-// alternates large sequential reads and large sequential writes — the
-// pattern behind the paper's ≈2.3× migration cost relative to a pure scan
-// (Fig 11).
+// ApplyStream is the table side of MaSM's migration (paper §3.2): a full
+// table scan where each data page is merged with the cached updates
+// covering its key range. Pages are processed in batches of up to
+// batchBytes of disk-contiguous pages, so the disk alternates large
+// sequential reads and large sequential writes — the pattern behind the
+// paper's ≈2.3× migration cost relative to a pure scan (Fig 11).
+//
+// Rewritten batches are shadow-paged: the merged pages, and the overflow
+// pages their splits spill into, go to freshly allocated slots, and the
+// batch's refs flip to the new slots in one critical section once every
+// byte of the batch is written. The old pages are never touched, so a
+// crash at any point of the migration — regardless of which individual
+// page writes survive — leaves recovery a consistent page set: flipped
+// batches are complete (base pages and overflow together), unflipped
+// batches still read the old pages and are simply re-merged by the redo.
+// The replaced slots are retired and become reusable only after the
+// migration driver's durable commit (Table.ReclaimRetired).
 //
 // src must yield update records in (key, ts) order. Updates whose
 // timestamps are not newer than a page's timestamp are skipped, which
 // makes re-running an interrupted migration idempotent (crash recovery,
-// §3.6). Records that overflow their page are split into overflow pages
-// appended to the table (in-place migration case ii: old space is reused,
-// no second copy of the table is required).
+// §3.6): a redo pass over already-flipped pages finds nothing newer and
+// writes nothing at all. Records that overflow their page are split into
+// overflow pages linked into the table at the batch flip.
 func (t *Table) ApplyStream(at sim.Time, migTS int64, src update.Iterator, batchBytes int) (sim.Time, ApplyResult, error) {
 	return t.ApplyStreamRange(at, migTS, src, batchBytes, 0, ^uint64(0))
 }
@@ -73,6 +93,7 @@ func (t *Table) ApplyStreamEmit(at sim.Time, migTS int64, src update.Iterator, b
 	if len(refs) == 0 {
 		return at, res, nil
 	}
+	t.NoteMigTS(migTS)
 	// The exclusive upper key bound of the last covered page is the first
 	// key of the next page beyond the subset (∞ when the subset reaches
 	// the table end); updates up to that bound belong to the last page.
@@ -116,6 +137,8 @@ func (t *Table) ApplyStreamEmit(at sim.Time, migTS int64, src update.Iterator, b
 		res.PagesRead += int64(n)
 
 		dirty := false
+		batchDelta := int64(0)
+		var batchOvfs []*Page
 		for j := 0; j < n; j++ {
 			pbuf := buf[j*t.cfg.PageSize : (j+1)*t.cfg.PageSize]
 			// Upper key bound of this page: the first key of the next
@@ -156,6 +179,15 @@ func (t *Table) ApplyStreamEmit(at sim.Time, migTS int64, src update.Iterator, b
 			if err != nil {
 				return now, res, err
 			}
+			if !UnsafeInPlaceMigration && !anyNewer(upds, p.TS) {
+				// Every update is already reflected in the page image (a
+				// redo pass over a flipped batch): consume them without
+				// rewriting the page, so re-running a committed migration
+				// costs reads only.
+				res.RecordsApplied += int64(len(upds))
+				emitPage(p)
+				continue
+			}
 			before := len(p.Keys)
 			ovfs := ApplyUpdatesToPage(p, upds, migTS, t.cfg.PageSize)
 			res.RecordsApplied += int64(len(upds))
@@ -170,9 +202,14 @@ func (t *Table) ApplyStreamEmit(at sim.Time, migTS int64, src update.Iterator, b
 					ovf.Bodies[bi] = append([]byte(nil), b...)
 				}
 				emitPage(ovf)
-				overflow = append(overflow, ovf)
+				if UnsafeInPlaceMigration {
+					overflow = append(overflow, ovf)
+				} else {
+					batchOvfs = append(batchOvfs, ovf)
+				}
 			}
 			res.RowDelta += int64(after - before)
+			batchDelta += int64(after - before)
 			if err := p.Encode(scratch); err != nil {
 				return now, res, err
 			}
@@ -180,12 +217,23 @@ func (t *Table) ApplyStreamEmit(at sim.Time, migTS int64, src update.Iterator, b
 			dirty = true
 		}
 		if dirty {
-			c, err := t.vol.WriteAt(now, buf, first*int64(t.cfg.PageSize))
-			if err != nil {
-				return now, res, err
+			if UnsafeInPlaceMigration {
+				c, err := t.vol.WriteAt(now, buf, first*int64(t.cfg.PageSize))
+				if err != nil {
+					return now, res, err
+				}
+				now = c.End
+				res.PagesWritten += int64(n)
+			} else {
+				end, err := t.writeShadowBatch(now, refs[i:i+n], buf, batchOvfs, &res)
+				if err != nil {
+					return now, res, err
+				}
+				now = end
+				// Flipped batches are committed even if a later batch
+				// fails; keep the row count in step with them.
+				t.AdjustRows(batchDelta)
 			}
-			now = c.End
-			res.PagesWritten += int64(n)
 		}
 		i += n
 	}
@@ -202,15 +250,78 @@ func (t *Table) ApplyStreamEmit(at sim.Time, migTS int64, src update.Iterator, b
 		consumeUpd()
 		_ = u
 	}
-	// Write the overflow pages and link them into key order.
-	for _, p := range overflow {
-		end, err := t.AddOverflow(now, p)
-		if err != nil {
-			return now, res, err
+	if UnsafeInPlaceMigration {
+		// Pre-shadow behaviour: overflow pages are appended and linked at
+		// the end of the pass, after their base pages were already
+		// rewritten in place — the very window the regression test crashes
+		// into.
+		for _, p := range overflow {
+			end, err := t.AddOverflow(now, p)
+			if err != nil {
+				return now, res, err
+			}
+			now = end
+			res.OverflowPages++
 		}
-		now = end
-		res.OverflowPages++
+		t.AdjustRows(res.RowDelta)
 	}
-	t.AdjustRows(res.RowDelta)
 	return now, res, nil
+}
+
+// anyNewer reports whether any update would survive the page-timestamp
+// redo check against a page stamped pageTS.
+func anyNewer(upds []update.Record, pageTS int64) bool {
+	for i := range upds {
+		if upds[i].TS > pageTS {
+			return true
+		}
+	}
+	return false
+}
+
+// writeShadowBatch writes a rewritten batch — n disk-contiguous base
+// pages in buf plus the overflow pages their splits produced — to freshly
+// allocated slots and then flips the batch's refs in one critical
+// section. On any error the allocated slots return to the free list and
+// the old pages remain authoritative.
+func (t *Table) writeShadowBatch(at sim.Time, old []pageRef, buf []byte, ovfs []*Page, res *ApplyResult) (sim.Time, error) {
+	n := len(old)
+	now := at
+	shadowFirst, err := t.allocRun(n)
+	if err != nil {
+		return now, err
+	}
+	allocated := make([]int64, 0, n+len(ovfs))
+	for j := 0; j < n; j++ {
+		allocated = append(allocated, shadowFirst+int64(j))
+	}
+	fail := func(err error) (sim.Time, error) {
+		t.releaseInflight(allocated)
+		return now, err
+	}
+	c, err := t.vol.WriteAt(now, buf, shadowFirst*int64(t.cfg.PageSize))
+	if err != nil {
+		return fail(err)
+	}
+	now = c.End
+	res.PagesWritten += int64(n)
+	links := make([]shadowOverflow, 0, len(ovfs))
+	for _, p := range ovfs {
+		slot, err := t.allocRun(1)
+		if err != nil {
+			return fail(err)
+		}
+		allocated = append(allocated, slot)
+		c, err := t.writePage(now, slot, p)
+		if err != nil {
+			return fail(err)
+		}
+		now = c.End
+		res.OverflowPages++
+		links = append(links, shadowOverflow{firstKey: p.Keys[0], pageNo: slot})
+	}
+	if err := t.commitShadowBatch(old, shadowFirst, links); err != nil {
+		return fail(err)
+	}
+	return now, nil
 }

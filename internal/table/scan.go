@@ -13,10 +13,13 @@ import (
 //
 // The scanner consults the live page index at each batch rather than
 // snapshotting it, and enforces strictly increasing keys. This makes it
-// robust to a concurrent in-place migration splitting pages: an overflow
-// page inserted behind the cursor only holds keys the scanner already
-// returned (filtered by the key cursor), and one inserted ahead is simply
-// visited in key order.
+// robust to a concurrent shadow-paged migration flipping refs under it:
+// each batch reads whichever physical slots the refs name at that moment
+// (old pages until the flip, shadow pages after — both complete states),
+// an overflow ref inserted behind the cursor only holds keys the scanner
+// already returned (filtered by the key cursor), and one inserted ahead
+// is simply visited in key order. For a view frozen at one instant, use
+// SnapshotRefs.
 type Scanner struct {
 	t          *Table
 	begin, end uint64
@@ -155,61 +158,6 @@ func (s *Scanner) Next() (Row, bool) {
 			return Row{}, false
 		}
 	}
-}
-
-// PageScanner iterates pages (not records) of a key range — the shape
-// migration needs, since it applies updates to data pages in the buffer
-// pool and writes them back (paper §3.2, "In-Place Migration").
-type PageScanner struct {
-	t      *Table
-	refs   []pageRef
-	refIdx int
-	now    sim.Time
-	err    error
-}
-
-// NewPageScanner scans all pages covering [begin, end] in key order.
-func (t *Table) NewPageScanner(at sim.Time, begin, end uint64) *PageScanner {
-	return &PageScanner{t: t, refs: t.snapshotRefs(begin, end), now: at}
-}
-
-// Time returns the local virtual time.
-func (ps *PageScanner) Time() sim.Time { return ps.now }
-
-// SetTime advances the local clock.
-func (ps *PageScanner) SetTime(t sim.Time) {
-	if t > ps.now {
-		ps.now = t
-	}
-}
-
-// Err returns the first error encountered.
-func (ps *PageScanner) Err() error { return ps.err }
-
-// Next reads the next page, returning its number and decoded form.
-func (ps *PageScanner) Next() (int64, *Page, bool) {
-	if ps.err != nil || ps.refIdx >= len(ps.refs) {
-		return 0, nil, false
-	}
-	ref := ps.refs[ps.refIdx]
-	ps.refIdx++
-	p, c, err := ps.t.readPage(ps.now, ref.pageNo)
-	if err != nil {
-		ps.err = err
-		return 0, nil, false
-	}
-	ps.now = c.End
-	return ref.pageNo, p, true
-}
-
-// WriteBack writes a (possibly modified) page in place, charging simulated
-// time, and returns the completion time.
-func (t *Table) WriteBack(at sim.Time, pageNo int64, p *Page) (sim.Time, error) {
-	c, err := t.writePage(at, pageNo, p)
-	if err != nil {
-		return at, err
-	}
-	return c.End, nil
 }
 
 // AddOverflow allocates an overflow page holding p (already split to fit),

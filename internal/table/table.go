@@ -64,6 +64,16 @@ type Table struct {
 	refs     []pageRef // sorted by firstKey
 	nextPage int64     // allocation cursor (page number)
 	rows     int64
+
+	// Shadow-paging slot accounting (see alloc.go): every slot below
+	// nextPage is live (named by a ref), free, retired, parked, or
+	// in-flight.
+	free     []int64 // reusable now, sorted ascending
+	retired  []int64 // replaced by a ref flip, awaiting durable commit
+	parked   map[int64]bool
+	pins     map[int64]int
+	inflight map[int64]bool
+	migTS    int64 // newest migration stamp a page may carry
 }
 
 // Row is one record returned by a scan.
@@ -185,6 +195,15 @@ func Restore(vol *storage.Volume, cfg Config, refs []Ref, rows int64) (*Table, e
 	}
 	if pages := t.nextPage * int64(cfg.PageSize); pages > vol.Size() {
 		return nil, fmt.Errorf("table: restore: %d pages exceed volume size %d", t.nextPage, vol.Size())
+	}
+	// The manifest's refs are the sole authority on which slots are live;
+	// every other slot below the cursor is free. A crash at any point of a
+	// shadow-paged migration therefore leaks no slots: whatever the dying
+	// process had allocated, written, or retired is rederived as free here.
+	for p := int64(0); p < t.nextPage; p++ {
+		if !seen[p] {
+			t.free = append(t.free, p)
+		}
 	}
 	return t, nil
 }
