@@ -56,6 +56,7 @@ func main() {
 		dir       = flag.String("dir", "", "durabench: database directory for the file backend (default: a fresh temp dir)")
 		mergeBnc  = flag.Bool("mergebench", false, "run the merge-engine wall-clock microbenchmark (heap vs loser tree) instead of a paper experiment")
 		mergeRec  = flag.Int("mergerecords", 1<<20, "mergebench: records per measurement")
+		metrics   = flag.String("metricsout", "", "mergebench/tenantbench: write a reconciled JSON metrics snapshot to this path")
 		jsonOut   = flag.String("json", "default", "mergebench/tenantbench/durabench: machine-readable output path; 'default' selects BENCH_3.json / BENCH_4.json / BENCH_6.json per mode, empty skips the file")
 		tenantBnc = flag.Bool("tenantbench", false, "run the multi-tenant shared-cache benchmark (one engine, N tables, one SSD vs N private caches) instead of a paper experiment")
 		tenants   = flag.Int("tenants", 6, "tenantbench: number of tables sharing the engine")
@@ -104,7 +105,7 @@ func main() {
 		if out == "default" {
 			out = "BENCH_3.json"
 		}
-		if _, err := bench.MergeBench(os.Stdout, out, *seed, *mergeRec); err != nil {
+		if _, err := bench.MergeBench(os.Stdout, out, *metrics, *seed, *mergeRec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -122,7 +123,7 @@ func main() {
 		if out == "default" {
 			out = "BENCH_4.json"
 		}
-		if _, err := bench.TenantBench(os.Stdout, out, *seed, *tenants, *rows, *tenantUpd); err != nil {
+		if _, err := bench.TenantBench(os.Stdout, out, *metrics, *seed, *tenants, *rows, *tenantUpd); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -22,6 +22,10 @@
 //	stats                    engine counters and simulated time
 //	crash                    crash and recover from the redo log
 //	quit
+//
+// With -stats DURATION a background ticker prints a one-line registry
+// readout (cache fill, migrations, scan latency percentiles) at that
+// cadence, interleaved with the prompt.
 package main
 
 import (
@@ -33,8 +37,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"masm"
+	"masm/internal/obs"
 )
 
 func main() {
@@ -42,6 +49,7 @@ func main() {
 	cache := flag.String("cache", "16MB", "SSD update cache size")
 	backend := flag.String("backend", "sim", "storage backend: sim (in-memory) or file (durable directory)")
 	dir := flag.String("dir", "", "file backend: database directory (default: a fresh temp dir)")
+	statsTick := flag.Duration("stats", 0, "live metrics ticker interval (e.g. 2s); 0 disables")
 	flag.Parse()
 
 	cfg := masm.DefaultConfig()
@@ -95,6 +103,19 @@ func main() {
 	// favour of the recovered state and the directory's own geometry.
 	fmt.Printf("ready: %d rows, cache %.1f%% full, %d runs; type 'help' for commands\n",
 		db.Stats().Rows, db.Stats().CacheFill*100, db.Stats().Runs)
+
+	// The live ticker reads through an atomic pointer because 'crash'
+	// swaps the DB; registry reads are lock-free snapshots, so the ticker
+	// never contends with the command loop.
+	var live atomic.Pointer[masm.DB]
+	live.Store(db)
+	if *statsTick > 0 {
+		go func() {
+			for range time.Tick(*statsTick) {
+				fmt.Printf("\n%s\nmasm> ", tickerLine(live.Load()))
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(7))
 	sc := bufio.NewScanner(os.Stdin)
@@ -175,12 +196,14 @@ func main() {
 				st.Rows, st.CacheFill*100, st.Runs, st.UpdatesAccepted, st.WritesPerUpdate, st.Migrations)
 			fmt.Printf("ssd-written=%dKB ssd-random-writes=%d disk-read=%dMB simulated=%v\n",
 				st.SSDBytesWritten>>10, st.SSDRandomWrites, st.DiskBytesRead>>20, db.Elapsed())
+			fmt.Println(tickerLine(db))
 		case "crash":
 			if err = db.Sync(); err == nil {
 				var db2 *masm.DB
 				db2, err = db.Crash()
 				if err == nil {
 					db = db2
+					live.Store(db)
 					fmt.Println("crashed and recovered from the redo log")
 				}
 			}
@@ -193,6 +216,23 @@ func main() {
 			fmt.Println("error:", err)
 		}
 	}
+}
+
+// tickerLine renders the one-line registry readout: cache fill,
+// migrations, and the virtual-time scan latency percentiles.
+func tickerLine(db *masm.DB) string {
+	st := db.Stats()
+	snap := db.Metrics()
+	lbl := obs.L("table", masm.DefaultTableName)
+	line := fmt.Sprintf("[stats] cache %.1f%% | migrations %d | updates %d",
+		st.CacheFill*100, snap.Counter("masm_migrations", lbl), snap.Counter("masm_updates_accepted", lbl))
+	if h := snap.Histogram("masm_scan_latency_nanos", lbl); h != nil && h.Count > 0 {
+		line += fmt.Sprintf(" | scans %d (sim p50 %v, p99 %v)",
+			h.Count, time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)))
+	} else {
+		line += " | scans 0"
+	}
+	return line
 }
 
 func parseU64(s string) uint64 {

@@ -46,8 +46,10 @@ import (
 	"sort"
 	"sync"
 	"syscall"
+	"time"
 
 	core "masm/internal/masm"
+	"masm/internal/obs"
 	"masm/internal/sim"
 	"masm/internal/storage"
 	"masm/internal/storage/filedev"
@@ -91,6 +93,13 @@ type EngineDirOptions struct {
 	// writes, and cut power at chosen sync points; production opens leave
 	// it nil.
 	WrapBackend func(name string, be storage.Backend) storage.Backend
+	// MetricsAddr, when non-empty, serves the engine's observability plane
+	// over HTTP on that address ("127.0.0.1:0" picks a free port):
+	// /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof.
+	// The endpoint is strictly opt-in and read-only; it shares the metric
+	// registry's atomic snapshots and never touches engine locks or the
+	// simulated timeline. The listener closes with the engine.
+	MetricsAddr string
 }
 
 // defaultEngineDataBytes sizes main.data when EngineDirOptions.DataBytes
@@ -221,6 +230,12 @@ type dirState struct {
 	manifestMu sync.Mutex
 	m          manifest
 	catalog    []*Table
+
+	// Manifest-commit instrumentation (nil-safe obs handles; wall-clock
+	// nanos — the manifest write is real file I/O outside the simulated
+	// timeline). Set right after the engine's registry exists.
+	manifestWrites *obs.Counter
+	manifestNanos  *obs.Histogram
 }
 
 // allocData carves the next table's heap region out of main.data.
@@ -320,6 +335,16 @@ func (ds *dirState) checkpointManifest() error {
 // directory. A crash at any point leaves either the old or the new
 // manifest, never a torn one. Caller holds manifestMu.
 func (ds *dirState) writeManifestLocked(nextID uint32) error {
+	start := time.Now()
+	if err := ds.writeManifestInnerLocked(nextID); err != nil {
+		return err
+	}
+	ds.manifestWrites.Inc()
+	ds.manifestNanos.Observe(time.Since(start).Nanoseconds())
+	return nil
+}
+
+func (ds *dirState) writeManifestInnerLocked(nextID uint32) error {
 	tables := make([]tableManifest, 0, len(ds.catalog))
 	for _, t := range ds.catalog {
 		tables = append(tables, catalogEntry(t))
@@ -643,7 +668,25 @@ func OpenEngineDir(dir string, opts EngineDirOptions) (*Engine, error) {
 		lock.Close() // harmless if a dirState defer already closed it
 		return nil, err
 	}
+	if opts.MetricsAddr != "" {
+		srv, serr := obs.Serve(opts.MetricsAddr, e.reg)
+		if serr != nil {
+			e.Close()
+			return nil, fmt.Errorf("masm: metrics endpoint: %w", serr)
+		}
+		e.msrv = srv
+	}
 	return e, nil
+}
+
+// MetricsAddr returns the listen address of the engine's metrics endpoint
+// ("" when EngineDirOptions.MetricsAddr was not set). With ":0" the kernel
+// picks the port; this reports the resolved address.
+func (e *Engine) MetricsAddr() string {
+	if e.msrv == nil {
+		return ""
+	}
+	return e.msrv.Addr()
 }
 
 // deviceFor builds a simulated device big enough for the volumes laid out
@@ -694,7 +737,11 @@ func createEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		tables: make(map[string]*Table),
 		byID:   make(map[uint32]*Table),
 		fs:     ds,
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(obs.DefaultTraceRing),
 	}
+	ds.manifestWrites = e.reg.Counter("masm_manifest_writes")
+	ds.manifestNanos = e.reg.Histogram("masm_manifest_commit_nanos")
 	if ds.dataRoot, err = storage.NewVolumeOn(e.hdd, 0, ds.data); err != nil {
 		return nil, err
 	}
@@ -707,11 +754,13 @@ func createEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 	}
 	e.ssdVol = ssdVol
 	e.shared = core.NewSharedAlloc(ssdVol.Size())
+	e.shared.SetMetrics(core.NewPoolMetrics(e.reg))
 	if err = ds.checkpointManifest(); err != nil {
 		return nil, err
 	}
 	e.log = wal.Open(e.logVol)
 	e.log.SetHooks(ds.hooks())
+	e.log.SetMetrics(walMetricsFor(e.reg))
 	// Force the header down now, before any records: from here on, a
 	// header that fails validation on reopen is corruption, never a torn
 	// first write.
@@ -772,7 +821,11 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		byID:   make(map[uint32]*Table),
 		nextID: m.NextTableID,
 		fs:     ds,
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(obs.DefaultTraceRing),
 	}
+	ds.manifestWrites = e.reg.Counter("masm_manifest_writes")
+	ds.manifestNanos = e.reg.Histogram("masm_manifest_commit_nanos")
 	if ds.dataRoot, err = storage.NewVolumeOn(e.hdd, 0, ds.data); err != nil {
 		return nil, err
 	}
@@ -787,6 +840,7 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		return nil, err
 	}
 	e.shared = core.NewSharedAlloc(e.ssdVol.Size())
+	e.shared.SetMetrics(core.NewPoolMetrics(e.reg))
 
 	// Restore every table's heap from the manifest and register the
 	// catalog before any store is rebuilt: the migration-checkpoint hook
@@ -820,6 +874,7 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 	}
 	e.log = wal.Open(e.logVol)
 	e.log.SetHooks(ds.hooks())
+	e.log.SetMetrics(walMetricsFor(e.reg))
 
 	// Replay the shared log once and route its records to their tables.
 	// Records of tables absent from the manifest belong to dropped tables
@@ -828,6 +883,8 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 	if err != nil {
 		return nil, fmt.Errorf("masm: recover %s: %w", dir, err)
 	}
+	e.reg.Gauge("masm_wal_replay_entries").Set(int64(len(entries)))
+	e.tracer.Emit("recovery", "", "replay", fmt.Sprintf("entries=%d", len(entries)), int64(now))
 	states := wal.ReplayEntries(entries)
 	// Resume the shared oracle above every logged timestamp — including
 	// migration timestamps already stamped onto data pages, which would
@@ -880,7 +937,8 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		ccfg := coreConfig(e.cfg)
 		ccfg.SSDCapacity = roundTo(t.cacheBudget, 4<<10)
 		store, end, rerr := core.RestoreShared(ccfg, t.tbl, e.ssdVol, e.oracle,
-			e.log.ForTable(t.id), core.PreReserved(allocs[t.id]), t.id, st.Runs, st.Pending, st.RedoMigration, now)
+			e.log.ForTable(t.id), core.PreReserved(allocs[t.id]), t.id, st.Runs, st.Pending, st.RedoMigration, now,
+			e.storeMetricsFor(t.name))
 		if rerr != nil {
 			return nil, fmt.Errorf("masm: recover %s table %q: %w", dir, t.name, rerr)
 		}
@@ -911,6 +969,7 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		return nil, err
 	}
 	e.clock.advance(now)
+	e.tracer.Emit("recovery", "", "end", fmt.Sprintf("tables=%d", len(ordered)), int64(now))
 	return e, nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	core "masm/internal/masm"
+	"masm/internal/obs"
 	"masm/internal/sim"
 	"masm/internal/storage"
 	"masm/internal/table"
@@ -82,6 +83,14 @@ type Engine struct {
 	// fs is non-nil for file-backed engines (OpenEngineDir).
 	fs *dirState
 
+	// reg is the engine's metric registry; every layer's counters, gauges
+	// and histograms live here, labeled per table where appropriate. tracer
+	// buffers lifecycle events (flush, merge, migration, recovery). msrv is
+	// the optional metrics/pprof HTTP endpoint (EngineDirOptions.MetricsAddr).
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	msrv   *obs.Server
+
 	clock clock
 	// mu guards the catalog state (tables, closed, sched). Table
 	// operations hold the read side only long enough to check liveness;
@@ -107,6 +116,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		oracle: &core.Oracle{},
 		tables: make(map[string]*Table),
 		byID:   make(map[uint32]*Table),
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(obs.DefaultTraceRing),
 	}
 	e.arena = storage.NewArena(e.hdd)
 	var err error
@@ -115,7 +126,25 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.shared = core.NewSharedAlloc(e.ssdVol.Size())
+	e.shared.SetMetrics(core.NewPoolMetrics(e.reg))
 	return e, nil
+}
+
+// walMetricsFor registers the shared redo log's series in reg.
+func walMetricsFor(reg *obs.Registry) wal.Metrics {
+	return wal.Metrics{
+		Appends:   reg.Counter("masm_wal_appends"),
+		Syncs:     reg.Counter("masm_wal_syncs"),
+		SyncNanos: reg.Histogram("masm_wal_sync_nanos"),
+	}
+}
+
+// storeMetricsFor registers (or re-attaches to) a table's series in the
+// engine registry, labeled with the table name, and wires the engine tracer.
+func (e *Engine) storeMetricsFor(name string) *core.StoreMetrics {
+	sm := core.NewStoreMetrics(e.reg, obs.L("table", name))
+	sm.Tracer = e.tracer
+	return sm
 }
 
 // ensureLogLocked lazily allocates the redo-log volume. It runs after the
@@ -132,6 +161,7 @@ func (e *Engine) ensureLogLocked() error {
 		return err
 	}
 	e.log = wal.Open(e.logVol)
+	e.log.SetMetrics(walMetricsFor(e.reg))
 	return nil
 }
 
@@ -237,8 +267,9 @@ func (e *Engine) CreateTable(name string, opts TableOptions) (*Table, error) {
 	alloc := e.shared.Partition(id, budget*2)
 	ccfg := coreConfig(e.cfg)
 	ccfg.SSDCapacity = roundTo(budget, 4<<10)
-	if t.store, err = core.NewStoreShared(ccfg, t.tbl, e.ssdVol, e.oracle, logger, alloc, id); err != nil {
+	if t.store, err = core.NewStoreShared(ccfg, t.tbl, e.ssdVol, e.oracle, logger, alloc, id, e.storeMetricsFor(name)); err != nil {
 		e.shared.Drop(id)
+		e.reg.Unregister(obs.L("table", name))
 		return nil, err
 	}
 	t.txns = txn.NewManager(t.store)
@@ -250,6 +281,7 @@ func (e *Engine) CreateTable(name string, opts TableOptions) (*Table, error) {
 			delete(e.tables, name)
 			delete(e.byID, id)
 			e.shared.Drop(id)
+			e.reg.Unregister(obs.L("table", name))
 			e.nextID--
 			return nil, err
 		}
@@ -306,6 +338,9 @@ func (e *Engine) DropTable(name string) error {
 	delete(e.tables, name)
 	delete(e.byID, t.id)
 	e.shared.Drop(t.id)
+	// Unregister the table's metric series so tenant churn cannot leak
+	// registry entries; a later table with the same name starts fresh.
+	e.reg.Unregister(obs.L("table", name))
 	t.dropped = true
 	if e.fs != nil {
 		return e.fs.removeTable(t)
@@ -720,6 +755,50 @@ func (e *Engine) CheckInvariants() error {
 	return nil
 }
 
+// Registry returns the engine's metric registry: callers may register
+// their own series alongside the engine's, or resolve handles to read
+// individual metrics without snapshotting.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Metrics returns a point-in-time snapshot of every metric the engine and
+// its tables expose. Encode it with obs.WritePrometheus, marshal it as
+// JSON, or query it with its lookup helpers.
+func (e *Engine) Metrics() obs.Snapshot { return e.reg.Snapshot() }
+
+// TraceEvents returns the engine's buffered lifecycle events (flush,
+// merge, migration, recovery), oldest first.
+func (e *Engine) TraceEvents() []obs.Event { return e.tracer.Events() }
+
+// SetTraceSink installs a live sink receiving every lifecycle event as it
+// is emitted (in addition to the bounded ring TraceEvents reads). Pass nil
+// to detach.
+func (e *Engine) SetTraceSink(s obs.Sink) { e.tracer.SetSink(s) }
+
+// CheckMetrics cross-checks the metric plane against the engine's live
+// state: every table's gauges must reconcile exactly with its store
+// (run bytes/count, memtable fill, reader registrations), and the shared
+// pool's gauges with the allocator ledger. The chaos harness runs it
+// alongside CheckInvariants so instrumentation is model-checked.
+func (e *Engine) CheckMetrics() error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].id < tables[j].id })
+	for _, t := range tables {
+		if err := t.store.CheckMetrics(); err != nil {
+			return fmt.Errorf("masm: table %q: %w", t.name, err)
+		}
+	}
+	return e.shared.CheckMetrics()
+}
+
 // Sync forces the shared redo log to stable storage; see DB.Sync.
 func (e *Engine) Sync() error {
 	e.mu.RLock()
@@ -759,6 +838,9 @@ func (e *Engine) Close() error {
 	if sched != nil {
 		sched.Stop()
 	}
+	if e.msrv != nil && !alreadyClosed {
+		e.msrv.Close()
+	}
 	if fs == nil || alreadyClosed {
 		return nil
 	}
@@ -789,6 +871,9 @@ func (e *Engine) HardStop() error {
 	e.mu.Unlock()
 	if sched != nil {
 		sched.Stop()
+	}
+	if e.msrv != nil {
+		e.msrv.Close()
 	}
 	if fs != nil {
 		return fs.closeFiles(false)
@@ -848,16 +933,25 @@ func (e *Engine) Crash() (*Engine, error) {
 		tables: make(map[string]*Table),
 		byID:   make(map[uint32]*Table),
 		nextID: e.nextID,
+		// A crash loses the volatile metric state with everything else: the
+		// new engine generation starts a fresh registry, and the restore
+		// path below re-primes the state gauges from the recovered state.
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(obs.DefaultTraceRing),
 	}
 	e2.clock.advance(now)
 	e2.shared = core.NewSharedAlloc(e.ssdVol.Size())
+	e2.shared.SetMetrics(core.NewPoolMetrics(e2.reg))
 	newLog := wal.Open(e.logVol)
+	newLog.SetMetrics(walMetricsFor(e2.reg))
 	e2.log = newLog
 
 	entries, now, err := wal.ReadAll(e.logVol, now)
 	if err != nil {
 		return nil, err
 	}
+	e2.reg.Gauge("masm_wal_replay_entries").Set(int64(len(entries)))
+	e2.tracer.Emit("recovery", "", "replay", fmt.Sprintf("entries=%d", len(entries)), int64(now))
 	states := wal.ReplayEntries(entries)
 	// Resume the oracle above every logged timestamp, migration stamps
 	// included (see wal.TableState.MaxTS).
@@ -904,7 +998,8 @@ func (e *Engine) Crash() (*Engine, error) {
 		ccfg := coreConfig(e.cfg)
 		ccfg.SSDCapacity = roundTo(t.cacheBudget, 4<<10)
 		store, end, err := core.RestoreShared(ccfg, t.tbl, e2.ssdVol, e2.oracle,
-			newLog.ForTable(t.id), core.PreReserved(allocs[t.id]), t.id, st.Runs, st.Pending, st.RedoMigration, now)
+			newLog.ForTable(t.id), core.PreReserved(allocs[t.id]), t.id, st.Runs, st.Pending, st.RedoMigration, now,
+			e2.storeMetricsFor(t.name))
 		if err != nil {
 			return nil, fmt.Errorf("masm: recover table %q: %w", t.name, err)
 		}

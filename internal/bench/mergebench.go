@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"masm/internal/extsort"
+	"masm/internal/obs"
 	"masm/internal/update"
 )
 
@@ -106,15 +107,15 @@ func drainHeap(runs [][]update.Record) (uint64, int, error) {
 }
 
 // drainLoser merges runs through the loser tree in batches and returns the
-// same checksum.
-func drainLoser(runs [][]update.Record) (uint64, int, error) {
+// same checksum plus the merger's own operation stats.
+func drainLoser(runs [][]update.Record) (uint64, int, extsort.MergerStats, error) {
 	its := make([]update.Iterator, len(runs))
 	for i, r := range runs {
 		its[i] = update.NewSliceIterator(r)
 	}
 	m, err := extsort.NewMerger(its...)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, extsort.MergerStats{}, err
 	}
 	var sum uint64
 	n := 0
@@ -122,10 +123,10 @@ func drainLoser(runs [][]update.Record) (uint64, int, error) {
 	for {
 		c, err := m.NextBatch(buf)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, extsort.MergerStats{}, err
 		}
 		if c == 0 {
-			return sum, n, nil
+			return sum, n, m.Stats(), nil
 		}
 		for i := 0; i < c; i++ {
 			sum = sum*31 + buf[i].Key + uint64(buf[i].TS)
@@ -139,9 +140,25 @@ func drainLoser(runs [][]update.Record) (uint64, int, error) {
 // jsonPath is non-empty — writes the MergeBenchReport there. total is the
 // approximate record count per measurement (0 selects a default sized to
 // finish in seconds).
-func MergeBench(w io.Writer, jsonPath string, seed int64, total int) (*MergeBenchReport, error) {
+//
+// When metricsPath is non-empty, every loser-tree drain also folds its
+// merger stats into an obs registry, the registry is reconciled against
+// the checksum loop's own record count (the bench self-verifies its
+// instrumentation), and the snapshot is written there as JSON.
+func MergeBench(w io.Writer, jsonPath, metricsPath string, seed int64, total int) (*MergeBenchReport, error) {
 	if total <= 0 {
 		total = 1 << 20
+	}
+	reg := obs.NewRegistry()
+	mRecords := reg.Counter("masm_merge_records")
+	mCmps := reg.Counter("masm_merge_comparisons")
+	mRefills := reg.Counter("masm_merge_refills")
+	var drained int64 // records the checksum loops counted, independently
+	fold := func(n int, st extsort.MergerStats) {
+		drained += int64(n)
+		mRecords.Add(st.Records)
+		mCmps.Add(st.Comparisons)
+		mRefills.Add(st.Refills)
 	}
 	rep := &MergeBenchReport{Bench: "mergebench", GoMaxProcs: runtime.GOMAXPROCS(0), Seed: seed}
 	fmt.Fprintf(w, "merge engine wall-clock: %d records per measurement, GOMAXPROCS=%d\n",
@@ -161,10 +178,11 @@ func MergeBench(w io.Writer, jsonPath string, seed int64, total int) (*MergeBenc
 			if err != nil {
 				return nil, err
 			}
-			lSum, lN, err := drainLoser(runs)
+			lSum, lN, lst, err := drainLoser(runs)
 			if err != nil {
 				return nil, err
 			}
+			fold(lN, lst)
 			if hSum != lSum || hN != lN {
 				return nil, fmt.Errorf("mergebench: k=%d %s: output mismatch (heap %d recs sum %x, loser %d recs sum %x)",
 					k, dist, hN, hSum, lN, lSum)
@@ -183,12 +201,14 @@ func MergeBench(w io.Writer, jsonPath string, seed int64, total int) (*MergeBenc
 					heapDur = d
 				}
 				t0 = time.Now()
-				if _, _, err := drainLoser(runs); err != nil {
+				_, tn, tst, err := drainLoser(runs)
+				if err != nil {
 					return nil, err
 				}
 				if d := time.Since(t0); d < loserDur {
 					loserDur = d
 				}
+				fold(tn, tst)
 			}
 			res := MergeBenchResult{
 				K:             k,
@@ -215,6 +235,22 @@ func MergeBench(w io.Writer, jsonPath string, seed int64, total int) (*MergeBenc
 			return nil, err
 		}
 		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	// The registry's record counter and the checksum loops counted the same
+	// drains through independent code: they must agree exactly.
+	snap := reg.Snapshot()
+	if got := snap.Counter("masm_merge_records"); got != drained {
+		return nil, fmt.Errorf("mergebench: metrics do not reconcile: registry counted %d merged records, checksum loop %d", got, drained)
+	}
+	if metricsPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(metricsPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s (merge metrics reconcile: %d records)\n", metricsPath, drained)
 	}
 	return rep, nil
 }

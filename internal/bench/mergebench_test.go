@@ -6,15 +6,20 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"masm/internal/obs"
 )
 
 // TestMergeBenchSmoke runs the merge microbenchmark at a tiny scale: it
 // must produce a result per (k, dist) pair, byte-identical engine outputs
-// (enforced internally via checksums), and valid JSON.
+// (enforced internally via checksums), a metrics snapshot that reconciles
+// with the checksum loop's record count (enforced internally), and valid
+// JSON for both files.
 func TestMergeBenchSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	path := filepath.Join(t.TempDir(), "BENCH_3.json")
-	rep, err := MergeBench(&buf, path, 1, 1<<12)
+	mpath := filepath.Join(t.TempDir(), "metrics.json")
+	rep, err := MergeBench(&buf, path, mpath, 1, 1<<12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,5 +41,22 @@ func TestMergeBenchSmoke(t *testing.T) {
 	}
 	if back.Bench != "mergebench" || len(back.Results) != len(rep.Results) {
 		t.Fatalf("report round-trip mismatch: %+v", back)
+	}
+	mdata, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mdata, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not round-trip: %v", err)
+	}
+	// Every loser-tree drain (warm-up + timed reps) is folded in: the
+	// counter must cover at least one full pass over every measurement.
+	var total int64
+	for _, r := range rep.Results {
+		total += int64(r.Records)
+	}
+	if got := snap.Counter("masm_merge_records"); got < total {
+		t.Fatalf("metrics snapshot counted %d merged records, bench measured %d", got, total)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"masm"
+	"masm/internal/obs"
 	"masm/internal/sim"
 )
 
@@ -39,8 +40,17 @@ type TenantBenchResult struct {
 	PeakCachedBytes   int64 `json:"peak_cached_bytes"`
 	SSDFootprintBytes int64 `json:"ssd_footprint_bytes"`
 	SSDBytesWritten   int64 `json:"ssd_bytes_written"`
-	// PerTenantMigrations shows where the migration pressure landed.
+	// PerTenantMigrations shows where the migration pressure landed. It is
+	// read from the engines' metric registries (masm_migrations per table
+	// label), not counted bench-side, and cross-checked against the
+	// workload loop's own tally.
 	PerTenantMigrations map[string]int64 `json:"per_tenant_migrations"`
+	// PerTenantUpdates comes from the registry's masm_updates_accepted
+	// series, and PerTenantMergeP99Nanos from each tenant's virtual-time
+	// masm_migration_merge_nanos histogram — hot tenants show longer merge
+	// phases under the private split, where they migrate early and often.
+	PerTenantUpdates       map[string]int64 `json:"per_tenant_updates"`
+	PerTenantMergeP99Nanos map[string]int64 `json:"per_tenant_merge_p99_nanos"`
 }
 
 // TenantBenchReport is the machine-readable BENCH_4.json payload.
@@ -85,15 +95,16 @@ type tenantTable interface {
 // (the virtual timeline has no background threads), and reports the
 // simulated completion time, total migrations and the cached-bytes
 // high-water mark. relieve migrates if the configuration's pressure rule
-// says so and names the migrated tenant.
+// says so. Per-tenant attribution is NOT tallied here — it is read from
+// the engines' metric registries afterwards; the total returned here
+// cross-checks them.
 func runTenantWorkload(tenants []tenantTable, elapsed func() sim.Duration,
-	relieve func(justWrote int) (string, bool, error),
-	seq []int, rows int, seed int64) (sim.Duration, int64, int64, map[string]int64, error) {
+	relieve func(justWrote int) (bool, error),
+	seq []int, rows int, seed int64) (sim.Duration, int64, int64, error) {
 
 	rng := rand.New(rand.NewSource(seed))
 	var migrations int64
 	var peak int64
-	perTenant := make(map[string]int64)
 	val := []byte("qty=42 price=0123")
 	for n, ti := range seq {
 		t := tenants[ti]
@@ -103,15 +114,14 @@ func runTenantWorkload(tenants []tenantTable, elapsed func() sim.Duration,
 		// between the two configurations.)
 		key := uint64(rng.Intn(rows)+1) * 2
 		if err := t.Modify(key, 17, val); err != nil {
-			return 0, 0, 0, nil, fmt.Errorf("tenant %d update %d: %w", ti, n, err)
+			return 0, 0, 0, fmt.Errorf("tenant %d update %d: %w", ti, n, err)
 		}
-		name, ran, err := relieve(ti)
+		ran, err := relieve(ti)
 		if err != nil {
-			return 0, 0, 0, nil, err
+			return 0, 0, 0, err
 		}
 		if ran {
 			migrations++
-			perTenant[name]++
 		}
 		if n%256 == 0 {
 			var cached int64
@@ -123,12 +133,27 @@ func runTenantWorkload(tenants []tenantTable, elapsed func() sim.Duration,
 			}
 		}
 	}
-	return elapsed(), migrations, peak, perTenant, nil
+	return elapsed(), migrations, peak, nil
+}
+
+// tenantSeries extracts one tenant's registry-sourced series from a
+// snapshot: migrations, accepted updates, and the virtual-time p99 of the
+// migration merge phase. lbl carries the per-table label under which the
+// engine registered the tenant's store.
+func tenantSeries(snap obs.Snapshot, lbl obs.Label) (mig, upd, mergeP99 int64) {
+	mig = snap.Counter("masm_migrations", lbl)
+	upd = snap.Counter("masm_updates_accepted", lbl)
+	if h := snap.Histogram("masm_migration_merge_nanos", lbl); h != nil {
+		mergeP99 = h.Quantile(0.99)
+	}
+	return mig, upd, mergeP99
 }
 
 // TenantBench runs the shared-vs-private comparison and renders the
-// report (and BENCH_4.json when jsonPath is non-empty).
-func TenantBench(w io.Writer, jsonPath string, seed int64, tenants, rows, updates int) (*TenantBenchReport, error) {
+// report (and BENCH_4.json when jsonPath is non-empty). When metricsPath
+// is non-empty the shared engine's final metrics snapshot is written there
+// as JSON.
+func TenantBench(w io.Writer, jsonPath, metricsPath string, seed int64, tenants, rows, updates int) (*TenantBenchReport, error) {
 	if tenants < 2 {
 		return nil, fmt.Errorf("tenantbench: need at least 2 tenants, have %d", tenants)
 	}
@@ -174,21 +199,38 @@ func TenantBench(w io.Writer, jsonPath string, seed int64, tenants, rows, update
 		}
 		sharedTenants[i] = t
 	}
-	sharedRelieve := func(int) (string, bool, error) { return eng.MigrateIfPressured() }
-	el, mig, peak, per, err := runTenantWorkload(sharedTenants, eng.Elapsed, sharedRelieve, seq, rows, seed+1)
+	sharedRelieve := func(int) (bool, error) {
+		_, ran, err := eng.MigrateIfPressured()
+		return ran, err
+	}
+	el, mig, peak, err := runTenantWorkload(sharedTenants, eng.Elapsed, sharedRelieve, seq, rows, seed+1)
 	if err != nil {
 		return nil, fmt.Errorf("shared config: %w", err)
 	}
 	est := eng.Stats()
+	sharedSnap := eng.Metrics()
+	per, perUpd, perP99 := make(map[string]int64), make(map[string]int64), make(map[string]int64)
+	var regMig int64
+	for i := 0; i < tenants; i++ {
+		name := tenantName(i)
+		m, u, p99 := tenantSeries(sharedSnap, obs.L("table", name))
+		per[name], perUpd[name], perP99[name] = m, u, p99
+		regMig += m
+	}
+	if regMig != mig {
+		return nil, fmt.Errorf("shared config: registry counted %d migrations, workload loop %d", regMig, mig)
+	}
 	report.Shared = TenantBenchResult{
-		Config:              "shared",
-		UpdatesPerSec:       float64(updates) / el.Seconds(),
-		ElapsedSimSec:       el.Seconds(),
-		Migrations:          mig,
-		PeakCachedBytes:     peak,
-		SSDFootprintBytes:   cacheBytes * 2,
-		SSDBytesWritten:     est.SSDBytesWritten,
-		PerTenantMigrations: per,
+		Config:                 "shared",
+		UpdatesPerSec:          float64(updates) / el.Seconds(),
+		ElapsedSimSec:          el.Seconds(),
+		Migrations:             mig,
+		PeakCachedBytes:        peak,
+		SSDFootprintBytes:      cacheBytes * 2,
+		SSDBytesWritten:        est.SSDBytesWritten,
+		PerTenantMigrations:    per,
+		PerTenantUpdates:       perUpd,
+		PerTenantMergeP99Nanos: perP99,
 	}
 	eng.Close()
 
@@ -218,28 +260,39 @@ func TenantBench(w io.Writer, jsonPath string, seed int64, tenants, rows, update
 		}
 		return max
 	}
-	privRelieve := func(justWrote int) (string, bool, error) {
-		ran, err := privDBs[justWrote].MigrateIfNeeded()
-		return tenantName(justWrote), ran, err
+	privRelieve := func(justWrote int) (bool, error) {
+		return privDBs[justWrote].MigrateIfNeeded()
 	}
-	el2, mig2, peak2, per2, err := runTenantWorkload(privTenants, privElapsed, privRelieve, seq, rows, seed+1)
+	el2, mig2, peak2, err := runTenantWorkload(privTenants, privElapsed, privRelieve, seq, rows, seed+1)
 	if err != nil {
 		return nil, fmt.Errorf("private config: %w", err)
 	}
-	var privWritten int64
-	for _, db := range privDBs {
+	var privWritten, regMig2 int64
+	per2, perUpd2, perP992 := make(map[string]int64), make(map[string]int64), make(map[string]int64)
+	for i, db := range privDBs {
 		privWritten += db.Stats().SSDBytesWritten
+		// Each private DB is its own engine with one table registered
+		// under masm.DefaultTableName; re-key its series by tenant.
+		m, u, p99 := tenantSeries(db.Metrics(), obs.L("table", masm.DefaultTableName))
+		name := tenantName(i)
+		per2[name], perUpd2[name], perP992[name] = m, u, p99
+		regMig2 += m
 		db.Close()
 	}
+	if regMig2 != mig2 {
+		return nil, fmt.Errorf("private config: registries counted %d migrations, workload loop %d", regMig2, mig2)
+	}
 	report.Private = TenantBenchResult{
-		Config:              "private",
-		UpdatesPerSec:       float64(updates) / el2.Seconds(),
-		ElapsedSimSec:       el2.Seconds(),
-		Migrations:          mig2,
-		PeakCachedBytes:     peak2,
-		SSDFootprintBytes:   cacheBytes * 2,
-		SSDBytesWritten:     privWritten,
-		PerTenantMigrations: per2,
+		Config:                 "private",
+		UpdatesPerSec:          float64(updates) / el2.Seconds(),
+		ElapsedSimSec:          el2.Seconds(),
+		Migrations:             mig2,
+		PeakCachedBytes:        peak2,
+		SSDFootprintBytes:      cacheBytes * 2,
+		SSDBytesWritten:        privWritten,
+		PerTenantMigrations:    per2,
+		PerTenantUpdates:       perUpd2,
+		PerTenantMergeP99Nanos: perP992,
 	}
 	report.SpeedupSharedOverPrivate = report.Shared.UpdatesPerSec / report.Private.UpdatesPerSec
 
@@ -263,6 +316,16 @@ func TenantBench(w io.Writer, jsonPath string, seed int64, tenants, rows, update
 			return nil, err
 		}
 		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	if metricsPath != "" {
+		js, err := json.MarshalIndent(sharedSnap, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(metricsPath, append(js, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", metricsPath)
 	}
 	return report, nil
 }

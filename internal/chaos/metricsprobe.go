@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"masm/internal/obs"
+)
+
+// The metrics probe is the observability layer's oracle: at every OpCheck
+// (and the final verdict) it cross-examines the engine's metric registry
+// against ground truth the harness holds independently.
+//
+// Three properties are asserted:
+//
+//  1. Ledger reconciliation — Engine.CheckMetrics recomputes every mirrored
+//     gauge (run bytes, run count, memtable bytes, open snapshots, active
+//     queries, pool ledger) from the live structures and compares exactly.
+//  2. Monotonicity — counters and histogram counts never move backwards
+//     within one engine generation. A crash/reopen starts a fresh registry,
+//     so the baseline resets with the generation.
+//  3. Fsync accounting — the WAL backend's own Sync() count and the
+//     registry's masm_wal_syncs counter must advance in lockstep. The
+//     constant offset between them (syncs issued while the log was being
+//     opened, before its metric handles were installed) is captured right
+//     after each open and must never drift afterwards.
+
+// metricsProbe is the per-generation probe state.
+type metricsProbe struct {
+	prev        map[string]int64 // counter/histogram-count baseline, this generation
+	walSyncBase int64            // FaultBackend("wal").Syncs() − masm_wal_syncs at open
+}
+
+// resetMetricsProbe re-anchors the probe after an engine (re)open: fresh
+// registry, fresh backends, fresh monotone baselines.
+func (x *exec) resetMetricsProbe() {
+	x.probe.prev = make(map[string]int64)
+	var fbSyncs int64
+	if fb := x.backends["wal"]; fb != nil {
+		fbSyncs = fb.Syncs()
+	}
+	x.probe.walSyncBase = fbSyncs - x.eng.Metrics().Counter("masm_wal_syncs")
+}
+
+// probeKey renders one series identity for the monotone map.
+func probeKey(m obs.Metric) string {
+	k := m.Name
+	for _, l := range m.Labels {
+		k += "{" + l.Key + "=" + l.Value + "}"
+	}
+	return k
+}
+
+// checkMetrics runs the three probe assertions. It reads only in-memory
+// state — no device I/O, no virtual-clock advance — so it is safe at any
+// point the engine is open.
+func (x *exec) checkMetrics(step int, op Op) *Failure {
+	if err := x.eng.CheckMetrics(); err != nil {
+		return x.fail(step, op, "metrics", "ledger reconciliation: %v", err)
+	}
+	snap := x.eng.Metrics()
+	for _, m := range snap.Metrics {
+		var cur int64
+		switch m.Type {
+		case obs.TypeCounter:
+			cur = m.Value
+		case obs.TypeHistogram:
+			cur = m.Hist.Count
+		default:
+			continue // gauges may move freely
+		}
+		key := probeKey(m)
+		// A key seen for the first time mid-generation is a freshly
+		// registered series (e.g. a recreated table) and starts its own
+		// baseline.
+		if prev, ok := x.probe.prev[key]; ok && cur < prev {
+			return x.fail(step, op, "metrics", "counter %s went backwards: %d -> %d", key, prev, cur)
+		}
+		x.probe.prev[key] = cur
+	}
+	if fb := x.backends["wal"]; fb != nil {
+		counted := snap.Counter("masm_wal_syncs")
+		if delta := fb.Syncs() - counted; delta != x.probe.walSyncBase {
+			return x.fail(step, op, "metrics",
+				"wal fsync ledger: backend saw %d syncs, counter %d, offset %d (want constant %d)",
+				fb.Syncs(), counted, delta, x.probe.walSyncBase)
+		}
+	}
+	return nil
+}

@@ -43,6 +43,11 @@ type Options struct {
 	// while reporting success — the "engine skipped a required fsync" bug.
 	// The oracle is expected to catch it at the next crash.
 	PlantWALSyncDrop int64
+	// BreakMetricAtStep, when non-zero, plants an observability fault: at
+	// the n-th step the harness perturbs a mirrored gauge directly through
+	// the registry, exactly as a missed instrumentation site would. The
+	// metrics probe is expected to catch it at the next check.
+	BreakMetricAtStep int
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
 }
@@ -76,7 +81,7 @@ func (o Options) txSlots() int   { return 2 }
 type Failure struct {
 	Step   int
 	Op     Op
-	Check  string // "durability", "scan", "snapshot", "invariant", "catalog", "recovery", "engine-error"
+	Check  string // "durability", "scan", "snapshot", "invariant", "catalog", "recovery", "metrics", "engine-error"
 	Detail string
 }
 
@@ -216,6 +221,7 @@ type exec struct {
 	// fault backend.
 	backends map[string]*FaultBackend
 	model    *model
+	probe    metricsProbe
 	snaps    []*snapState
 	txs      []*txState
 	// created counts CreateTable calls per slot, for unique names.
@@ -272,6 +278,7 @@ func (x *exec) openEngine() error {
 		x.txs = make([]*txState, x.opts.txSlots())
 		x.created = make(map[int]int)
 	}
+	x.resetMetricsProbe()
 	return nil
 }
 
@@ -342,6 +349,11 @@ func (x *exec) bodyFor(key uint64, seed int64) []byte {
 
 // step executes one op. A nil return means the scenario continues.
 func (x *exec) step(i int, op Op) *Failure {
+	if x.opts.BreakMetricAtStep > 0 && i == x.opts.BreakMetricAtStep {
+		// The planted observability fault: skew a mirrored gauge behind the
+		// engine's back. Reconciliation must flag it at the next check.
+		x.eng.Registry().Gauge("masm_pool_used_bytes").Add(1)
+	}
 	t, haveTable := x.model.tables[op.Slot]
 	var tbl *masm.Table
 	if haveTable {
@@ -881,13 +893,20 @@ func (x *exec) checkCatalog(step int, op Op) *Failure {
 	return nil
 }
 
-// check runs the invariant probes and the full scan-vs-model comparison.
+// check runs the invariant probes, the metrics probe, and the full
+// scan-vs-model comparison.
 func (x *exec) check(step int, op Op) *Failure {
 	if err := x.eng.CheckInvariants(); err != nil {
 		if x.anyCrashed() {
 			return x.recoverCrash(step, op)
 		}
 		return x.fail(step, op, "invariant", "%v", err)
+	}
+	if f := x.checkMetrics(step, op); f != nil {
+		if x.anyCrashed() {
+			return x.recoverCrash(step, op)
+		}
+		return f
 	}
 	got, f := x.scanAll(step, op)
 	if f != nil {

@@ -76,6 +76,26 @@ type Merger struct {
 	tree []int32
 	k    int
 	err  error
+	// Work counters, accumulated as plain int64s (an atomic per
+	// comparison would tax the hottest loop in the engine); consumers
+	// fold Stats() into registry counters when the merge completes.
+	cmps    int64
+	refills int64
+	records int64
+}
+
+// MergerStats counts the merge engine's work since construction.
+type MergerStats struct {
+	Comparisons int64 // loser-tree matches played
+	Refills     int64 // source batch refills (each may issue device reads)
+	Records     int64 // records emitted
+}
+
+// Stats returns the merger's work counters so far. Not safe concurrently
+// with Next/NextBatch; read it when the merge is done (or the merger is
+// otherwise quiescent).
+func (m *Merger) Stats() MergerStats {
+	return MergerStats{Comparisons: m.cmps, Refills: m.refills, Records: m.records}
 }
 
 // NewMerger builds a merger over the given iterators. Iterators are pulled
@@ -97,6 +117,7 @@ func NewMerger(its ...update.Iterator) (*Merger, error) {
 	}
 	for i, it := range its {
 		m.srcs[i] = mergeSource{it: it, buf: make([]update.Record, sourceBatch)}
+		m.refills++
 		if err := m.srcs[i].refill(); err != nil {
 			return nil, err
 		}
@@ -123,6 +144,7 @@ func (m *Merger) syncCur(i int) {
 // beats reports whether source a's current record precedes source b's in
 // (key, ts, source) order. Exhausted sources sort after everything.
 func (m *Merger) beats(a, b int) bool {
+	m.cmps++
 	if !m.alive[a] {
 		return false
 	}
@@ -176,6 +198,7 @@ func (m *Merger) advance(w int) error {
 	s := &m.srcs[w]
 	s.pos++
 	if s.pos >= s.n {
+		m.refills++
 		if err := s.refill(); err != nil {
 			return err
 		}
@@ -202,6 +225,7 @@ func (m *Merger) Next() (update.Record, bool, error) {
 		return update.Record{}, false, err
 	}
 	m.replay(w)
+	m.records++
 	return rec, true, nil
 }
 
@@ -223,6 +247,7 @@ func (m *Merger) NextBatch(dst []update.Record) (int, error) {
 		}
 		dst[n] = m.srcs[w].buf[m.srcs[w].pos]
 		n++
+		m.records++
 		if err := m.advance(w); err != nil {
 			m.err = err
 			return n, err

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"masm/internal/obs"
 )
 
 // extent is a contiguous byte range of the SSD update-cache volume.
@@ -47,6 +49,89 @@ type SharedAlloc struct {
 	pool *extentAlloc
 	used map[uint32]int64 // physical bytes held per table
 	cap  map[uint32]int64 // physical byte cap per table
+	m    PoolMetrics
+}
+
+// PoolMetrics carries the shared allocator's observability handles. All
+// fields are optional (obs handles are nil-safe no-ops). The gauges mirror
+// the allocator's ledger at every mutation, so CheckMetrics can reconcile
+// them exactly.
+type PoolMetrics struct {
+	UsedBytes     *obs.Gauge   // physical bytes held across all tables
+	CapacityBytes *obs.Gauge   // physical pool capacity
+	CapSumBytes   *obs.Gauge   // sum of per-table caps (> capacity ⇒ oversubscribed)
+	Partitions    *obs.Gauge   // registered table partitions
+	AllocFailures *obs.Counter // refused allocations (budget or pool exhausted)
+}
+
+// NewPoolMetrics registers the shared-pool series in reg.
+func NewPoolMetrics(reg *obs.Registry) PoolMetrics {
+	return PoolMetrics{
+		UsedBytes:     reg.Gauge("masm_pool_used_bytes"),
+		CapacityBytes: reg.Gauge("masm_pool_capacity_bytes"),
+		CapSumBytes:   reg.Gauge("masm_pool_cap_sum_bytes"),
+		Partitions:    reg.Gauge("masm_pool_partitions"),
+		AllocFailures: reg.Counter("masm_pool_alloc_failures"),
+	}
+}
+
+// SetMetrics installs the allocator's metric handles and primes the gauges
+// from the current ledger.
+func (sa *SharedAlloc) SetMetrics(m PoolMetrics) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.m = m
+	sa.m.CapacityBytes.Set(sa.pool.capacity)
+	sa.syncMetricsLocked()
+}
+
+// syncMetricsLocked refreshes the ledger gauges; caller holds sa.mu. The
+// maps are per-table (a handful of entries), so the sums are cheap — and
+// allocation is per run, not per record, so this is nowhere near a hot path.
+func (sa *SharedAlloc) syncMetricsLocked() {
+	if sa.m.UsedBytes == nil {
+		return
+	}
+	var used, caps int64
+	for _, u := range sa.used {
+		used += u
+	}
+	for _, c := range sa.cap {
+		caps += c
+	}
+	sa.m.UsedBytes.Set(used)
+	sa.m.CapSumBytes.Set(caps)
+	sa.m.Partitions.Set(int64(len(sa.cap)))
+}
+
+// CheckMetrics reconciles the pool gauges against the live ledger. A
+// SharedAlloc without metrics installed trivially passes.
+func (sa *SharedAlloc) CheckMetrics() error {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.m.UsedBytes == nil {
+		return nil
+	}
+	var used, caps int64
+	for _, u := range sa.used {
+		used += u
+	}
+	for _, c := range sa.cap {
+		caps += c
+	}
+	if g := sa.m.UsedBytes.Value(); g != used {
+		return fmt.Errorf("masm: pool used-bytes gauge %d != ledger %d", g, used)
+	}
+	if g := sa.m.CapSumBytes.Value(); g != caps {
+		return fmt.Errorf("masm: pool cap-sum gauge %d != ledger %d", g, caps)
+	}
+	if g := sa.m.Partitions.Value(); g != int64(len(sa.cap)) {
+		return fmt.Errorf("masm: pool partitions gauge %d != ledger %d", g, len(sa.cap))
+	}
+	if g := sa.m.CapacityBytes.Value(); g != sa.pool.capacity {
+		return fmt.Errorf("masm: pool capacity gauge %d != pool capacity %d", g, sa.pool.capacity)
+	}
+	return nil
 }
 
 // NewSharedAlloc creates a shared allocator over a physical volume of
@@ -65,6 +150,7 @@ func (sa *SharedAlloc) Partition(table uint32, cap int64) RunAllocator {
 	sa.mu.Lock()
 	defer sa.mu.Unlock()
 	sa.cap[table] = cap
+	sa.syncMetricsLocked()
 	return &allocPartition{sa: sa, table: table}
 }
 
@@ -75,6 +161,7 @@ func (sa *SharedAlloc) Drop(table uint32) {
 	defer sa.mu.Unlock()
 	delete(sa.used, table)
 	delete(sa.cap, table)
+	sa.syncMetricsLocked()
 }
 
 // Used reports the physical bytes currently held by table.
@@ -95,14 +182,17 @@ func (p *allocPartition) Alloc(size int64) (int64, error) {
 	sa.mu.Lock()
 	defer sa.mu.Unlock()
 	if used, cap := sa.used[p.table], sa.cap[p.table]; used+size > cap {
+		sa.m.AllocFailures.Inc()
 		return 0, fmt.Errorf("masm: table %d over its SSD cache budget: %d bytes held, %d requested, cap %d",
 			p.table, used, size, cap)
 	}
 	off, err := sa.pool.alloc(size)
 	if err != nil {
+		sa.m.AllocFailures.Inc()
 		return 0, err
 	}
 	sa.used[p.table] += size
+	sa.syncMetricsLocked()
 	return off, nil
 }
 
@@ -112,6 +202,7 @@ func (p *allocPartition) Release(off, size int64) {
 	defer sa.mu.Unlock()
 	sa.pool.release(off, size)
 	sa.used[p.table] -= size
+	sa.syncMetricsLocked()
 }
 
 func (p *allocPartition) Reserve(off, size int64) error {
@@ -122,6 +213,7 @@ func (p *allocPartition) Reserve(off, size int64) error {
 		return err
 	}
 	sa.used[p.table] += size
+	sa.syncMetricsLocked()
 	return nil
 }
 

@@ -2,6 +2,7 @@ package masm
 
 import (
 	"errors"
+	"fmt"
 
 	"masm/internal/extsort"
 	"masm/internal/runfile"
@@ -70,6 +71,7 @@ func (s *Store) BeginMigration(at sim.Time) (*Migration, error) {
 	// from memory instead (they remain in the buffer, still visible to
 	// concurrent queries, until the migrated pages absorb them).
 	var pending []update.Record
+	sortStart := at
 	t, err := s.flushLocked(at, migTS)
 	if err != nil {
 		pending = s.buf.Drain(migTS)
@@ -77,6 +79,7 @@ func (s *Store) BeginMigration(at sim.Time) (*Migration, error) {
 	} else {
 		at = t
 	}
+	s.m.MigrationSortNanos.Observe(int64(at.Sub(sortStart)))
 	runsR := append([]*runfile.Run(nil), s.runs...)
 	// Pin the migrating run set: the migration reads these runs' extents
 	// outside the latch, and a concurrent query-setup merge must not free
@@ -99,6 +102,7 @@ func (s *Store) BeginMigration(at sim.Time) (*Migration, error) {
 		}
 		at = t
 	}
+	s.m.trace("migration", "begin", fmt.Sprintf("migTS=%d runs=%d", migTS, len(runsR)), int64(at))
 	return &Migration{s: s, migTS: migTS, runs: runsR, pending: pending, at: at}, nil
 }
 
@@ -137,7 +141,9 @@ func (m *Migration) RunWithScan(fn func(row table.Row) bool) (sim.Time, *Migrate
 		s.abortMigration(m.runs)
 		return m.at, nil, err
 	}
+	s.m.MigrationMergeNanos.Observe(int64(end.Sub(m.at)))
 	if s.log != nil {
+		commitStart := end
 		t, err := s.log.LogMigrationEnd(end, m.migTS)
 		if err != nil {
 			m.done = true
@@ -145,6 +151,7 @@ func (m *Migration) RunWithScan(fn func(row table.Row) bool) (sim.Time, *Migrate
 			return m.at, nil, err
 		}
 		end = t
+		s.m.MigrationCommitNanos.Observe(int64(end.Sub(commitStart)))
 	}
 	// The migration-end checkpoint has durably committed the flipped refs
 	// (without a log there is no lagging durable manifest either): the
@@ -167,22 +174,33 @@ func (m *Migration) RunWithScan(fn func(row table.Row) bool) (sim.Time, *Migrate
 		}
 	}
 	s.runs = kept
+	var bytesRead int64
 	for _, r := range m.runs {
-		s.runBytes -= r.Size
+		bytesRead += r.Size
+		s.addRunBytesLocked(-r.Size)
 		s.unpinRunLocked(r.ID)
 		s.releaseRunLocked(r)
 	}
+	s.m.RunCount.Set(int64(len(s.runs)))
 	if len(m.pending) > 0 {
 		// The memory-migrated records are now applied to pages stamped
 		// migTS; drop them from the buffer (scans ahead of the drop read
 		// the fresh pages, and the page-timestamp check keeps any record
 		// still buffered from double-applying either way).
 		s.buf.Drain(m.migTS)
+		s.m.MemtableBytes.Set(int64(s.buf.Bytes()))
 	}
-	s.stats.Migrations++
-	s.stats.MigratedRecords += rep.RecordsApplied
+	s.m.Migrations.Inc()
+	s.m.MigratedRecords.Add(rep.RecordsApplied)
+	s.m.MigrationRunsMigrated.Add(int64(rep.RunsMigrated))
+	s.m.MigrationBytesRead.Add(bytesRead)
+	s.m.MigrationPagesRead.Add(rep.PagesRead)
+	s.m.MigrationPagesWritten.Add(rep.PagesWritten)
 	s.migrating = false
 	s.mu.Unlock()
+	s.syncSlotGauges()
+	s.m.trace("migration", "end",
+		fmt.Sprintf("migTS=%d runs=%d records=%d", m.migTS, rep.RunsMigrated, rep.RecordsApplied), int64(end))
 	m.done = true
 	return end, rep, nil
 }
@@ -224,6 +242,7 @@ func (s *Store) migrateRuns(at sim.Time, migTS int64, runsR []*runfile.Run, pend
 	if err != nil {
 		return at, nil, err
 	}
+	s.m.addMerger(merger.Stats())
 	for _, sc := range scanners {
 		end = sim.MaxTime(end, sc.Time())
 	}
@@ -256,12 +275,14 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 	}
 	// As in BeginMigration: the run set must cover every update below
 	// migTS so the rewritten pages may carry that timestamp.
+	sortStart := at
 	t, err := s.flushLocked(at, migTS)
 	if err != nil {
 		s.mu.Unlock()
 		return at, false, err
 	}
 	at = t
+	s.m.MigrationSortNanos.Observe(int64(at.Sub(sortStart)))
 	runsR := append([]*runfile.Run(nil), s.runs...)
 	for _, r := range runsR {
 		s.pins[r.ID]++
@@ -307,9 +328,11 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 		s.abortMigration(runsR)
 		return at, false, err
 	}
+	s.m.addMerger(merger.Stats())
 	for _, sc := range scanners {
 		end = sim.MaxTime(end, sc.Time())
 	}
+	s.m.MigrationMergeNanos.Observe(int64(end.Sub(at)))
 	// Close the begin record with a PORTION record, not a migration end: an
 	// end record would delete the whole begin set at replay, discarding
 	// every run record outside this portion's key range. The portion record
@@ -326,6 +349,7 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 		}
 		s.mu.Unlock()
 	}
+	commitStart := end
 	if s.log != nil {
 		if end, err = s.log.LogMigrationPortion(end, migTS, consumed); err != nil {
 			// The portion's pages are written but not declared: recovery
@@ -338,6 +362,7 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 			s.abortMigration(runsR)
 			return at, false, err
 		}
+		s.m.MigrationCommitNanos.Observe(int64(end.Sub(commitStart)))
 	}
 	// The portion checkpoint durably committed the flipped refs; reclaim
 	// the slots they replaced.
@@ -347,7 +372,9 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 	for _, r := range runsR {
 		s.unpinRunLocked(r.ID)
 	}
-	s.stats.MigratedRecords += res.RecordsApplied
+	s.m.MigratedRecords.Add(res.RecordsApplied)
+	s.m.MigrationPagesRead.Add(res.PagesRead)
+	s.m.MigrationPagesWritten.Add(res.PagesWritten)
 	if last {
 		// Sweep complete: every run whose newest record predates the
 		// sweep's first portion has been applied across the whole table —
@@ -361,20 +388,26 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 		kept := s.runs[:0]
 		for _, r := range s.runs {
 			if del[r.ID] {
-				s.runBytes -= r.Size
+				s.addRunBytesLocked(-r.Size)
+				s.m.MigrationBytesRead.Add(r.Size)
 				s.releaseRunLocked(r)
 			} else {
 				kept = append(kept, r)
 			}
 		}
 		s.runs = kept
+		s.m.RunCount.Set(int64(len(s.runs)))
 		s.portionCursor = 0
-		s.stats.Migrations++
+		s.m.Migrations.Inc()
+		s.m.MigrationRunsMigrated.Add(int64(len(consumed)))
 	} else {
 		s.portionCursor = endEx
 	}
 	s.migrating = false
 	s.mu.Unlock()
+	s.syncSlotGauges()
+	s.m.trace("migration", "portion",
+		fmt.Sprintf("migTS=%d records=%d sweepDone=%v", migTS, res.RecordsApplied, last), int64(end))
 	return end, last, nil
 }
 

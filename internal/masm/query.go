@@ -43,6 +43,10 @@ type Query struct {
 	dataPend    pendingRow
 	closed      bool
 	err         error
+
+	// rowBytes accumulates the body bytes of every row returned; observed
+	// into the scan-bytes histogram when the query closes.
+	rowBytes int64
 }
 
 // updateBatch is the number of merged update records the query pulls from
@@ -149,6 +153,9 @@ func (s *Store) newQueryLocked(at sim.Time, begin, end uint64, qts int64) (*Quer
 	q.pinnedPages = len(q.runScans) + 1
 	s.activeQueries[q] = qts
 	s.queryPagesInUse += q.pinnedPages
+	s.m.ScansStarted.Inc()
+	s.m.ActiveQueries.Set(int64(len(s.activeQueries)))
+	s.m.QueryPagesInUse.Set(int64(s.queryPagesInUse))
 	return q, nil
 }
 
@@ -199,6 +206,7 @@ func (q *Query) Next() (table.Row, bool, error) {
 		case haveRow && (!haveUpd || row.Key < upd.Key):
 			q.consumeData()
 			q.cpu += q.CPUPerRecord
+			q.rowBytes += int64(len(row.Body))
 			return row, true, nil
 		case haveRow && row.Key == upd.Key:
 			// Apply the whole same-key update group onto the base row,
@@ -224,6 +232,7 @@ func (q *Query) Next() (table.Row, bool, error) {
 			}
 			if exists {
 				q.cpu += q.CPUPerRecord
+				q.rowBytes += int64(len(body))
 				return table.Row{Key: row.Key, Body: body, PageTS: ts}, true, nil
 			}
 		default:
@@ -248,6 +257,7 @@ func (q *Query) Next() (table.Row, bool, error) {
 			}
 			if exists {
 				q.cpu += q.CPUPerRecord
+				q.rowBytes += int64(len(body))
 				return table.Row{Key: key, Body: body, PageTS: ts}, true, nil
 			}
 		}
@@ -284,6 +294,10 @@ func (q *Query) Close() {
 	if _, ok := s.activeQueries[q]; ok {
 		s.queryPagesInUse -= q.pinnedPages
 		delete(s.activeQueries, q)
+		s.m.ActiveQueries.Set(int64(len(s.activeQueries)))
+		s.m.QueryPagesInUse.Set(int64(s.queryPagesInUse))
+		s.m.ScanLatencyNanos.Observe(int64(q.Time().Sub(q.start)))
+		s.m.ScanBytes.Observe(q.rowBytes)
 	}
 	for _, id := range q.pinnedRuns {
 		s.unpinRunLocked(id)
@@ -483,6 +497,7 @@ func (m *memScanIter) resolveFlushFrom(lastKey uint64, lastTS int64, started boo
 	if _, ok := s.activeQueries[m.q]; ok {
 		m.q.pinnedPages++
 		s.queryPagesInUse++
+		s.m.QueryPagesInUse.Set(int64(s.queryPagesInUse))
 	}
 	gran := s.cfg.ScanGranularity
 	s.mu.Unlock()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package masm
+
+const raceEnabled = false

@@ -26,18 +26,21 @@ func Restore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 	logger RedoLogger, runs []RunMeta, pending []update.Record,
 	redoMigration []int64, at sim.Time) (*Store, sim.Time, error) {
 	return RestoreShared(cfg, tbl, ssd, oracle, logger,
-		newExtentAlloc(ssd.Size()), 0, runs, pending, redoMigration, at)
+		newExtentAlloc(ssd.Size()), 0, runs, pending, redoMigration, at, nil)
 }
 
 // RestoreShared is Restore for one table of a multi-table engine: the
 // rebuilt store draws from the engine's shared allocator (re-reserving the
 // surviving runs' extents in it) and carries the table identity. Restore is
-// the single-table special case.
+// the single-table special case. m carries the table's metric handles (nil
+// for a private registry); the restore path repopulates the state gauges —
+// run bytes/count, memtable fill — so a reopened engine's metrics resume
+// from the recovered state rather than zero.
 func RestoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 	logger RedoLogger, alloc RunAllocator, tableID uint32, runs []RunMeta,
-	pending []update.Record, redoMigration []int64, at sim.Time) (*Store, sim.Time, error) {
+	pending []update.Record, redoMigration []int64, at sim.Time, m *StoreMetrics) (*Store, sim.Time, error) {
 
-	s, err := NewStoreShared(cfg, tbl, ssd, oracle, logger, alloc, tableID)
+	s, err := NewStoreShared(cfg, tbl, ssd, oracle, logger, alloc, tableID, m)
 	if err != nil {
 		return nil, at, err
 	}
@@ -62,7 +65,7 @@ func RestoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Or
 		}
 		s.extents[rm.RunID] = extent{off: rm.Off, size: extSize}
 		s.runs = append(s.runs, run)
-		s.runBytes += run.Size
+		s.addRunBytesLocked(run.Size)
 		if rm.RunID >= s.nextRunID {
 			s.nextRunID = rm.RunID + 1
 		}
@@ -70,6 +73,7 @@ func RestoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Or
 			maxTS = run.MaxTS
 		}
 	}
+	s.m.RunCount.Set(int64(len(s.runs)))
 	// Repopulate the in-memory buffer with the unflushed updates.
 	for _, rec := range pending {
 		if rec.TS > maxTS {
@@ -83,6 +87,7 @@ func RestoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Or
 			at = end
 		}
 	}
+	s.m.MemtableBytes.Set(int64(s.buf.Bytes()))
 	oracle.AdvanceTo(maxTS)
 	// Redo an interrupted migration. The run set may have changed IDs if
 	// the crash also lost merges; migrating everything currently live is

@@ -54,6 +54,7 @@ func (s *Store) Snapshot() *Snapshot {
 		sn.pinned = append(sn.pinned, r.ID)
 	}
 	s.snaps[sn] = sn.ts
+	s.m.OpenSnapshots.Set(int64(len(s.snaps)))
 	return sn
 }
 
@@ -96,6 +97,7 @@ func (sn *Snapshot) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.snaps, sn)
+	s.m.OpenSnapshots.Set(int64(len(s.snaps)))
 	for _, id := range sn.pinned {
 		s.unpinRunLocked(id)
 	}

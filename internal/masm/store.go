@@ -6,6 +6,7 @@ import (
 
 	"masm/internal/extsort"
 	"masm/internal/memtable"
+	"masm/internal/obs"
 	"masm/internal/runfile"
 	"masm/internal/sim"
 	"masm/internal/storage"
@@ -138,7 +139,11 @@ type Store struct {
 	// key and the timestamp of the current sweep's first portion.
 	portionCursor uint64
 	sweepFloorTS  int64
-	stats         Stats
+	// m holds the store's metric handles (never nil). The counters are
+	// the single source of truth behind Stats(); the gauges mirror the
+	// live state fields above at every mutation site and CheckMetrics
+	// reconciles the two.
+	m *StoreMetrics
 }
 
 // NewStore creates a MaSM store over the given table, SSD volume (the
@@ -149,15 +154,20 @@ func NewStore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 	// over-provisioned relative to the logical cache capacity; the
 	// transient space lets 2-pass merges write their output before
 	// the input runs are released, as real SSDs over-provision flash.
-	return NewStoreShared(cfg, tbl, ssd, oracle, logger, newExtentAlloc(ssd.Size()), 0)
+	return NewStoreShared(cfg, tbl, ssd, oracle, logger, newExtentAlloc(ssd.Size()), 0, nil)
 }
 
 // NewStoreShared creates a MaSM store drawing its run extents from a shared
 // allocator over a (possibly multi-table) SSD volume, identified as tableID
 // within the engine that owns the volume. NewStore is the single-table
 // special case: a private allocator and table 0.
+//
+// m supplies the store's metric handles (an engine passes handles from
+// its shared registry, labeled with the table name); nil gets a private
+// registry so counters — and the Stats() view derived from them — work
+// everywhere.
 func NewStoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
-	logger RedoLogger, alloc RunAllocator, tableID uint32) (*Store, error) {
+	logger RedoLogger, alloc RunAllocator, tableID uint32, m *StoreMetrics) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,7 +175,11 @@ func NewStoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *O
 		return nil, fmt.Errorf("masm: SSD volume %d bytes smaller than configured cache %d",
 			ssd.Size(), cfg.SSDCapacity)
 	}
+	if m == nil {
+		m = NewStoreMetrics(obs.NewRegistry())
+	}
 	s := &Store{
+		m:               m,
 		cfg:             cfg,
 		tbl:             tbl,
 		ssd:             ssd,
@@ -211,10 +225,11 @@ func (s *Store) ReleaseAllRuns() error {
 		return fmt.Errorf("masm: table %d still has active readers or a migration", s.tableID)
 	}
 	for _, r := range s.runs {
-		s.runBytes -= r.Size
+		s.addRunBytesLocked(-r.Size)
 		s.releaseRunLocked(r)
 	}
 	s.runs = nil
+	s.m.RunCount.Set(0)
 	return nil
 }
 
@@ -238,11 +253,30 @@ func (s *Store) Oracle() *Oracle { return s.oracle }
 // crash-recovery plumbing, which rebuilds a store over the same volume).
 func (s *Store) SSDVolume() *storage.Volume { return s.ssd }
 
-// Stats returns a snapshot of the store's counters.
+// Stats returns a snapshot of the store's counters. It is a derived view
+// over the metric registry — the counters the registry holds are the
+// single source of truth — kept for API stability and cheap structured
+// access.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		UpdatesAccepted: s.m.UpdatesAccepted.Value(),
+		RecordWritesSSD: s.m.RecordWritesSSD.Value(),
+		BytesWrittenSSD: s.m.BytesWrittenSSD.Value(),
+		OnePassRuns:     s.m.OnePassRuns.Value(),
+		TwoPassMerges:   s.m.TwoPassMerges.Value(),
+		PagesStolen:     s.m.PagesStolen.Value(),
+		Migrations:      s.m.Migrations.Value(),
+		MigratedRecords: s.m.MigratedRecords.Value(),
+	}
+}
+
+// addRunBytesLocked moves the run-set byte ledger and its mirroring
+// gauge together; every s.runBytes mutation goes through here so the
+// gauge can never drift from the state CheckInvariants audits. Caller
+// holds s.mu.
+func (s *Store) addRunBytesLocked(delta int64) {
+	s.runBytes += delta
+	s.m.RunBytes.Set(s.runBytes)
 }
 
 // Runs returns the current number of materialized sorted runs.
@@ -396,7 +430,7 @@ func (s *Store) applyNoLogLocked(at sim.Time, rec update.Record) (sim.Time, erro
 		// (lines 4–6).
 		if s.queryPagesInUse+s.stolenPages < s.cfg.QueryPages() {
 			s.stolenPages++
-			s.stats.PagesStolen++
+			s.m.PagesStolen.Inc()
 			s.buf.SetCapacity((s.cfg.SPages() + s.stolenPages) * s.cfg.SSDPage)
 			continue
 		}
@@ -406,7 +440,8 @@ func (s *Store) applyNoLogLocked(at sim.Time, rec update.Record) (sim.Time, erro
 		}
 		at = t
 	}
-	s.stats.UpdatesAccepted++
+	s.m.UpdatesAccepted.Inc()
+	s.m.MemtableBytes.Set(int64(s.buf.Bytes()))
 	return at, nil
 }
 
@@ -461,19 +496,24 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 	}
 	s.extents[id] = extent{off: off, size: extSize}
 	s.runs = append(s.runs, run)
-	s.runBytes += run.Size
+	s.addRunBytesLocked(run.Size)
+	s.m.RunCount.Set(int64(len(s.runs)))
 	if len(s.activeQueries) > 0 {
 		_, fe := s.buf.Epochs()
 		s.flushRunByEpoch[fe] = id
 	}
 	s.pruneScanTrackingLocked()
-	s.stats.OnePassRuns++
-	s.stats.RecordWritesSSD += run.Count
-	s.stats.BytesWrittenSSD += run.Size
+	s.m.OnePassRuns.Inc()
+	s.m.RecordWritesSSD.Add(run.Count)
+	s.m.BytesWrittenSSD.Add(run.Size)
+	s.m.MemtableDrains.Inc()
+	s.m.FlushBatchRecords.Observe(run.Count)
+	s.m.trace("flush", "end", fmt.Sprintf("run=%d records=%d bytes=%d", id, run.Count, run.Size), int64(end))
 	// Return stolen pages: the buffer shrinks back to S pages (Fig 8,
 	// "Reset the in-memory buffer to have S empty pages").
 	s.stolenPages = 0
 	s.buf.SetCapacity(s.cfg.SPages() * s.cfg.SSDPage)
+	s.m.MemtableBytes.Set(int64(s.buf.Bytes()))
 	return end, nil
 }
 
@@ -687,7 +727,7 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	s.runs = append(kept, nil)
 	copy(s.runs[first+1:], s.runs[first:len(s.runs)-1])
 	s.runs[first] = merged
-	s.runBytes += merged.Size
+	s.addRunBytesLocked(merged.Size)
 	if len(s.activeQueries) > 0 {
 		for _, o := range olds {
 			s.mergedInto[o.ID] = id
@@ -696,12 +736,16 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	s.pruneScanTrackingLocked()
 	s.extents[id] = extent{off: off, size: extSize}
 	for _, o := range olds {
-		s.runBytes -= o.Size
+		s.addRunBytesLocked(-o.Size)
 		s.releaseRunLocked(o)
 	}
-	s.stats.TwoPassMerges++
-	s.stats.RecordWritesSSD += count
-	s.stats.BytesWrittenSSD += merged.Size
+	s.m.RunCount.Set(int64(len(s.runs)))
+	s.m.TwoPassMerges.Inc()
+	s.m.RecordWritesSSD.Add(count)
+	s.m.BytesWrittenSSD.Add(merged.Size)
+	s.m.addMerger(merger.Stats())
+	s.m.trace("merge", "end",
+		fmt.Sprintf("run=%d consumed=%d records=%d bytes=%d", id, len(olds), count, merged.Size), int64(end))
 	return end, nil
 }
 

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: log-linear (HDR-style). Values below histSub
+// get one bucket each (exact); above that, every power-of-two octave is
+// split into histSub linear sub-buckets, so the relative error of a
+// bucket boundary is bounded by 1/histSub (25%) and the p99 of a
+// nanosecond-scale latency distribution lands within one sub-bucket of
+// the truth. 256 fixed buckets cover every non-negative int64 (the
+// largest reachable index for 2^63-1 is 247), so Observe never ranges
+// past the array and never allocates.
+const (
+	histSubBits = 2
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	histBuckets = 256
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	mant := int(v>>(uint(exp)-histSubBits)) & (histSub - 1)
+	return (exp-histSubBits+1)*histSub + mant
+}
+
+// bucketUpper returns the largest value mapping to bucket i (inclusive
+// upper bound).
+func bucketUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	exp := uint(i/histSub + histSubBits - 1)
+	mant := int64(i % histSub)
+	if exp >= 63 {
+		return math.MaxInt64
+	}
+	width := int64(1) << (exp - histSubBits)
+	return int64(1)<<exp + (mant+1)*width - 1
+}
+
+// Histogram records a distribution of non-negative int64 values
+// (latencies in nanoseconds, batch sizes, byte counts) into fixed
+// log-linear buckets. Observe is two atomic adds on a fixed array — no
+// locks, no allocations. The zero value is usable; a nil receiver is a
+// no-op.
+type Histogram struct {
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// snapshot captures the histogram's current state. The count is derived
+// from the buckets so Count always equals the sum of bucket counts.
+func (h *Histogram) snapshot() *HistSnapshot {
+	s := &HistSnapshot{Sum: h.sum.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Count += n
+		s.Buckets = append(s.Buckets, HistBucket{Upper: bucketUpper(i), Count: n})
+	}
+	return s
+}
+
+// HistBucket is one non-empty bucket of a snapshot: Count observations
+// with values ≤ Upper (and greater than the previous bucket's Upper).
+type HistBucket struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1), returning the upper
+// bound of the bucket the target observation falls in — an overestimate
+// by at most one sub-bucket width. Returns 0 for an empty histogram.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.Upper
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

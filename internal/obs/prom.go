@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges become single samples;
+// histograms become the conventional cumulative _bucket{le=...} series
+// plus _sum and _count. Only non-empty buckets are emitted (cumulative
+// counts stay correct), plus the mandatory le="+Inf" terminator.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	lastTyped := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastTyped {
+			promType := string(m.Type)
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, promType); err != nil {
+				return err
+			}
+			lastTyped = m.Name
+		}
+		switch m.Type {
+		case TypeCounter, TypeGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, promLabels(m.Labels, "", 0, false), m.Value); err != nil {
+				return err
+			}
+		case TypeHistogram:
+			var cum int64
+			for _, b := range m.Hist.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", b.Upper, true), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabelsInf(m.Labels), m.Hist.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, promLabels(m.Labels, "", 0, false), m.Hist.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels, "", 0, false), m.Hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// escapeLabelValue escapes a label value per the text format rules.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders a label set, optionally appending an le bound.
+func promLabels(labels []Label, leKey string, le int64, withLe bool) string {
+	if len(labels) == 0 && !withLe {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	if withLe {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%d"`, leKey, le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabelsInf renders a label set with le="+Inf".
+func promLabelsInf(labels []Label) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	if len(labels) > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"}`)
+	return b.String()
+}

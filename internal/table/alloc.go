@@ -157,6 +157,16 @@ func (t *Table) ReclaimRetired() {
 	sortSlots(t.free)
 }
 
+// SlotCounts reports the shadow-slot bookkeeping sizes: slots retired by
+// migrations and awaiting a durable commit, and slots parked behind open
+// ref snapshots. Observability reads them into gauges after each
+// migration's reclaim point.
+func (t *Table) SlotCounts() (retired, parked int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.retired), len(t.parked)
+}
+
 // NoteMigTS records the timestamp of a migration pass over this table —
 // the shadow-commit stamp the manifest persists (and recovery feeds back
 // to the oracle), recorded before any page can carry it. Recovery calls

@@ -37,8 +37,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"masm/internal/masm"
+	"masm/internal/obs"
 	"masm/internal/sim"
 	"masm/internal/storage"
 	"masm/internal/update"
@@ -183,6 +185,18 @@ type Log struct {
 	off           int64
 	headerWritten bool
 	hooks         Hooks
+	metrics       Metrics
+}
+
+// Metrics carries the log's observability handles. All fields are optional
+// (obs handles are nil-safe no-ops), so an un-instrumented Log costs
+// nothing. SyncNanos observes wall-clock time around the backend sync —
+// never simulated time, so instrumentation cannot perturb the virtual
+// timeline.
+type Metrics struct {
+	Appends   *obs.Counter   // entries appended (buffered, pre-force)
+	Syncs     *obs.Counter   // forced batches reaching the backend sync
+	SyncNanos *obs.Histogram // wall-clock nanoseconds per backend sync
 }
 
 var _ masm.RedoLogger = (*Log)(nil)
@@ -199,6 +213,14 @@ func (l *Log) SetHooks(h Hooks) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.hooks = h
+}
+
+// SetMetrics installs the log's metric handles. Call it before logging
+// activity; entries appended earlier are simply not counted.
+func (l *Log) SetMetrics(m Metrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = m
 }
 
 // Bootstrap writes and forces the log header (plus an end marker) before
@@ -220,9 +242,12 @@ func (l *Log) Bootstrap(at sim.Time) (sim.Time, error) {
 	if err != nil {
 		return at, err
 	}
+	syncStart := time.Now()
 	if err := l.vol.Sync(); err != nil {
 		return at, err
 	}
+	l.metrics.Syncs.Inc()
+	l.metrics.SyncNanos.Observe(time.Since(syncStart).Nanoseconds())
 	l.headerWritten = true
 	return c.End, nil
 }
@@ -244,6 +269,7 @@ func (l *Log) append(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
 
 // appendLocked buffers one entry; caller holds l.mu.
 func (l *Log) appendLocked(at sim.Time, kind Kind, payload []byte) (sim.Time, error) {
+	l.metrics.Appends.Inc()
 	var hdr [frameHeaderSize]byte
 	hdr[0] = byte(kind)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
@@ -286,9 +312,12 @@ func (l *Log) syncLocked(at sim.Time) (sim.Time, error) {
 	if err != nil {
 		return at, err
 	}
+	syncStart := time.Now()
 	if err := l.vol.Sync(); err != nil {
 		return at, err
 	}
+	l.metrics.Syncs.Inc()
+	l.metrics.SyncNanos.Observe(time.Since(syncStart).Nanoseconds())
 	l.headerWritten = true
 	l.off += int64(len(l.buf))
 	l.buf = l.buf[:0]

@@ -76,6 +76,7 @@ import (
 	"sync/atomic"
 
 	core "masm/internal/masm"
+	"masm/internal/obs"
 	"masm/internal/sim"
 )
 
@@ -322,7 +323,9 @@ func (db *DB) Begin(mode TxMode) (*Tx, error) { return db.t.Begin(mode) }
 // reached on the shared virtual timeline.
 func (db *DB) Elapsed() sim.Duration { return db.eng.Elapsed() }
 
-// Stats returns a snapshot of engine counters.
+// Stats returns a snapshot of engine counters. The counters themselves
+// live in the engine's metric registry (see Metrics); Stats is a derived
+// view kept for API stability.
 func (db *DB) Stats() Stats {
 	st := db.t.Stats()
 	ssd := db.eng.ssd.Stats()
@@ -332,6 +335,11 @@ func (db *DB) Stats() Stats {
 	st.DiskBytesRead = hdd.BytesRead
 	return st
 }
+
+// Metrics returns a point-in-time snapshot of every metric the engine
+// exposes — write path, SSD cache, migrations, WAL, merge engine, scans.
+// See Engine.Metrics.
+func (db *DB) Metrics() obs.Snapshot { return db.eng.Metrics() }
 
 // Close marks the database closed and stops the background migration
 // scheduler, if one is running. Close is idempotent. In-flight operations
