@@ -54,6 +54,7 @@ func main() {
 		duraBnc   = flag.Bool("durabench", false, "run the durable-backend wall-clock benchmark instead of a paper experiment")
 		backend   = flag.String("backend", "file", "durabench: storage backend (sim or file)")
 		dir       = flag.String("dir", "", "durabench: database directory for the file backend (default: a fresh temp dir)")
+		keepDir   = flag.Bool("keepdir", false, "durabench: keep the benchmark's temp directories instead of removing them (printed for inspection)")
 		mergeBnc  = flag.Bool("mergebench", false, "run the merge-engine wall-clock microbenchmark (heap vs loser tree) instead of a paper experiment")
 		mergeRec  = flag.Int("mergerecords", 1<<20, "mergebench: records per measurement")
 		metrics   = flag.String("metricsout", "", "mergebench/tenantbench: write a reconciled JSON metrics snapshot to this path")
@@ -81,7 +82,7 @@ func main() {
 		return
 	}
 	if *duraBnc {
-		if err := duraBench(*backend, *dir, *rows, *seed); err != nil {
+		if err := duraBench(*backend, *dir, *rows, *seed, *keepDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -94,6 +95,16 @@ func main() {
 				out = "BENCH_6.json"
 			}
 			if err := migCrashBench(*rows, *seed, out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// The wall-clock I/O pass comparison (async migration I/O,
+			// serial vs parallel recovery) emits BENCH_8.json.
+			out8 := ""
+			if *jsonOut != "" {
+				out8 = "BENCH_8.json"
+			}
+			if err := recoveryBench(*rows, *seed, *keepDir, out8); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -308,7 +319,7 @@ func mustSize(s string) int64 {
 // genuine hard stop followed by directory recovery. The sim backend runs
 // the identical workload for comparison, which isolates what fsync and
 // real file I/O cost on this host.
-func duraBench(backend, dir string, rows int, seed int64) error {
+func duraBench(backend, dir string, rows int, seed int64, keep bool) error {
 	keys := make([]uint64, rows)
 	bodies := make([][]byte, rows)
 	for i := range keys {
@@ -318,8 +329,26 @@ func duraBench(backend, dir string, rows int, seed int64) error {
 	cfg := masm.DefaultConfig()
 	cfg.CacheBytes = 8 << 20
 
+	// The live handle and the temp directory are cleaned up on every exit
+	// path — an error mid-ingest must not strand open descriptors or a
+	// half-built temp dir — unless -keepdir asks for the directory to
+	// survive for inspection.
 	var db *masm.DB
 	var err error
+	ownDir := false
+	defer func() {
+		if db != nil {
+			db.Close()
+		}
+		if !ownDir {
+			return
+		}
+		if keep {
+			fmt.Printf("  (keeping working directory %s)\n", dir)
+			return
+		}
+		os.RemoveAll(dir)
+	}()
 	t0 := time.Now()
 	switch backend {
 	case "sim":
@@ -329,13 +358,14 @@ func duraBench(backend, dir string, rows int, seed int64) error {
 			if dir, err = os.MkdirTemp("", "masm-durabench-*"); err != nil {
 				return err
 			}
-			defer os.RemoveAll(dir)
+			ownDir = true
 		}
 		db, err = masm.OpenDir(dir, masm.DirOptions{Config: cfg, Keys: keys, Bodies: bodies})
 	default:
 		return fmt.Errorf("unknown backend %q (want sim or file)", backend)
 	}
 	if err != nil {
+		db = nil
 		return err
 	}
 	loadTime := time.Since(t0)
@@ -377,8 +407,10 @@ func duraBench(backend, dir string, rows int, seed int64) error {
 		t0 = time.Now()
 		db2, err := db.Crash() // hard stop + full directory recovery
 		if err != nil {
+			db = nil // Crash hard-stopped the old handle either way
 			return err
 		}
+		db = db2
 		recovery := time.Since(t0)
 		var after int
 		if err := db2.Scan(0, ^uint64(0), func(uint64, []byte) bool { after++; return true }); err != nil {
@@ -386,7 +418,8 @@ func duraBench(backend, dir string, rows int, seed int64) error {
 		}
 		fmt.Printf("  recovery  %10v  (hard stop + reopen; %d rows readable)\n",
 			recovery.Round(time.Millisecond), after)
-		return db2.Close()
 	}
-	return db.Close()
+	err = db.Close()
+	db = nil
+	return err
 }

@@ -203,11 +203,14 @@ func TestCrashDuringRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Only fsyncs issued DURING recovery count: after the rename this
-	// backend is the live log and keeps syncing in normal operation.
+	// backend is the live log and keeps syncing in normal operation. The
+	// checkpoint rewrite batches into a single force before the rename (a
+	// checkpoint's only durability point), so one fsync is the expected
+	// shape — zero would mean the sweep lost its target.
 	newWalSyncs := newWal.Syncs()
 	eng.Close()
-	if newWalSyncs < 2 {
-		t.Fatalf("recovery produced only %d checkpoint-log fsyncs; sweep vacuous", newWalSyncs)
+	if newWalSyncs < 1 {
+		t.Fatalf("recovery produced no checkpoint-log fsyncs; sweep vacuous")
 	}
 
 	for k := int64(1); k <= newWalSyncs; k++ {

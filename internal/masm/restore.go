@@ -39,6 +39,34 @@ func Restore(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 func RestoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
 	logger RedoLogger, alloc RunAllocator, tableID uint32, runs []RunMeta,
 	pending []update.Record, redoMigration []int64, at sim.Time, m *StoreMetrics) (*Store, sim.Time, error) {
+	return RestoreSharedPrebuilt(cfg, tbl, ssd, oracle, logger, alloc, tableID, runs,
+		nil, pending, redoMigration, at, m)
+}
+
+// PrebuiltRun is one surviving run already reconstructed on the data plane
+// (runfile.RebuildOffline): the rebuilt metadata, the read spans its scan
+// issued, and the scan's error if it failed. Parallel recovery produces
+// these concurrently — no simulated time is involved in the scan — and
+// hands them to RestoreSharedPrebuilt, which replays the recorded spans on
+// the simulated device serially, at exactly the point in the time chain
+// where the serial path would have scanned.
+type PrebuiltRun struct {
+	Run   *runfile.Run
+	Spans []runfile.Span
+	Err   error
+}
+
+// RestoreSharedPrebuilt is RestoreShared with some (or all) run scans
+// already performed offline: prebuilt maps RunID to its data-plane rebuild.
+// Runs present in the map skip the priced Rebuild — their recorded spans
+// are charged on the simulated device instead, serially and in the same
+// position of the recovery time chain, so the virtual clock comes out
+// bit-identical to the serial path. Runs absent from the map (or a nil
+// map) are rebuilt inline exactly as before.
+func RestoreSharedPrebuilt(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Oracle,
+	logger RedoLogger, alloc RunAllocator, tableID uint32, runs []RunMeta,
+	prebuilt map[int64]PrebuiltRun, pending []update.Record, redoMigration []int64,
+	at sim.Time, m *StoreMetrics) (*Store, sim.Time, error) {
 
 	s, err := NewStoreShared(cfg, tbl, ssd, oracle, logger, alloc, tableID, m)
 	if err != nil {
@@ -53,12 +81,25 @@ func RestoreShared(cfg Config, tbl *table.Table, ssd *storage.Volume, oracle *Or
 			return nil, at, fmt.Errorf("masm: restore run %d: on-disk format %d newer than this build's %d",
 				rm.RunID, rm.Format, runfile.FormatVersion)
 		}
-		run, end, err := runfile.Rebuild(ssd, rm.Off, rm.Size, at, rm.RunID, rm.Passes, rm.CRC, cfg.Run)
-		if err != nil {
-			return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, err)
+		var run *runfile.Run
+		if pb, ok := prebuilt[rm.RunID]; ok {
+			if pb.Err != nil {
+				return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, pb.Err)
+			}
+			end, cerr := runfile.ChargeSpans(ssd, at, pb.Spans)
+			if cerr != nil {
+				return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, cerr)
+			}
+			run, at = pb.Run, end
+		} else {
+			var end sim.Time
+			run, end, err = runfile.Rebuild(ssd, rm.Off, rm.Size, at, rm.RunID, rm.Passes, rm.CRC, cfg.Run)
+			if err != nil {
+				return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, err)
+			}
+			at = end
 		}
 		run.Table = s.tableID
-		at = end
 		extSize := roundUp(rm.Size, int64(cfg.SSDPage))
 		if err := s.alloc.Reserve(rm.Off, extSize); err != nil {
 			return nil, at, err

@@ -23,33 +23,141 @@ import (
 //
 // The scan is charged as sequential SSD reads at the configured I/O size.
 func Rebuild(vol *storage.Volume, off, size int64, at sim.Time, id int64, passes int, wantCRC uint32, cfg Config) (*Run, sim.Time, error) {
-	if err := cfg.validate(); err != nil {
+	now := at
+	r, err := rebuildScan(vol, off, size, id, passes, wantCRC, cfg, func(p []byte, readOff int64) error {
+		c, err := vol.ReadAt(now, p, readOff)
+		if err != nil {
+			return err
+		}
+		now = c.End
+		return nil
+	})
+	if err != nil {
 		return nil, 0, err
 	}
+	return r, now, nil
+}
+
+// Span is one recorded device read: the timing half of a data-plane scan,
+// to be charged later with ChargeSpans.
+type Span struct {
+	Off int64
+	Len int64
+}
+
+// RebuildOffline is Rebuild on the data plane only: it scans the run via
+// PeekAt — no simulated time is charged, so any number of rebuilds may
+// run concurrently — and records the exact read spans the priced scan
+// would have issued. The caller replays those spans through ChargeSpans,
+// serially and in recovery order, to produce a virtual timeline
+// bit-identical to the serial Rebuild path.
+//
+// The physical fetches are batched: the scan stages offlineBatch×IOSize
+// bytes per pread and slices the IOSize chunks out of the staging window,
+// so a run costs a handful of syscalls instead of one per priced read.
+// The recorded spans — and therefore the simulated timeline — still
+// describe IOSize reads; only the data plane batches.
+func RebuildOffline(vol *storage.Volume, off, size int64, id int64, passes int, wantCRC uint32, cfg Config) (*Run, []Span, error) {
+	var (
+		spans []Span
+		pbuf  = storage.GetAligned(offlineBatch * cfg.IOSize)
+		poff  int64 // device offset of pbuf[0]
+		ppos  int   // consumed bytes of the staged window
+		pfill int   // valid bytes in the staged window
+	)
+	defer storage.PutAligned(pbuf)
+	r, err := rebuildScan(vol, off, size, id, passes, wantCRC, cfg, func(p []byte, readOff int64) error {
+		for done := 0; done < len(p); {
+			want := readOff + int64(done)
+			if ppos < pfill && poff+int64(ppos) != want {
+				ppos, pfill = 0, 0 // non-sequential read: restage
+			}
+			if ppos == pfill {
+				n := int64(cap(pbuf))
+				if n > off+size-want {
+					n = off + size - want
+				}
+				if err := vol.PeekAt(pbuf[:n], want); err != nil {
+					return err
+				}
+				poff, ppos, pfill = want, 0, int(n)
+			}
+			c := copy(p[done:], pbuf[ppos:pfill])
+			done += c
+			ppos += c
+		}
+		spans = append(spans, Span{Off: readOff, Len: int64(len(p))})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, spans, nil
+}
+
+// offlineBatch is how many priced-size reads one offline physical pread
+// stages (1MB batches at the default 64KB I/O size).
+const offlineBatch = 16
+
+// ChargeSpans prices recorded scan spans on the volume's simulated device
+// sequentially from at, exactly as Rebuild would have.
+func ChargeSpans(vol *storage.Volume, at sim.Time, spans []Span) (sim.Time, error) {
+	now := at
+	for _, s := range spans {
+		c, err := vol.ChargeRead(now, s.Off, s.Len)
+		if err != nil {
+			return now, err
+		}
+		now = c.End
+	}
+	return now, nil
+}
+
+// rebuildScan is the shared scan: sequential cfg.IOSize reads through
+// read(), records decoded out of a bounded sliding window. The window is
+// pooled and compacted in place, so rebuilding an arbitrarily large run
+// holds O(IOSize) memory; decoded records are consumed immediately and
+// never alias the window past one iteration.
+func rebuildScan(vol *storage.Volume, off, size int64, id int64, passes int, wantCRC uint32, cfg Config,
+	read func(p []byte, readOff int64) error) (*Run, error) {
+
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if off < 0 || size < 0 {
-		return nil, 0, fmt.Errorf("runfile: rebuild run %d: negative geometry (off %d, size %d)", id, off, size)
+		return nil, fmt.Errorf("runfile: rebuild run %d: negative geometry (off %d, size %d)", id, off, size)
 	}
 	r := &Run{ID: id, Off: off, Size: size, Passes: passes, CRC: wantCRC, cfg: cfg, vol: vol}
 	var (
-		buf     []byte
+		buf = storage.GetAligned(2 * cfg.IOSize)
+		// stage receives each chunk read before it is appended to the
+		// sliding window: the window's tail is rarely aligned (it sits
+		// after a partial record), and reading into an aligned staging
+		// buffer instead keeps full-size chunks O_DIRECT-eligible on the
+		// file backend. The extra copy is trivial next to the read.
+		stage   = storage.GetAligned(cfg.IOSize)
+		start   = 0
 		readOff int64
 		dataOff int64
 		nextIdx int64
 		crc     uint32
 		prev    update.Record
 	)
-	now := at
-	for readOff < size || len(buf) > 0 {
-		for len(buf) > 0 {
-			rec, n, err := update.Decode(buf)
+	defer func() {
+		storage.PutAligned(buf)
+		storage.PutAligned(stage)
+	}()
+	for readOff < size || len(buf)-start > 0 {
+		for len(buf)-start > 0 {
+			rec, n, err := update.Decode(buf[start:])
 			if err != nil {
 				if readOff >= size {
-					return nil, 0, fmt.Errorf("runfile: rebuild run %d: %d trailing undecodable bytes", id, len(buf))
+					return nil, fmt.Errorf("runfile: rebuild run %d: %d trailing undecodable bytes", id, len(buf)-start)
 				}
 				break // partial record: read more
 			}
 			if r.Count > 0 && update.Less(&rec, &prev) {
-				return nil, 0, fmt.Errorf("runfile: rebuild run %d: records out of order", id)
+				return nil, fmt.Errorf("runfile: rebuild run %d: records out of order", id)
 			}
 			if dataOff >= nextIdx {
 				r.index = append(r.index, indexEntry{key: rec.Key, off: dataOff})
@@ -68,7 +176,7 @@ func Rebuild(vol *storage.Volume, off, size int64, at sim.Time, id int64, passes
 			prev = rec
 			r.Count++
 			dataOff += int64(n)
-			buf = buf[n:]
+			start += n
 		}
 		if readOff >= size {
 			break
@@ -77,20 +185,34 @@ func Rebuild(vol *storage.Volume, off, size int64, at sim.Time, id int64, passes
 		if n > size-readOff {
 			n = size - readOff
 		}
-		chunk := make([]byte, n)
-		c, err := vol.ReadAt(now, chunk, off+readOff)
-		if err != nil {
-			return nil, 0, err
+		// Slide the partial record to the front and append the next chunk
+		// in place.
+		if start > 0 {
+			copy(buf, buf[start:])
+			buf = buf[:len(buf)-start]
+			start = 0
+		}
+		if int64(cap(buf)-len(buf)) < n {
+			// A record larger than the window: grow transiently, bounded
+			// by that record, never by the run.
+			nb := storage.GetAligned(len(buf) + int(n))
+			nb = append(nb, buf...)
+			storage.PutAligned(buf)
+			buf = nb
+		}
+		chunk := stage[:n]
+		if err := read(chunk, off+readOff); err != nil {
+			return nil, err
 		}
 		crc = crc32.Update(crc, castagnoli, chunk)
-		now = c.End
 		readOff += n
-		buf = append(buf, chunk...)
+		buf = buf[:len(buf)+int(n)]
+		copy(buf[len(buf)-int(n):], chunk)
 	}
 	if wantCRC != 0 && crc != wantCRC {
-		return nil, 0, fmt.Errorf("runfile: rebuild run %d: data checksum mismatch (got %08x, logged %08x)",
+		return nil, fmt.Errorf("runfile: rebuild run %d: data checksum mismatch (got %08x, logged %08x)",
 			id, crc, wantCRC)
 	}
 	r.CRC = crc
-	return r, now, nil
+	return r, nil
 }

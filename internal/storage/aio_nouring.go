@@ -1,0 +1,10 @@
+//go:build !masm_iouring || !linux
+
+package storage
+
+// uringRun is the default-build stub: batches always take the worker
+// pool. The io_uring submitter lives behind the masm_iouring build tag
+// (Linux only); see aio_uring.go.
+func uringRun(vol *Volume, reqs []IOReq, p *IOPool) (handled bool, err error) {
+	return false, nil
+}

@@ -1,0 +1,299 @@
+//go:build masm_iouring && linux
+
+package storage
+
+// io_uring submitter for batched backend I/O, enabled with
+//
+//	go build -tags masm_iouring
+//
+// One process-wide ring is set up lazily; a batch whose volume exposes a
+// raw file descriptor (storage.RawFile) is submitted as IORING_OP_READ /
+// IORING_OP_WRITE sqes and reaped in one io_uring_enter. Anything the
+// ring cannot express — no raw fd, setup refused by the kernel or
+// seccomp, a short completion — falls back to the worker pool or to a
+// plain Peek/Poke, so the tag changes how bytes move, never whether.
+// Simulated-time pricing is untouched: like the worker pool, the ring
+// only runs the data plane, and the caller prices requests serially
+// afterwards.
+
+import (
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+const (
+	sysIOUringSetup = 425
+	sysIOUringEnter = 426
+
+	ioringOffSQRing = 0
+	ioringOffCQRing = 0x8000000
+	ioringOffSQEs   = 0x10000000
+
+	ioringEnterGetevents = 1 << 0
+	ioringFeatSingleMmap = 1 << 0
+
+	ioringOpRead  = 22
+	ioringOpWrite = 23
+
+	uringEntries = 64
+)
+
+type ioSqringOffsets struct {
+	head, tail, ringMask, ringEntries, flags, dropped, array, resv1 uint32
+	userAddr                                                        uint64
+}
+
+type ioCqringOffsets struct {
+	head, tail, ringMask, ringEntries, overflow, cqes, flags, resv1 uint32
+	userAddr                                                        uint64
+}
+
+type ioUringParams struct {
+	sqEntries, cqEntries, flags, sqThreadCPU, sqThreadIdle, features, wqFd uint32
+	resv                                                                   [3]uint32
+	sqOff                                                                  ioSqringOffsets
+	cqOff                                                                  ioCqringOffsets
+}
+
+type ioUringSqe struct {
+	opcode      uint8
+	flags       uint8
+	ioprio      uint16
+	fd          int32
+	off         uint64
+	addr        uint64
+	len         uint32
+	opFlags     uint32
+	userData    uint64
+	bufIndex    uint16
+	personality uint16
+	spliceFdIn  int32
+	pad2        [2]uint64
+}
+
+type ioUringCqe struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+type uring struct {
+	mu sync.Mutex
+	fd int
+
+	sqHead    *uint32
+	sqTail    *uint32
+	sqMask    uint32
+	sqArray   []uint32
+	sqes      []ioUringSqe
+	cqHead    *uint32
+	cqTail    *uint32
+	cqMask    uint32
+	cqes      []ioUringCqe
+	sqRingMem []byte
+	cqRingMem []byte
+	sqeMem    []byte
+}
+
+var (
+	uringOnce sync.Once
+	uringInst *uring
+)
+
+func globalURing() *uring {
+	uringOnce.Do(func() { uringInst = newURing() })
+	return uringInst
+}
+
+func newURing() *uring {
+	var p ioUringParams
+	fd, _, errno := syscall.Syscall(sysIOUringSetup, uringEntries, uintptr(unsafe.Pointer(&p)), 0)
+	if errno != 0 {
+		return nil // kernel too old or seccomp-filtered: fall back
+	}
+	r := &uring{fd: int(fd)}
+	sqSize := int(p.sqOff.array) + int(p.sqEntries)*4
+	cqSize := int(p.cqOff.cqes) + int(p.cqEntries)*int(unsafe.Sizeof(ioUringCqe{}))
+	if p.features&ioringFeatSingleMmap != 0 && cqSize > sqSize {
+		sqSize = cqSize
+	}
+	sqMem, err := syscall.Mmap(r.fd, ioringOffSQRing, sqSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		syscall.Close(r.fd)
+		return nil
+	}
+	r.sqRingMem = sqMem
+	cqMem := sqMem
+	if p.features&ioringFeatSingleMmap == 0 {
+		cqMem, err = syscall.Mmap(r.fd, ioringOffCQRing, cqSize,
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+		if err != nil {
+			syscall.Munmap(sqMem)
+			syscall.Close(r.fd)
+			return nil
+		}
+		r.cqRingMem = cqMem
+	}
+	sqeMem, err := syscall.Mmap(r.fd, ioringOffSQEs, int(p.sqEntries)*int(unsafe.Sizeof(ioUringSqe{})),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		if r.cqRingMem != nil {
+			syscall.Munmap(r.cqRingMem)
+		}
+		syscall.Munmap(sqMem)
+		syscall.Close(r.fd)
+		return nil
+	}
+	r.sqeMem = sqeMem
+
+	base := unsafe.Pointer(&sqMem[0])
+	r.sqHead = (*uint32)(unsafe.Add(base, p.sqOff.head))
+	r.sqTail = (*uint32)(unsafe.Add(base, p.sqOff.tail))
+	r.sqMask = *(*uint32)(unsafe.Add(base, p.sqOff.ringMask))
+	r.sqArray = unsafe.Slice((*uint32)(unsafe.Add(base, p.sqOff.array)), p.sqEntries)
+	cbase := unsafe.Pointer(&cqMem[0])
+	r.cqHead = (*uint32)(unsafe.Add(cbase, p.cqOff.head))
+	r.cqTail = (*uint32)(unsafe.Add(cbase, p.cqOff.tail))
+	r.cqMask = *(*uint32)(unsafe.Add(cbase, p.cqOff.ringMask))
+	r.cqes = unsafe.Slice((*ioUringCqe)(unsafe.Add(cbase, p.cqOff.cqes)), p.cqEntries)
+	r.sqes = unsafe.Slice((*ioUringSqe)(unsafe.Pointer(&sqeMem[0])), p.sqEntries)
+	return r
+}
+
+// submit pushes one window of requests and waits for all completions.
+// Requests whose completion is short or errored are retried through the
+// plain backend path by the caller (retry[i] = true).
+func (r *uring) submit(vol *Volume, reqs []IOReq, fds []int, offs []int64, retry []bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for start := 0; start < len(reqs); start += uringEntries {
+		n := len(reqs) - start
+		if n > uringEntries {
+			n = uringEntries
+		}
+		tail := atomic.LoadUint32(r.sqTail)
+		for i := 0; i < n; i++ {
+			req := &reqs[start+i]
+			idx := (tail + uint32(i)) & r.sqMask
+			sqe := &r.sqes[idx]
+			*sqe = ioUringSqe{}
+			if req.Write {
+				sqe.opcode = ioringOpWrite
+			} else {
+				sqe.opcode = ioringOpRead
+			}
+			sqe.fd = int32(fds[start+i])
+			sqe.off = uint64(offs[start+i])
+			if len(req.Buf) > 0 {
+				sqe.addr = uint64(uintptr(unsafe.Pointer(&req.Buf[0])))
+			}
+			sqe.len = uint32(len(req.Buf))
+			sqe.userData = uint64(start + i)
+			r.sqArray[idx] = idx
+		}
+		atomic.StoreUint32(r.sqTail, tail+uint32(n))
+		submitted := 0
+		for submitted < n {
+			got, _, errno := syscall.Syscall6(sysIOUringEnter, uintptr(r.fd),
+				uintptr(n-submitted), uintptr(n-submitted), ioringEnterGetevents, 0, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno != 0 {
+				return errno
+			}
+			submitted += int(got)
+		}
+		// Reap exactly n completions.
+		reaped := 0
+		for reaped < n {
+			head := atomic.LoadUint32(r.cqHead)
+			tail := atomic.LoadUint32(r.cqTail)
+			for head != tail && reaped < n {
+				cqe := r.cqes[head&r.cqMask]
+				i := int(cqe.userData)
+				if i >= 0 && i < len(reqs) {
+					if cqe.res < 0 || int(cqe.res) != len(reqs[i].Buf) {
+						retry[i] = true
+					}
+				}
+				head++
+				reaped++
+			}
+			atomic.StoreUint32(r.cqHead, head)
+			if reaped < n {
+				if _, _, errno := syscall.Syscall6(sysIOUringEnter, uintptr(r.fd),
+					0, 1, ioringEnterGetevents, 0, 0); errno != 0 && errno != syscall.EINTR {
+					return errno
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// uringRun submits the batch through the global ring when the volume's
+// backend exposes raw fds. handled=false falls back to the worker pool.
+func uringRun(vol *Volume, reqs []IOReq, p *IOPool) (bool, error) {
+	rf, ok := vol.be.(RawFile)
+	if !ok {
+		return false, nil
+	}
+	r := globalURing()
+	if r == nil {
+		return false, nil
+	}
+	fds := make([]int, len(reqs))
+	offs := make([]int64, len(reqs))
+	for i := range reqs {
+		req := &reqs[i]
+		if err := vol.check(req.Off, int64(len(req.Buf))); err != nil {
+			return true, err
+		}
+		fd, off, ok := rf.RawFD(req.Buf, req.Off, req.Write)
+		if !ok {
+			return false, nil
+		}
+		fds[i], offs[i] = fd, off
+	}
+	// Depth accounting: the ring holds up to a full window in flight.
+	inFlight := int64(len(reqs))
+	if inFlight > uringEntries {
+		inFlight = uringEntries
+	}
+	p.m.Depth.Set(inFlight)
+	for {
+		cur := p.peak.Load()
+		if inFlight <= cur || p.peak.CompareAndSwap(cur, inFlight) {
+			break
+		}
+	}
+	p.m.DepthPeak.Set(p.peak.Load())
+	defer p.m.Depth.Set(0)
+
+	retry := make([]bool, len(reqs))
+	if err := r.submit(vol, reqs, fds, offs, retry); err != nil {
+		return true, err
+	}
+	// Short or errored completions (sparse tails, signals) retry through
+	// the plain backend path, which already loops and zero-fills.
+	for i := range reqs {
+		if !retry[i] {
+			continue
+		}
+		req := &reqs[i]
+		var err error
+		if req.Write {
+			err = vol.PokeAt(req.Buf, req.Off)
+		} else {
+			err = vol.PeekAt(req.Buf, req.Off)
+		}
+		if err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,12 @@
+//go:build masm_iouring && linux
+
+package storage
+
+import "testing"
+
+// TestURingAvailability reports whether the ring came up — informational:
+// the submitter is a performance path with a mandatory fallback, so its
+// absence (old kernel, seccomp) is not a failure.
+func TestURingAvailability(t *testing.T) {
+	t.Logf("io_uring ring available: %v", globalURing() != nil)
+}

@@ -80,6 +80,30 @@ func (v *Volume) WriteAt(at sim.Time, p []byte, off int64) (sim.Completion, erro
 	return v.dev.Write(at, v.base+off, int64(len(p))), nil
 }
 
+// ChargeRead prices a read of [off, off+n) on the simulated device
+// without touching the backend. It is the timing half of a read whose
+// data half already happened via PeekAt: parallel recovery performs its
+// backend reads concurrently (unpriced), then charges the recorded spans
+// here serially, in exactly the order the serial path would have issued
+// them — so the virtual timeline is bit-identical no matter how many
+// goroutines moved the bytes.
+func (v *Volume) ChargeRead(at sim.Time, off, n int64) (sim.Completion, error) {
+	if err := v.check(off, n); err != nil {
+		return sim.Completion{}, err
+	}
+	return v.dev.Read(at, v.base+off, n), nil
+}
+
+// ChargeWrite is ChargeRead for writes: prices the device, leaves the
+// backend alone (the bytes were delivered separately via PokeAt or an
+// async pool).
+func (v *Volume) ChargeWrite(at sim.Time, off, n int64) (sim.Completion, error) {
+	if err := v.check(off, n); err != nil {
+		return sim.Completion{}, err
+	}
+	return v.dev.Write(at, v.base+off, n), nil
+}
+
 // PeekAt copies bytes without charging any simulated time. It exists for
 // tests and for in-memory bookkeeping that does not correspond to device
 // I/O (e.g. verifying invariants).

@@ -74,6 +74,27 @@ type Table struct {
 	pins     map[int64]int
 	inflight map[int64]bool
 	migTS    int64 // newest migration stamp a page may carry
+
+	// iopool issues batched data-plane I/O (shadow-batch writes)
+	// concurrently; nil falls back to the shared package default. The
+	// pool affects wall-clock only — simulated-time pricing is serialized
+	// regardless (see storage.IOPool).
+	iopool *storage.IOPool
+}
+
+// defaultIOPool serves tables that were not wired to an engine-owned
+// pool (unit tests, single-table helpers).
+var defaultIOPool = storage.NewIOPool(0)
+
+// SetIOPool points the table at an engine-owned async I/O pool (nil
+// reverts to the package default).
+func (t *Table) SetIOPool(p *storage.IOPool) { t.iopool = p }
+
+func (t *Table) pool() *storage.IOPool {
+	if t.iopool != nil {
+		return t.iopool
+	}
+	return defaultIOPool
 }
 
 // Row is one record returned by a scan.
@@ -311,9 +332,12 @@ func (t *Table) readPage(at sim.Time, pageNo int64) (*Page, sim.Completion, erro
 	return p, c, nil
 }
 
-// writePage encodes and writes one page, charging simulated time.
+// writePage encodes and writes one page, charging simulated time. The
+// encode buffer is pooled: backends copy the bytes out synchronously, so
+// it can be recycled the moment WriteAt returns.
 func (t *Table) writePage(at sim.Time, pageNo int64, p *Page) (sim.Completion, error) {
-	buf := make([]byte, t.cfg.PageSize)
+	buf := storage.GetAligned(t.cfg.PageSize)[:t.cfg.PageSize]
+	defer storage.PutAligned(buf)
 	if err := p.Encode(buf); err != nil {
 		return sim.Completion{}, fmt.Errorf("table: page %d: %w", pageNo, err)
 	}

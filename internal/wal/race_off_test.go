@@ -1,0 +1,8 @@
+//go:build !race
+
+package wal
+
+// raceEnabled scales memory-bound assertions down: the race detector
+// inflates every allocation with shadow state, so byte-exact heap bounds
+// (and full-size synthetic logs) are only meaningful without it.
+const raceEnabled = false

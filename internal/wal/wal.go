@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"masm/internal/masm"
@@ -184,8 +185,19 @@ type Log struct {
 	buf           []byte
 	off           int64
 	headerWritten bool
-	hooks         Hooks
-	metrics       Metrics
+	// checkpointing suppresses the per-batch backend sync: a checkpoint
+	// rewrite is one atomic operation whose only durability point is the
+	// final force before the log is renamed into place, so forcing every
+	// intermediate group-commit batch buys nothing and costs one fsync per
+	// 4KB of checkpoint. Batches are still written out at the same
+	// boundaries (flushLocked), so the simulated write charges are
+	// identical either way.
+	checkpointing bool
+	// unsynced records that flushLocked wrote bytes the backend has not
+	// yet been asked to force.
+	unsynced bool
+	hooks    Hooks
+	metrics  Metrics
 }
 
 // Metrics carries the log's observability handles. All fields are optional
@@ -277,6 +289,9 @@ func (l *Log) appendLocked(at sim.Time, kind Kind, payload []byte) (sim.Time, er
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
 	if len(l.buf) >= groupCommitBytes {
+		if l.checkpointing {
+			return l.flushLocked(at)
+		}
 		return l.syncLocked(at)
 	}
 	return at, nil
@@ -293,8 +308,10 @@ func (l *Log) Sync(at sim.Time) (sim.Time, error) {
 	return l.syncLocked(at)
 }
 
-// syncLocked is Sync with l.mu held.
-func (l *Log) syncLocked(at sim.Time) (sim.Time, error) {
+// flushLocked writes buffered entries (with the trailing end marker) to
+// the volume without forcing them; caller holds l.mu. The bytes are
+// durable only after the next syncLocked.
+func (l *Log) flushLocked(at sim.Time) (sim.Time, error) {
 	if len(l.buf) == 0 {
 		return at, nil
 	}
@@ -312,16 +329,30 @@ func (l *Log) syncLocked(at sim.Time) (sim.Time, error) {
 	if err != nil {
 		return at, err
 	}
+	l.headerWritten = true
+	l.off += int64(len(l.buf))
+	l.buf = l.buf[:0]
+	l.unsynced = true
+	return c.End, nil
+}
+
+// syncLocked is Sync with l.mu held.
+func (l *Log) syncLocked(at sim.Time) (sim.Time, error) {
+	if len(l.buf) == 0 && !l.unsynced {
+		return at, nil
+	}
+	now, err := l.flushLocked(at)
+	if err != nil {
+		return at, err
+	}
 	syncStart := time.Now()
 	if err := l.vol.Sync(); err != nil {
 		return at, err
 	}
 	l.metrics.Syncs.Inc()
 	l.metrics.SyncNanos.Observe(time.Since(syncStart).Nanoseconds())
-	l.headerWritten = true
-	l.off += int64(len(l.buf))
-	l.buf = l.buf[:0]
-	return c.End, nil
+	l.unsynced = false
+	return now, nil
 }
 
 // LogUpdate implements masm.RedoLogger.
@@ -458,6 +489,8 @@ type TableCheckpoint struct {
 func (l *Log) CheckpointAll(at sim.Time, tables []TableCheckpoint) (sim.Time, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.checkpointing = true
+	defer func() { l.checkpointing = false }()
 	now := at
 	var err error
 	var maxTS int64
@@ -552,24 +585,68 @@ func (l *Log) LogMigrationPortion(at sim.Time, migTS int64, consumed []int64) (s
 // entries that reached the volume are seen — precisely the crash
 // semantics: buffered-but-unsynced tail entries are lost with the crash.
 //
+// ReadAll materializes every entry; its live heap is proportional to the
+// log. Recovery paths replay through ReadStream + Replayer instead, which
+// keeps peak memory bounded by the chunk size regardless of log length —
+// ReadAll remains for small logs, tests and fuzz targets.
+func ReadAll(vol *storage.Volume, at sim.Time) ([]Entry, sim.Time, error) {
+	var entries []Entry
+	now, err := ReadStream(vol, at, func(e Entry) error {
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, now, err
+	}
+	return entries, now, nil
+}
+
+// replayChunk is the sequential read unit of streaming replay — one pread
+// per chunk rather than two per record, which is what keeps recovery of a
+// file-backed log fast (and is also how the virtual-time model prices it).
+const replayChunk = 1 << 20
+
+// replayPeakBuf records the largest sliding-buffer capacity a ReadStream
+// call ever held. The regression test for the old accumulate-the-whole-log
+// replay bug reads it to assert peak replay memory stays O(replayChunk),
+// not O(log).
+var replayPeakBuf atomic.Int64
+
+func notePeakBuf(n int) {
+	for {
+		cur := replayPeakBuf.Load()
+		if int64(n) <= cur || replayPeakBuf.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// ReadStream replays the log from vol, invoking emit for each decoded
+// entry in log order. Entries are parsed incrementally out of a bounded
+// sliding window (one replayChunk, compacted in place), so replaying a
+// multi-hundred-MB log holds O(chunk) memory, not O(log) — the window
+// grows only transiently, for a single oversized frame or for the
+// terminal torn-tail-vs-corruption scan. Emitted entries own their
+// payloads and never alias the window.
+//
 // Replay is tail-tolerant: a record whose frame runs past the volume,
 // whose length field is implausible, or whose CRC does not match is
-// treated as the torn end of the log — everything before it is returned,
+// treated as the torn end of the log — everything before it is emitted,
 // nothing after it is trusted. The header is not tail: an all-zero header
 // region means never-written storage and replays as empty, but non-zero
 // bytes that fail the magic, checksum or version are an error — durable
 // logs write the header once, up front (Bootstrap), so a mangled header
 // is corruption of the whole log, not a torn write, and silently replaying
 // it as empty would wipe every committed update.
-func ReadAll(vol *storage.Volume, at sim.Time) ([]Entry, sim.Time, error) {
+func ReadStream(vol *storage.Volume, at sim.Time, emit func(Entry) error) (sim.Time, error) {
 	now := at
 	if vol.Size() < headerSize {
-		return nil, now, nil
+		return now, nil
 	}
 	hdrBuf := make([]byte, headerSize)
 	c, err := vol.ReadAt(now, hdrBuf, 0)
 	if err != nil {
-		return nil, now, err
+		return now, err
 	}
 	now = c.End
 	allZero := true
@@ -581,78 +658,99 @@ func ReadAll(vol *storage.Volume, at sim.Time) ([]Entry, sim.Time, error) {
 	}
 	if allZero {
 		// Fresh storage: no log here.
-		return nil, now, nil
+		return now, nil
 	}
 	if string(hdrBuf[:8]) != string(magic[:]) {
-		return nil, now, fmt.Errorf("wal: log header magic mismatch (corrupted log or not a log)")
+		return now, fmt.Errorf("wal: log header magic mismatch (corrupted log or not a log)")
 	}
 	if crc32.Checksum(hdrBuf[:12], castagnoli) != binary.LittleEndian.Uint32(hdrBuf[12:]) {
-		return nil, now, fmt.Errorf("wal: log header checksum mismatch (corrupted log)")
+		return now, fmt.Errorf("wal: log header checksum mismatch (corrupted log)")
 	}
 	if v := binary.LittleEndian.Uint32(hdrBuf[8:]); v < minReadVersion || v > FormatVersion {
-		return nil, now, fmt.Errorf("wal: unsupported log format version %d (this build reads %d–%d)", v, minReadVersion, FormatVersion)
+		return now, fmt.Errorf("wal: unsupported log format version %d (this build reads %d–%d)", v, minReadVersion, FormatVersion)
 	}
 
-	// Replay streams the log in large sequential chunks and parses frames
-	// out of the buffered window — one pread per replayChunk rather than
-	// two per record, which is what keeps recovery of a file-backed log
-	// fast (and is also how the virtual-time model prices it).
-	const replayChunk = 1 << 20
 	var (
-		entries []Entry
-		buf     []byte // unparsed bytes; buf[0] lives at offset off
-		off     = int64(headerSize)
+		// buf[start:] is the unparsed window; its first byte lives at
+		// volume offset off. nextRead is where the next sequential chunk
+		// is fetched from. The buffer is pooled and reused across replays.
+		buf      = storage.GetAligned(2 * replayChunk)
+		start    = 0
+		off      = int64(headerSize)
+		nextRead = int64(headerSize)
 	)
-	// fill grows buf to at least need bytes, stopping at the volume end.
+	defer func() { storage.PutAligned(buf) }()
+	avail := func() int64 { return int64(len(buf) - start) }
+	// fill extends the window to at least need unparsed bytes, stopping at
+	// the volume end. Parsed bytes are compacted away first, so in steady
+	// state (every frame smaller than a chunk) the window never outgrows
+	// its initial capacity: replay memory is O(chunk), not O(log).
 	fill := func(need int64) error {
-		for int64(len(buf)) < need {
-			readStart := off + int64(len(buf))
-			n := min64(replayChunk, vol.Size()-readStart)
+		for avail() < need {
+			n := min64(replayChunk, vol.Size()-nextRead)
 			if n <= 0 {
 				return nil
 			}
-			chunk := make([]byte, n)
-			c, err := vol.ReadAt(now, chunk, readStart)
+			if start > 0 {
+				copy(buf, buf[start:])
+				buf = buf[:len(buf)-start]
+				start = 0
+			}
+			if int64(cap(buf)-len(buf)) < n {
+				// Oversized frame or torn-tail scan: grow transiently,
+				// bounded by that frame/scan, never by the log.
+				nb := storage.GetAligned(len(buf) + int(n))
+				nb = append(nb, buf...)
+				storage.PutAligned(buf)
+				buf = nb
+			}
+			chunk := buf[len(buf) : len(buf)+int(n)]
+			c, err := vol.ReadAt(now, chunk, nextRead)
 			if err != nil {
 				return err
 			}
 			now = c.End
-			buf = append(buf, chunk...)
+			buf = buf[:len(buf)+int(n)]
+			nextRead += n
+			notePeakBuf(cap(buf))
 		}
 		return nil
 	}
+	notePeakBuf(cap(buf))
 	for {
 		if err := fill(frameHeaderSize); err != nil {
-			return nil, now, err
+			return now, err
 		}
-		if int64(len(buf)) < frameHeaderSize {
+		if avail() < frameHeaderSize {
 			break // volume exhausted
 		}
-		kind := Kind(buf[0])
+		w := buf[start:]
+		kind := Kind(w[0])
 		if kind == KindEnd {
 			break
 		}
-		plen := int64(binary.LittleEndian.Uint32(buf[1:]))
-		wantCRC := binary.LittleEndian.Uint32(buf[5:])
+		plen := int64(binary.LittleEndian.Uint32(w[1:]))
+		wantCRC := binary.LittleEndian.Uint32(w[5:])
 		if kind > kindMax || plen > maxPayload || off+frameHeaderSize+plen > vol.Size() {
 			if err := fill(tornBatchSpan + tornScanWindow); err != nil {
-				return nil, now, err
+				return now, err
 			}
-			if i, ok := corruptionBeyondTornBatch(buf); ok {
-				return nil, now, fmt.Errorf("wal: corrupt record at offset %d with intact entries at offset %d: mid-log corruption, not a torn tail", off, off+int64(i))
+			if i, ok := corruptionBeyondTornBatch(buf[start:]); ok {
+				return now, fmt.Errorf("wal: corrupt record at offset %d with intact entries at offset %d: mid-log corruption, not a torn tail", off, off+int64(i))
 			}
 			break // torn tail
 		}
 		if err := fill(frameHeaderSize + plen); err != nil {
-			return nil, now, err
+			return now, err
 		}
-		payload := buf[frameHeaderSize : frameHeaderSize+plen]
+		w = buf[start:]
+		payload := w[frameHeaderSize : frameHeaderSize+plen]
 		if frameCRC(kind, payload) != wantCRC {
 			if err := fill(tornBatchSpan + tornScanWindow); err != nil {
-				return nil, now, err
+				return now, err
 			}
-			if i, ok := corruptionBeyondTornBatch(buf); ok {
-				return nil, now, fmt.Errorf("wal: record at offset %d fails its checksum with intact entries at offset %d: mid-log corruption, not a torn tail", off, off+int64(i))
+			if i, ok := corruptionBeyondTornBatch(buf[start:]); ok {
+				return now, fmt.Errorf("wal: record at offset %d fails its checksum with intact entries at offset %d: mid-log corruption, not a torn tail", off, off+int64(i))
 			}
 			break // torn tail: the record never finished reaching the disk
 		}
@@ -660,13 +758,15 @@ func ReadAll(vol *storage.Volume, at sim.Time) ([]Entry, sim.Time, error) {
 		if err != nil {
 			// The CRC matched, so these are the bytes we wrote; failing to
 			// decode them is a format bug, not a torn write. Surface it.
-			return nil, now, err
+			return now, err
 		}
-		entries = append(entries, e)
-		buf = buf[frameHeaderSize+plen:]
+		if err := emit(e); err != nil {
+			return now, err
+		}
+		start += int(frameHeaderSize + plen)
 		off += frameHeaderSize + plen
 	}
-	return entries, now, nil
+	return now, nil
 }
 
 func min64(a, b int64) int64 {
