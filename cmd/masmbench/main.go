@@ -62,6 +62,8 @@ func main() {
 		tenantBnc = flag.Bool("tenantbench", false, "run the multi-tenant shared-cache benchmark (one engine, N tables, one SSD vs N private caches) instead of a paper experiment")
 		tenants   = flag.Int("tenants", 6, "tenantbench: number of tables sharing the engine")
 		tenantUpd = flag.Int("updates", 60_000, "tenantbench: updates across all tenants")
+		queryBnc  = flag.Bool("querybench", false, "run the streaming-query pushdown benchmark (zone-map pruning + predicate pushdown vs naive scan-then-filter, plus plan-cache reuse) instead of a paper experiment")
+		queryUpd  = flag.Int("queryupdates", 40_000, "querybench: random updates applied before measuring (materializes SSD runs)")
 		chaosBnc  = flag.Bool("chaos", false, "run the deterministic chaos scenario runner (seeded whole-engine simulation with fault injection and a model-checked oracle) instead of a paper experiment")
 		chaosStep = flag.Int("steps", 20_000, "chaos: scenario length in operations")
 		chaosOut  = flag.String("chaosout", "", "chaos: on an oracle failure, also write seed + shrunk trace + repro test to this file")
@@ -117,6 +119,17 @@ func main() {
 			out = "BENCH_3.json"
 		}
 		if _, err := bench.MergeBench(os.Stdout, out, *metrics, *seed, *mergeRec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *queryBnc {
+		out := *jsonOut
+		if out == "default" {
+			out = "BENCH_9.json"
+		}
+		if err := queryBench(*rows, *queryUpd, *seed, out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

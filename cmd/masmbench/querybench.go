@@ -1,0 +1,251 @@
+package main
+
+// Streaming-query pushdown benchmark (BENCH_9): what do zone-map pruning
+// and predicate pushdown buy over the naive plan, on the simulated
+// devices? The benchmark loads a table, applies enough random updates to
+// materialize SSD runs, and then sweeps predicate selectivity from 0.1%
+// to 100%. Each selectivity runs two legs on identically prepared
+// databases (the simulated devices are stateful, so each leg gets its own
+// clock): the baseline scans everything and filters above the merge; the
+// pushdown leg hands the same ranges to Table.Query, which prunes run
+// granules and data pages before their reads are issued and filters the
+// survivors below the merge. Both legs must return identical rows; the
+// comparison is pure simulated I/O time.
+//
+// The plan-cache section measures host wall-clock: repeated query shapes
+// reuse their per-run prune decisions, so a cached query's setup skips
+// the zone-map walk. Limit-1 queries make setup cost dominate; cold legs
+// vary the shape every call (every probe misses), cached legs repeat one
+// shape (every probe hits after the first).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"masm"
+)
+
+type queryBenchLeg struct {
+	SelectivityPct float64 `json:"selectivity_pct"`
+	Ranges         int     `json:"ranges"`
+	RowsReturned   int64   `json:"rows_returned"`
+	BaselineSimUS  int64   `json:"baseline_sim_us"`
+	PrunedSimUS    int64   `json:"pruned_sim_us"`
+	Speedup        float64 `json:"speedup"`
+	// GranulesSkipped counts run granules and data pages whose reads were
+	// never issued; RecordsFiltered counts records dropped below the merge.
+	GranulesSkipped int64 `json:"granules_skipped"`
+	RecordsFiltered int64 `json:"records_filtered"`
+}
+
+type planCacheBench struct {
+	Probes      int     `json:"probes"`
+	ColdAvgUS   float64 `json:"cold_avg_us"`
+	CachedAvgUS float64 `json:"cached_avg_us"`
+	Speedup     float64 `json:"speedup"`
+	Hits        int64   `json:"plan_cache_hits"`
+	Misses      int64   `json:"plan_cache_misses"`
+}
+
+type queryBenchResult struct {
+	Benchmark   string          `json:"benchmark"`
+	Rows        int             `json:"rows"`
+	Updates     int             `json:"updates"`
+	Runs        int64           `json:"runs"`
+	Selectivity []queryBenchLeg `json:"selectivity"`
+	PlanCache   planCacheBench  `json:"plan_cache"`
+}
+
+// queryBenchDB builds one deterministic benchmark database: rows loaded,
+// updates applied (materializing runs), same seed ⇒ bit-identical state.
+func queryBenchDB(rows, updates int, seed int64) (*masm.DB, error) {
+	keys := make([]uint64, rows)
+	bodies := make([][]byte, rows)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 2
+		bodies[i] = []byte(fmt.Sprintf("fact-%07d: qty=01 price=0099 status=SHIPPED", keys[i]))
+	}
+	cfg := masm.DefaultConfig()
+	cfg.CacheBytes = 8 << 20
+	db, err := masm.Open(cfg, keys, bodies)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < updates; i++ {
+		key := uint64(rng.Intn(rows*2)) + 1
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			err = db.Insert(key, bodies[i%len(bodies)])
+		case 1:
+			err = db.Delete(key)
+		default:
+			err = db.Modify(key, 10, []byte{byte(i), byte(i >> 8)})
+		}
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// scatterRanges carves nRanges disjoint intervals out of [0, keyMax]
+// that together cover selectivity of it, spread evenly so pruning has
+// gaps to skip.
+func scatterRanges(keyMax uint64, selectivity float64, nRanges int) []masm.KeyRange {
+	if selectivity >= 1 {
+		return []masm.KeyRange{{Lo: 0, Hi: keyMax}}
+	}
+	stride := keyMax / uint64(nRanges)
+	width := uint64(float64(stride) * selectivity)
+	if width == 0 {
+		width = 1
+	}
+	out := make([]masm.KeyRange, 0, nRanges)
+	for i := 0; i < nRanges; i++ {
+		lo := uint64(i) * stride
+		out = append(out, masm.KeyRange{Lo: lo, Hi: lo + width - 1})
+	}
+	return out
+}
+
+func queryBench(rows, updates int, seed int64, jsonPath string) error {
+	keyMax := uint64(rows) * 2
+	res := queryBenchResult{Benchmark: "query-pushdown", Rows: rows, Updates: updates}
+
+	fmt.Printf("querybench rows=%d updates=%d\n", rows, updates)
+	fmt.Printf("%-14s %8s %14s %14s %8s %10s %10s\n",
+		"selectivity", "rows", "baseline(sim)", "pruned(sim)", "speedup", "gran.skip", "filtered")
+	for _, sel := range []float64{0.001, 0.01, 0.10, 1.0} {
+		ranges := scatterRanges(keyMax, sel, 2)
+		match := func(k uint64) bool {
+			for _, r := range ranges {
+				if k >= r.Lo && k <= r.Hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		// Baseline leg: full scan, filter above the merge.
+		base, err := queryBenchDB(rows, updates, seed)
+		if err != nil {
+			return err
+		}
+		res.Runs = int64(base.Stats().Runs)
+		e0 := base.Elapsed()
+		var baseRows int64
+		if err := base.Scan(0, keyMax, func(k uint64, b []byte) bool {
+			if match(k) {
+				baseRows++
+			}
+			return true
+		}); err != nil {
+			base.Close()
+			return err
+		}
+		baseSim := base.Elapsed() - e0
+		base.Close()
+
+		// Pushdown leg: identical database, same ranges through Query.
+		pr, err := queryBenchDB(rows, updates, seed)
+		if err != nil {
+			return err
+		}
+		m0 := pr.Metrics()
+		e0 = pr.Elapsed()
+		var prRows int64
+		if err := pr.Query(masm.QuerySpec{Begin: 0, End: keyMax, KeyRanges: ranges},
+			func(k uint64, b []byte) bool { prRows++; return true }); err != nil {
+			pr.Close()
+			return err
+		}
+		prSim := pr.Elapsed() - e0
+		m1 := pr.Metrics()
+		pr.Close()
+
+		if baseRows != prRows {
+			return fmt.Errorf("querybench: selectivity %.3f: baseline %d rows, pushdown %d", sel, baseRows, prRows)
+		}
+		leg := queryBenchLeg{
+			SelectivityPct:  sel * 100,
+			Ranges:          len(ranges),
+			RowsReturned:    prRows,
+			BaselineSimUS:   baseSim.Microseconds(),
+			PrunedSimUS:     prSim.Microseconds(),
+			Speedup:         float64(baseSim) / float64(prSim),
+			GranulesSkipped: m1.SumCounter("masm_query_granules_skipped") - m0.SumCounter("masm_query_granules_skipped"),
+			RecordsFiltered: m1.SumCounter("masm_pushdown_records_filtered") - m0.SumCounter("masm_pushdown_records_filtered"),
+		}
+		res.Selectivity = append(res.Selectivity, leg)
+		fmt.Printf("%13.1f%% %8d %14v %14v %7.2fx %10d %10d\n",
+			leg.SelectivityPct, leg.RowsReturned,
+			time.Duration(baseSim).Round(time.Microsecond),
+			time.Duration(prSim).Round(time.Microsecond),
+			leg.Speedup, leg.GranulesSkipped, leg.RecordsFiltered)
+	}
+
+	// Plan cache: limit-1 probes isolate setup cost. Cold probes vary the
+	// shape (every probe plans fresh); cached probes repeat one shape.
+	db, err := queryBenchDB(rows, updates, seed)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	const probes = 64
+	probe := func(spec masm.QuerySpec) error {
+		return db.Query(spec, func(uint64, []byte) bool { return false })
+	}
+	// Warm the world (first query pays one-time setup merges).
+	if err := probe(masm.QuerySpec{Begin: 0, End: keyMax, KeyRanges: scatterRanges(keyMax, 0.01, 256), Limit: 1}); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	for i := 0; i < probes; i++ {
+		spec := masm.QuerySpec{Begin: uint64(i), End: keyMax, KeyRanges: scatterRanges(keyMax-uint64(i), 0.01, 256), Limit: 1}
+		if err := probe(spec); err != nil {
+			return err
+		}
+	}
+	cold := time.Since(t0)
+	fixed := masm.QuerySpec{Begin: 0, End: keyMax, KeyRanges: scatterRanges(keyMax, 0.01, 256), Limit: 1}
+	if err := probe(fixed); err != nil { // warm the cached shape
+		return err
+	}
+	t0 = time.Now()
+	for i := 0; i < probes; i++ {
+		if err := probe(fixed); err != nil {
+			return err
+		}
+	}
+	cached := time.Since(t0)
+	m := db.Metrics()
+	res.PlanCache = planCacheBench{
+		Probes:      probes,
+		ColdAvgUS:   float64(cold.Microseconds()) / probes,
+		CachedAvgUS: float64(cached.Microseconds()) / probes,
+		Speedup:     float64(cold) / float64(cached),
+		Hits:        m.SumCounter("masm_plan_cache_hits"),
+		Misses:      m.SumCounter("masm_plan_cache_misses"),
+	}
+	fmt.Printf("plan cache: cold %.1fµs/query, cached %.1fµs/query (%.2fx; %d hits, %d misses)\n",
+		res.PlanCache.ColdAvgUS, res.PlanCache.CachedAvgUS, res.PlanCache.Speedup,
+		res.PlanCache.Hits, res.PlanCache.Misses)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -930,7 +930,7 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 	for _, tm := range ordered {
 		prebuilt[tm.ID] = make(map[int64]core.PrebuiltRun)
 	}
-	rcfg := coreConfig(e.cfg).Run
+	rcfg := e.coreConfigFor().Run
 	// Captured as a local, NOT through e: e is the named return value, so an
 	// error return zeroes it while queued scans are still waiting on sem —
 	// reading e.ssdVol from the goroutine would race that nil.
@@ -948,7 +948,7 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 	// lock, and duplicate announcements (a checkpointed run re-flushed) are
 	// deduped here.
 	dispatch := func(table uint32, rm core.RunMeta) {
-		if sem == nil || rm.Format > runfile.FormatVersion {
+		if sem == nil || rm.Format > runfile.MaxFormat {
 			return // serial mode, or the serial check reports the version error
 		}
 		if prebuilt[table] == nil {
@@ -964,8 +964,20 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 			defer close(done)
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			run, spans, rerr := runfile.RebuildOffline(scanVol, rm.Off, rm.Size,
-				rm.RunID, rm.Passes, rm.CRC, rcfg)
+			var (
+				run   *runfile.Run
+				spans []runfile.Span
+				rerr  error
+			)
+			if rm.Format >= runfile.FormatZoneMaps && rm.IndexSize > 0 {
+				// Zone-mapped runs skip record decode: the persisted block
+				// restores the index, the data is swept for its checksum only.
+				run, spans, rerr = runfile.LoadIndexOffline(scanVol, rm.Off, rm.Size,
+					rm.IndexSize, rm.RunID, rm.Passes, rm.CRC, rcfg)
+			} else {
+				run, spans, rerr = runfile.RebuildOffline(scanVol, rm.Off, rm.Size,
+					rm.RunID, rm.Passes, rm.CRC, rcfg)
+			}
 			pmu.Lock()
 			prebuilt[table][rm.RunID] = core.PrebuiltRun{Run: run, Spans: spans, Err: rerr}
 			pmu.Unlock()
@@ -1043,7 +1055,7 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 		alloc := e.shared.Partition(t.id, t.cacheBudget*2)
 		allocs[t.id] = alloc
 		if st := states[tm.ID]; st != nil {
-			ccfg := coreConfig(e.cfg)
+			ccfg := e.coreConfigFor()
 			if err = core.ReserveRunExtents(ccfg, alloc, st.Runs); err != nil {
 				return nil, fmt.Errorf("masm: recover %s table %q: %w", dir, tm.Name, err)
 			}
@@ -1085,7 +1097,7 @@ func reopenEngineDir(dir string, opts EngineDirOptions, lock *os.File) (e *Engin
 				<-ch
 			}
 		}
-		ccfg := coreConfig(e.cfg)
+		ccfg := e.coreConfigFor()
 		ccfg.SSDCapacity = roundTo(t.cacheBudget, 4<<10)
 		store, end, rerr := core.RestoreSharedPrebuilt(ccfg, t.tbl, e.ssdVol, e.oracle,
 			e.log.ForTable(t.id), core.PreReserved(allocs[t.id]), t.id, st.Runs,

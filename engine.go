@@ -285,7 +285,7 @@ func (e *Engine) CreateTable(name string, opts TableOptions) (*Table, error) {
 		logger = e.log.ForTable(id)
 	}
 	alloc := e.shared.Partition(id, budget*2)
-	ccfg := coreConfig(e.cfg)
+	ccfg := e.coreConfigFor()
 	ccfg.SSDCapacity = roundTo(budget, 4<<10)
 	if t.store, err = core.NewStoreShared(ccfg, t.tbl, e.ssdVol, e.oracle, logger, alloc, id, e.storeMetricsFor(name)); err != nil {
 		e.shared.Drop(id)
@@ -1005,7 +1005,7 @@ func (e *Engine) Crash() (*Engine, error) {
 		alloc := e2.shared.Partition(t.id, t.cacheBudget*2)
 		allocs[t.id] = alloc
 		if st := states[t.id]; st != nil {
-			if err := core.ReserveRunExtents(coreConfig(e.cfg), alloc, st.Runs); err != nil {
+			if err := core.ReserveRunExtents(e.coreConfigFor(), alloc, st.Runs); err != nil {
 				return nil, fmt.Errorf("masm: recover table %q: %w", t.name, err)
 			}
 		}
@@ -1015,7 +1015,7 @@ func (e *Engine) Crash() (*Engine, error) {
 		if st == nil {
 			st = &wal.TableState{}
 		}
-		ccfg := coreConfig(e.cfg)
+		ccfg := e.coreConfigFor()
 		ccfg.SSDCapacity = roundTo(t.cacheBudget, 4<<10)
 		store, end, err := core.RestoreShared(ccfg, t.tbl, e2.ssdVol, e2.oracle,
 			newLog.ForTable(t.id), core.PreReserved(allocs[t.id]), t.id, st.Runs, st.Pending, st.RedoMigration, now,

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+
+	"masm"
 )
 
 // model is the in-memory oracle the engine is checked against. It tracks,
@@ -147,6 +149,41 @@ func (m *model) synced() { m.floor = len(m.journal) }
 func (m *model) checkScan(slot int, begin, end uint64, got []kv) error {
 	t := m.tables[slot]
 	return diffStates(subRange(t.rows, begin, end), got, t.ghosts, fmt.Sprintf("table %q scan [%d,%d]", t.name, begin, end))
+}
+
+// checkQuery compares a predicated, projected query's output with the
+// model: the model rows are filtered by the spec's key ranges and
+// projected exactly the way the engine projects, then diffed like a
+// scan (ghost keys skipped on both sides).
+func (m *model) checkQuery(slot int, spec masm.QuerySpec, got []kv) error {
+	t := m.tables[slot]
+	want := make(map[uint64][]byte)
+	for k, v := range t.rows {
+		if k < spec.Begin || k > spec.End {
+			continue
+		}
+		match := len(spec.KeyRanges) == 0
+		for _, r := range spec.KeyRanges {
+			if k >= r.Lo && k <= r.Hi {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if p := spec.Project; p != nil {
+			if p.Off+p.Width <= len(v) {
+				v = v[p.Off : p.Off+p.Width]
+			} else {
+				v = nil
+			}
+		}
+		want[k] = v
+	}
+	return diffStates(want, got, t.ghosts,
+		fmt.Sprintf("table %q query [%d,%d] (%d ranges, project %v)",
+			t.name, spec.Begin, spec.End, len(spec.KeyRanges), spec.Project != nil))
 }
 
 // kv is one scanned row.

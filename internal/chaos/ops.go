@@ -73,6 +73,12 @@ const (
 	// OpCheck runs the invariant probes (engine + manifest) and a full
 	// scan-vs-model comparison of every live table.
 	OpCheck
+	// OpQuery runs a predicated, projected streaming query over
+	// [Key, uint64(A)] through the pushdown executor (zone-map pruning,
+	// below-merge filtering, plan cache) and checks it against the model
+	// filtered and projected the same way. B deterministically selects the
+	// predicate sub-ranges and the optional projection.
+	OpQuery
 )
 
 var opNames = map[OpKind]string{
@@ -85,7 +91,7 @@ var opNames = map[OpKind]string{
 	OpTxGet: "TxGet", OpTxCommit: "TxCommit", OpTxAbort: "TxAbort",
 	OpCreateTable: "CreateTable", OpDropTable: "DropTable",
 	OpReopen: "Reopen", OpCrash: "Crash", OpCrashAtSync: "CrashAtSync",
-	OpCheck: "Check",
+	OpCheck: "Check", OpQuery: "Query",
 }
 
 // Op is one generated scenario step. The fields are generic so a trace
@@ -128,7 +134,7 @@ func GenTrace(seed int64, steps int, o Options) []Op {
 	}
 	weighted := []choice{
 		{280, OpInsert}, {70, OpDelete}, {90, OpModify},
-		{60, OpGet}, {80, OpScan}, {120, OpSync},
+		{60, OpGet}, {80, OpScan}, {40, OpQuery}, {120, OpSync},
 		{20, OpFlush}, {10, OpMigrate}, {20, OpMigrateStep}, {20, OpMigratePressured},
 		{30, OpSnapOpen}, {40, OpSnapScan}, {30, OpSnapClose},
 		{30, OpTxBegin}, {40, OpTxInsert}, {20, OpTxDelete}, {20, OpTxGet},
@@ -166,6 +172,12 @@ func GenTrace(seed int64, steps int, o Options) []Op {
 				a, b = b, a
 			}
 			op.Key, op.A = a, int64(b)
+		case OpQuery:
+			a, b := key(), key()
+			if a > b {
+				a, b = b, a
+			}
+			op.Key, op.A, op.B = a, int64(b), rng.Int63()
 		case OpMigrateStep:
 			op.Aux = 1 + rng.Intn(8) // pages per step
 		case OpSnapOpen, OpSnapScan, OpSnapClose:

@@ -449,6 +449,30 @@ func (x *exec) step(i int, op Op) *Failure {
 		}
 		return nil
 
+	case OpQuery:
+		if !needTable() {
+			return nil
+		}
+		spec := querySpecFor(op)
+		var got []kv
+		err := tbl.Query(spec, func(k uint64, b []byte) bool {
+			got = append(got, kv{k, append([]byte(nil), b...)})
+			return true
+		})
+		if err != nil {
+			if x.anyCrashed() {
+				return x.recoverCrash(i, op)
+			}
+			if isTransient(err) || isCapacity(err) {
+				return nil
+			}
+			return x.fail(i, op, "engine-error", "Query: %v", err)
+		}
+		if err := x.model.checkQuery(op.Slot, spec, got); err != nil {
+			return x.fail(i, op, "scan", "%v", err)
+		}
+		return nil
+
 	case OpSync:
 		if err := x.eng.Sync(); err != nil {
 			if x.anyCrashed() {
@@ -984,4 +1008,25 @@ func sortSlotsByTableID(m *model, slots []int) {
 			slots[j-1], slots[j] = slots[j], slots[j-1]
 		}
 	}
+}
+
+// querySpecFor derives a deterministic predicated/projected QuerySpec
+// from an OpQuery: two disjoint key sub-ranges carved out of [Key, A]
+// (so pruning, below-merge filtering and range normalization all
+// exercise), and — for odd B — a fixed-width projection.
+func querySpecFor(op Op) masm.QuerySpec {
+	begin, end := op.Key, uint64(op.A)
+	spec := masm.QuerySpec{Begin: begin, End: end}
+	q := (end - begin) / 4
+	spec.KeyRanges = []masm.KeyRange{
+		{Lo: begin, Hi: begin + q},
+		{Lo: begin + 2*q + 1, Hi: begin + 3*q + 1},
+	}
+	if op.B&1 == 1 {
+		spec.Project = &masm.Projection{
+			Off:   int((op.B >> 1) % 8),
+			Width: int((op.B>>4)%16) + 1,
+		}
+	}
+	return spec
 }

@@ -236,7 +236,7 @@ func (p preReserved) Reserve(off, size int64) error { return nil }
 // allocator, page-rounded exactly as the store sizes extents.
 func ReserveRunExtents(cfg Config, alloc RunAllocator, runs []RunMeta) error {
 	for _, rm := range runs {
-		if err := alloc.Reserve(rm.Off, roundUp(rm.Size, int64(cfg.SSDPage))); err != nil {
+		if err := alloc.Reserve(rm.Off, roundUp(rm.Size+rm.IndexSize, int64(cfg.SSDPage))); err != nil {
 			return fmt.Errorf("masm: reserve run %d extent [%d,+%d): %w", rm.RunID, rm.Off, rm.Size, err)
 		}
 	}

@@ -1,0 +1,98 @@
+package masm
+
+import (
+	"masm/internal/runfile"
+	"masm/internal/update"
+)
+
+// planCacheCap bounds the per-store plan cache. Repeated query shapes in
+// a workload are few (dashboards, point-lookup templates); a small LRU
+// holds them all while an ad-hoc scan storm cannot grow it.
+const planCacheCap = 16
+
+// planKey is the normalized shape of a predicated query: its key range,
+// the structural hash of its (normalized) predicate, and the effective
+// index granularity. Two queries with equal keys prune identically
+// against an unchanged run set regardless of their timestamps, because
+// cached plans are computed timestamp-free (see planForLocked).
+type planKey struct {
+	begin, end uint64
+	predHash   uint64
+	gran       int
+}
+
+// segPlan is one run's resolved prune decision: the surviving byte
+// segments and how many effective granules the zone maps eliminated.
+type segPlan struct {
+	segs    []runfile.Segment
+	skipped int64
+}
+
+// planEntry caches the per-run segment plans for one query shape,
+// stamped with the run-set version they were computed under.
+type planEntry struct {
+	key     planKey
+	version int64
+	perRun  map[int64]segPlan
+}
+
+// planCache is a tiny LRU: entries[0] is most recently used. With at most
+// planCacheCap entries, moves are memcpy-cheap and lookups are a linear
+// walk — no map churn, no allocation on hit.
+type planCache struct {
+	entries []*planEntry
+}
+
+// get returns the cached entry for key if it is still valid at version,
+// promoting it to the front. Stale entries (any run-set mutation since)
+// are dropped on sight.
+func (c *planCache) get(key planKey, version int64) *planEntry {
+	for i, e := range c.entries {
+		if e.key != key {
+			continue
+		}
+		if e.version != version {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			return nil
+		}
+		copy(c.entries[1:i+1], c.entries[:i])
+		c.entries[0] = e
+		return e
+	}
+	return nil
+}
+
+// put inserts a fresh entry at the front, evicting the least recently
+// used entry past capacity.
+func (c *planCache) put(e *planEntry) {
+	if len(c.entries) >= planCacheCap {
+		c.entries = c.entries[:planCacheCap-1]
+	}
+	c.entries = append([]*planEntry{e}, c.entries...)
+}
+
+// planForLocked resolves the per-run prune decisions for a predicated
+// query, consulting the plan cache first. Caller holds s.mu.
+//
+// Cached plans are computed with timestamp pruning disabled (queryTS =
+// +inf): a granule pruned because every record in it postdates one
+// query's snapshot could hold visible records for a later query, so
+// timestamp-dependent decisions would poison reuse. Key-overlap pruning
+// is timestamp-free, and the scanner still filters invisible records
+// per-record, so a reused plan reads the same bytes a fresh one would.
+func (s *Store) planForLocked(begin, end uint64, pred *update.Pred) map[int64]segPlan {
+	key := planKey{begin: begin, end: end, predHash: pred.Hash(), gran: s.cfg.ScanGranularity}
+	if e := s.plans.get(key, s.runsVersion); e != nil {
+		s.m.PlanCacheHits.Inc()
+		return e.perRun
+	}
+	s.m.PlanCacheMisses.Inc()
+	const maxTS = int64(^uint64(0) >> 1)
+	perRun := make(map[int64]segPlan, len(s.runs))
+	for _, r := range s.runs {
+		segs, skipped := r.PlanSegments(begin, end, maxTS, s.cfg.ScanGranularity, pred)
+		perRun[r.ID] = segPlan{segs: segs, skipped: skipped}
+	}
+	s.plans.put(&planEntry{key: key, version: s.runsVersion, perRun: perRun})
+	return perRun
+}

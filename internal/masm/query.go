@@ -3,6 +3,7 @@ package masm
 import (
 	"masm/internal/extsort"
 	"masm/internal/memtable"
+	"masm/internal/query"
 	"masm/internal/runfile"
 	"masm/internal/sim"
 	"masm/internal/table"
@@ -26,6 +27,11 @@ type Query struct {
 	s          *Store
 	ts         int64
 	begin, end uint64
+	// pred is the pushdown predicate (nil for an unpredicated scan): the
+	// same normalized key-range predicate is applied below the merge by
+	// the data scan, every run scan, and the mem scan, so excluded
+	// records never enter the merge at all.
+	pred *update.Pred
 
 	data     *table.Scanner
 	runScans []*runfile.Scanner
@@ -78,8 +84,33 @@ func (s *Store) NewQueryAt(at sim.Time, begin, end uint64, qts int64) (*Query, e
 	return s.newQueryLocked(at, begin, end, qts)
 }
 
+// NewQueryPred is NewQuery with a pushdown predicate: zone maps prune run
+// granules (and the data scan prunes pages) whose key spans cannot match,
+// and surviving sources filter records below the merge. The per-run prune
+// decisions come from the store's plan cache when the query's shape
+// repeats. A nil pred is exactly NewQuery.
+func (s *Store) NewQueryPred(at sim.Time, begin, end uint64, pred *update.Pred) (*Query, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.newQueryPredLocked(at, begin, end, s.oracle.Next(), pred)
+}
+
+// NewQueryPredAt is NewQueryAt with a pushdown predicate (see NewQueryAt
+// for the timestamp-safety requirements).
+func (s *Store) NewQueryPredAt(at sim.Time, begin, end uint64, qts int64, pred *update.Pred) (*Query, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.newQueryPredLocked(at, begin, end, qts, pred)
+}
+
 // newQueryLocked is the table-range-scan setup; caller holds s.mu.
 func (s *Store) newQueryLocked(at sim.Time, begin, end uint64, qts int64) (*Query, error) {
+	return s.newQueryPredLocked(at, begin, end, qts, nil)
+}
+
+// newQueryPredLocked is newQueryLocked with predicate pushdown; a nil
+// pred takes exactly the unpredicated path. Caller holds s.mu.
+func (s *Store) newQueryPredLocked(at sim.Time, begin, end uint64, qts int64, pred *update.Pred) (*Query, error) {
 
 	// Fig 8 lines 1–4: materialize a run if the buffer holds ≥ S pages.
 	// The flush and the merges below are memory-budget optimizations, not
@@ -118,13 +149,26 @@ func (s *Store) newQueryLocked(at sim.Time, begin, end uint64, qts int64) (*Quer
 		ts:    qts,
 		begin: begin,
 		end:   end,
+		pred:  pred,
 		start: at,
-		data:  s.tbl.NewScanner(at, begin, end),
+		data:  s.tbl.NewScannerPred(at, begin, end, pred),
+	}
+	// Resolve prune decisions once per query shape: the plan cache hands
+	// back the per-run segment lists for repeated shapes.
+	var plan map[int64]segPlan
+	if pred != nil {
+		plan = s.planForLocked(begin, end, pred)
 	}
 	iters := make([]update.Iterator, 0, len(s.runs)+1)
 	q.pinnedRuns = make([]int64, 0, len(s.runs))
 	for _, r := range s.runs {
-		sc := r.Scan(at, begin, end, qts, s.cfg.ScanGranularity)
+		var sc *runfile.Scanner
+		if pred == nil {
+			sc = r.Scan(at, begin, end, qts, s.cfg.ScanGranularity)
+		} else {
+			sp := plan[r.ID]
+			sc = r.ScanSegments(at, begin, end, qts, s.cfg.ScanGranularity, pred, sp.segs, sp.skipped)
+		}
 		q.runScans = append(q.runScans, sc)
 		iters = append(iters, sc)
 		s.pins[r.ID]++
@@ -133,7 +177,7 @@ func (s *Store) newQueryLocked(at sim.Time, begin, end uint64, qts int64) (*Quer
 	_, flushEpoch := s.buf.Epochs()
 	q.mem = &memScanIter{
 		q:        q,
-		ms:       s.buf.Scan(begin, end, qts),
+		ms:       s.buf.ScanPred(begin, end, qts, pred),
 		at:       at,
 		maxRunID: s.nextRunID - 1,
 		epoch0:   flushEpoch,
@@ -264,6 +308,23 @@ func (q *Query) Next() (table.Row, bool, error) {
 	}
 }
 
+// Rows adapts the query's merged row stream to the streaming operator
+// package's Iterator, so relational pipelines (filter, project,
+// aggregate, join) compose directly over the merge engine. The adapter
+// is single-use, like the query itself; TS carries the row's newest
+// applied update timestamp (the page timestamp for untouched base rows).
+func (q *Query) Rows() query.Iterator { return queryRows{q} }
+
+type queryRows struct{ q *Query }
+
+func (r queryRows) Next() (query.Row, bool, error) {
+	row, ok, err := r.q.Next()
+	if err != nil || !ok {
+		return query.Row{}, false, err
+	}
+	return query.Row{Key: row.Key, TS: row.PageTS, Body: row.Body}, true, nil
+}
+
 // Drain consumes the remaining rows, returning how many were produced and
 // the completion time. Most experiments only need the count and the time.
 func (q *Query) Drain() (int64, sim.Time, error) {
@@ -298,6 +359,31 @@ func (q *Query) Close() {
 		s.m.QueryPagesInUse.Set(int64(s.queryPagesInUse))
 		s.m.ScanLatencyNanos.Observe(int64(q.Time().Sub(q.start)))
 		s.m.ScanBytes.Observe(q.rowBytes)
+	}
+	// Fold the pushdown counters in one shot per query, keeping the scan
+	// hot paths free of atomics.
+	if q.pred != nil {
+		var skipped, filtered int64
+		for _, sc := range q.runScans {
+			g, f := sc.Stats()
+			skipped += g
+			filtered += f
+		}
+		if q.mem.rs != nil {
+			g, f := q.mem.rs.Stats()
+			skipped += g
+			filtered += f
+		}
+		filtered += q.mem.ms.Filtered()
+		pg, pf := q.data.Stats()
+		skipped += pg
+		filtered += pf
+		if skipped > 0 {
+			s.m.GranulesSkipped.Add(skipped)
+		}
+		if filtered > 0 {
+			s.m.PushdownFiltered.Add(filtered)
+		}
 	}
 	for _, id := range q.pinnedRuns {
 		s.unpinRunLocked(id)
@@ -473,7 +559,7 @@ func (m *memScanIter) resolveFlushFrom(lastKey uint64, lastTS int64, started boo
 		// run, and migration cannot delete runs while this reader is
 		// open). Re-open the memtable scan and resume past the last
 		// delivered record, parking the first surviving record in m.carry.
-		m.ms = s.buf.Scan(m.q.begin, m.q.end, m.q.ts)
+		m.ms = s.buf.ScanPred(m.q.begin, m.q.end, m.q.ts, m.q.pred)
 		s.mu.Unlock()
 		for started {
 			rec, ok, fl := m.ms.Next()
@@ -502,8 +588,10 @@ func (m *memScanIter) resolveFlushFrom(lastKey uint64, lastTS int64, started boo
 	gran := s.cfg.ScanGranularity
 	s.mu.Unlock()
 	// Pinned: the extent stays allocated even if a merge retires the run
-	// (it is parked in the dead set until the pin drains).
-	m.rs = target.Scan(m.at, m.q.begin, m.q.end, m.q.ts, gran)
+	// (it is parked in the dead set until the pin drains). The replacement
+	// scan carries the query's pushdown predicate; the run postdates the
+	// cached plan, so its segments are planned fresh here.
+	m.rs = target.ScanPred(m.at, m.q.begin, m.q.end, m.q.ts, gran, m.q.pred)
 	if started {
 		m.rs.SkipTo(lastKey, lastTS)
 	}

@@ -1,0 +1,259 @@
+package masm
+
+import (
+	"bytes"
+	"testing"
+
+	"masm/internal/update"
+)
+
+// collect drains a query into (key, body) rows.
+type kv struct {
+	key  uint64
+	body []byte
+}
+
+func drainQueryRows(t *testing.T, q *Query) []kv {
+	t.Helper()
+	var out []kv
+	for {
+		row, ok, err := q.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, kv{key: row.Key, body: append([]byte(nil), row.Body...)})
+	}
+}
+
+// TestQueryPredDifferential is the store-level pushdown oracle: a
+// predicated query must return byte-identical rows to an unpredicated
+// query at the SAME timestamp followed by a linear predicate filter —
+// across random update mixes (flushes, merges, migrations included),
+// random scan bounds, and random multi-range predicates.
+func TestQueryPredDifferential(t *testing.T) {
+	e := newEnv(t, 3000, smallConfig())
+	e.applyRandom(2500)
+	maxKey := uint64(2 * (len(e.model) + 20))
+	for probe := 0; probe < 30; probe++ {
+		begin := uint64(e.rng.Int63n(int64(maxKey)))
+		end := begin + uint64(e.rng.Int63n(int64(maxKey)))
+		var ranges []update.KeyRange
+		for i := 0; i < 1+e.rng.Intn(4); i++ {
+			lo := uint64(e.rng.Int63n(int64(maxKey)))
+			ranges = append(ranges, update.KeyRange{Lo: lo, Hi: lo + uint64(e.rng.Int63n(400))})
+		}
+		pred := update.NewPred(ranges)
+		qts := e.oracle.Next()
+
+		naive, err := e.store.NewQueryAt(e.now, begin, end, qts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []kv
+		for _, r := range drainQueryRows(t, naive) {
+			if pred.Match(r.key) {
+				want = append(want, r)
+			}
+		}
+		naive.Close()
+
+		pq, err := e.store.NewQueryPredAt(e.now, begin, end, qts, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainQueryRows(t, pq)
+		pq.Close()
+
+		if len(got) != len(want) {
+			t.Fatalf("probe %d (begin %d end %d ranges %d): %d rows, want %d",
+				probe, begin, end, len(ranges), len(got), len(want))
+		}
+		for i := range got {
+			if got[i].key != want[i].key || !bytes.Equal(got[i].body, want[i].body) {
+				t.Fatalf("probe %d row %d: key %d vs %d", probe, i, got[i].key, want[i].key)
+			}
+		}
+		// Interleave more updates so later probes see different run sets.
+		e.applyRandom(100)
+		maxKey = uint64(2 * (len(e.model) + 20))
+	}
+}
+
+// TestQueryPredProjectionDifferential layers the operator pipeline over
+// the predicated query and checks it against project-then-filter applied
+// to the naive scan.
+func TestQueryPredProjectionDifferential(t *testing.T) {
+	e := newEnv(t, 1500, smallConfig())
+	e.applyRandom(1200)
+	pred := update.NewPred([]update.KeyRange{{Lo: 100, Hi: 600}, {Lo: 1500, Hi: 1700}})
+	const off, width = 8, 16
+	qts := e.oracle.Next()
+
+	naive, err := e.store.NewQueryAt(e.now, 0, ^uint64(0), qts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []kv
+	for _, r := range drainQueryRows(t, naive) {
+		if !pred.Match(r.key) {
+			continue
+		}
+		col := []byte{}
+		if off+width <= len(r.body) {
+			col = r.body[off : off+width]
+		}
+		want = append(want, kv{key: r.key, body: col})
+	}
+	naive.Close()
+
+	pq, err := e.store.NewQueryPredAt(e.now, 0, ^uint64(0), qts, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := pq.Rows()
+	var got []kv
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		col := []byte{}
+		if off+width <= len(r.Body) {
+			col = r.Body[off : off+width]
+		}
+		got = append(got, kv{key: r.Key, body: append([]byte(nil), col...)})
+	}
+	pq.Close()
+
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].key != want[i].key || !bytes.Equal(got[i].body, want[i].body) {
+			t.Fatalf("row %d: key %d body %x, want key %d body %x",
+				i, got[i].key, got[i].body, want[i].key, want[i].body)
+		}
+	}
+}
+
+// TestPlanCacheHitAndInvalidation checks the cache contract: a repeated
+// shape against an unchanged run set hits; any run-set mutation
+// invalidates; hits return correct rows.
+func TestPlanCacheHitAndInvalidation(t *testing.T) {
+	e := newEnv(t, 2000, smallConfig())
+	e.applyRandom(1500) // enough to materialize runs
+	pred := update.NewPred([]update.KeyRange{{Lo: 200, Hi: 800}})
+
+	runQuery := func() []kv {
+		t.Helper()
+		q, err := e.store.NewQueryPred(e.now, 0, ^uint64(0), pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := drainQueryRows(t, q)
+		e.now = q.Time()
+		q.Close()
+		return rows
+	}
+
+	// First query warms the cache. Its setup may flush/merge (mutating the
+	// run set before planning), so measure from after it.
+	first := runQuery()
+	hits0, misses0 := e.store.m.PlanCacheHits.Value(), e.store.m.PlanCacheMisses.Value()
+
+	second := runQuery()
+	hits1, misses1 := e.store.m.PlanCacheHits.Value(), e.store.m.PlanCacheMisses.Value()
+	if hits1 != hits0+1 || misses1 != misses0 {
+		t.Fatalf("repeated shape: hits %d→%d misses %d→%d, want one hit, no miss",
+			hits0, hits1, misses0, misses1)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cache hit changed results: %d rows vs %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i].key != second[i].key || !bytes.Equal(first[i].body, second[i].body) {
+			t.Fatalf("cache hit changed row %d: key %d vs %d", i, second[i].key, first[i].key)
+		}
+	}
+
+	// Mutate the run set (apply until a flush bumps runsVersion): the next
+	// probe must miss and re-plan.
+	v0 := e.store.runsVersion
+	for i := 0; i < 100 && e.store.runsVersion == v0; i++ {
+		e.applyRandom(200)
+	}
+	if e.store.runsVersion == v0 {
+		t.Fatal("run set never changed despite 20k updates")
+	}
+	third := runQuery()
+	hits2, misses2 := e.store.m.PlanCacheHits.Value(), e.store.m.PlanCacheMisses.Value()
+	if misses2 == misses1 {
+		t.Fatalf("run-set mutation did not invalidate the plan: misses stayed %d (hits %d→%d)",
+			misses1, hits1, hits2)
+	}
+	// And the re-planned query is still correct against the model.
+	seen := make(map[uint64][]byte, len(third))
+	for _, r := range third {
+		seen[r.key] = r.body
+	}
+	for k, b := range e.model {
+		if !pred.Match(k) {
+			continue
+		}
+		got, ok := seen[k]
+		if !ok || !bytes.Equal(got, b) {
+			t.Fatalf("re-planned query wrong for key %d (present=%v)", k, ok)
+		}
+		delete(seen, k)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("re-planned query returned %d rows not in the model", len(seen))
+	}
+}
+
+// TestQueryPredPruningMetrics checks the pushdown observability contract:
+// a selective predicate over a store with materialized runs must record
+// skipped granules and filtered records, folded at query close.
+func TestQueryPredPruningMetrics(t *testing.T) {
+	e := newEnv(t, 2000, smallConfig())
+	e.applyRandom(2000)
+	skipped0 := e.store.m.GranulesSkipped.Value()
+	filtered0 := e.store.m.PushdownFiltered.Value()
+
+	pred := update.NewPred([]update.KeyRange{{Lo: 40, Hi: 60}})
+	q, err := e.store.NewQueryPred(e.now, 0, ^uint64(0), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainQueryRows(t, q)
+	q.Close()
+	for _, r := range rows {
+		if !pred.Match(r.key) {
+			t.Fatalf("row %d escaped the predicate", r.key)
+		}
+	}
+	if e.store.m.GranulesSkipped.Value() == skipped0 {
+		t.Fatal("selective query skipped no granules")
+	}
+	if e.store.m.PushdownFiltered.Value() == filtered0 {
+		t.Fatal("selective query filtered no records below the merge")
+	}
+
+	// An unpredicated query must leave both counters untouched.
+	s1, f1 := e.store.m.GranulesSkipped.Value(), e.store.m.PushdownFiltered.Value()
+	nq, err := e.store.NewQuery(e.now, 0, ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainQueryRows(t, nq)
+	nq.Close()
+	if e.store.m.GranulesSkipped.Value() != s1 || e.store.m.PushdownFiltered.Value() != f1 {
+		t.Fatal("unpredicated query touched pushdown counters")
+	}
+}

@@ -77,9 +77,9 @@ func RestoreSharedPrebuilt(cfg Config, tbl *table.Table, ssd *storage.Volume, or
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RunID < sorted[j].RunID })
 	var maxTS int64
 	for _, rm := range sorted {
-		if rm.Format > runfile.FormatVersion {
+		if rm.Format > runfile.MaxFormat {
 			return nil, at, fmt.Errorf("masm: restore run %d: on-disk format %d newer than this build's %d",
-				rm.RunID, rm.Format, runfile.FormatVersion)
+				rm.RunID, rm.Format, runfile.MaxFormat)
 		}
 		var run *runfile.Run
 		if pb, ok := prebuilt[rm.RunID]; ok {
@@ -91,6 +91,18 @@ func RestoreSharedPrebuilt(cfg Config, tbl *table.Table, ssd *storage.Volume, or
 				return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, cerr)
 			}
 			run, at = pb.Run, end
+		} else if rm.Format >= runfile.FormatZoneMaps && rm.IndexSize > 0 {
+			// Zone-mapped open: the persisted block reconstructs the index
+			// and metadata without decoding records; the data bytes are
+			// swept for their checksum only (same charged spans as Rebuild,
+			// so corruption still fails recovery).
+			var end sim.Time
+			run, end, err = runfile.LoadIndex(ssd, rm.Off, rm.Size, rm.IndexSize,
+				at, rm.RunID, rm.Passes, rm.CRC, cfg.Run)
+			if err != nil {
+				return nil, at, fmt.Errorf("masm: restore run %d: %w", rm.RunID, err)
+			}
+			at = end
 		} else {
 			var end sim.Time
 			run, end, err = runfile.Rebuild(ssd, rm.Off, rm.Size, at, rm.RunID, rm.Passes, rm.CRC, cfg.Run)
@@ -100,7 +112,8 @@ func RestoreSharedPrebuilt(cfg Config, tbl *table.Table, ssd *storage.Volume, or
 			at = end
 		}
 		run.Table = s.tableID
-		extSize := roundUp(rm.Size, int64(cfg.SSDPage))
+		run.IndexSize = rm.IndexSize
+		extSize := roundUp(rm.Size+rm.IndexSize, int64(cfg.SSDPage))
 		if err := s.alloc.Reserve(rm.Off, extSize); err != nil {
 			return nil, at, err
 		}

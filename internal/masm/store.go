@@ -28,10 +28,15 @@ type RunMeta struct {
 	MaxTS  int64
 	Passes int
 	// Format is the run data's on-disk format version
-	// (runfile.FormatVersion at write time).
+	// (runfile.FormatVersion or runfile.FormatZoneMaps at write time).
 	Format uint16
 	// CRC is the CRC-32C of the run's Size data bytes.
 	CRC uint32
+	// IndexSize is the byte length of the persisted zone-map block that
+	// follows the data in the run's extent. Present on the wire only for
+	// Format >= runfile.FormatZoneMaps, so format-1 log records are
+	// byte-identical to what earlier builds wrote.
+	IndexSize int64
 }
 
 // RedoLogger is the hook into the database redo log (paper §3.6). MaSM
@@ -135,6 +140,14 @@ type Store struct {
 	// than the run's final size.
 	extents   map[int64]extent
 	migrating bool
+	// runsVersion counts run-set mutations; a cached query plan is valid
+	// only while the version it was computed under still holds.
+	runsVersion int64
+	// plans is the fixed-size plan cache keyed on normalized query shape
+	// (range, predicate structure, granularity): repeated predicated
+	// queries reuse their per-run prune decisions instead of re-walking
+	// every run's zone maps.
+	plans planCache
 	// Incremental-migration sweep state (§3.5): the next portion's start
 	// key and the timestamp of the current sweep's first portion.
 	portionCursor uint64
@@ -277,6 +290,9 @@ func (s *Store) Stats() Stats {
 func (s *Store) addRunBytesLocked(delta int64) {
 	s.runBytes += delta
 	s.m.RunBytes.Set(s.runBytes)
+	// Every run-set mutation funnels through here, so this is also where
+	// cached query plans are invalidated.
+	s.runsVersion++
 }
 
 // Runs returns the current number of materialized sorted runs.
@@ -459,7 +475,14 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 	for i := range recs {
 		size += int64(update.EncodedSize(&recs[i]))
 	}
-	extSize := roundUp(size, int64(s.cfg.SSDPage))
+	// When zone maps are persisted the extent also holds the trailing
+	// index block; reserve its upper bound and return the unused tail
+	// once the exact block size is known.
+	var blockMax int64
+	if s.cfg.Run.PersistZoneMaps {
+		blockMax = runfile.MaxIndexBlockSize(size, s.cfg.Run)
+	}
+	extSize := roundUp(size+blockMax, int64(s.cfg.SSDPage))
 	off, err := s.alloc.Alloc(extSize)
 	if err != nil {
 		// Put the drained records back: they were acknowledged to their
@@ -477,6 +500,10 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 		return at, err
 	}
 	run.Table = s.tableID
+	if used := roundUp(run.Size+run.IndexSize, int64(s.cfg.SSDPage)); used < extSize {
+		s.alloc.Release(off+used, extSize-used)
+		extSize = used
+	}
 	if s.log != nil {
 		// Log the flush record before publishing the run. If the record
 		// cannot be made durable (EIO/ENOSPC on the log path), the run would
@@ -486,7 +513,7 @@ func (s *Store) flushLocked(at sim.Time, beforeTS int64) (sim.Time, error) {
 		// the store exactly as it was. The caller sees an ENOSPC-like,
 		// lossless failure.
 		t, lerr := s.log.LogFlush(end, RunMeta{RunID: id, Off: off, Size: run.Size, MaxTS: run.MaxTS,
-			Passes: 1, Format: runfile.FormatVersion, CRC: run.CRC})
+			Passes: 1, Format: uint16(run.Format()), CRC: run.CRC, IndexSize: run.IndexSize})
 		if lerr != nil {
 			s.buf.Restore(recs)
 			s.alloc.Release(off, extSize)
@@ -643,7 +670,11 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	// downstream. The merge is still loser-tree-fast; only the consumer's
 	// pull granularity stays at one record.
 
-	extSize := roundUp(totalSize, int64(s.cfg.SSDPage))
+	var blockMax int64
+	if s.cfg.Run.PersistZoneMaps {
+		blockMax = runfile.MaxIndexBlockSize(totalSize, s.cfg.Run)
+	}
+	extSize := roundUp(totalSize+blockMax, int64(s.cfg.SSDPage))
 	off, err := s.alloc.Alloc(extSize)
 	if err != nil {
 		return at, err
@@ -679,7 +710,7 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 	merged.Table = s.tableID
 	// Duplicate combining can shrink the merged run well below the sum of
 	// its inputs; return the unused tail of the extent.
-	if used := roundUp(merged.Size, int64(s.cfg.SSDPage)); used < extSize {
+	if used := roundUp(merged.Size+merged.IndexSize, int64(s.cfg.SSDPage)); used < extSize {
 		s.alloc.Release(off+used, extSize-used)
 		extSize = used
 	}
@@ -701,7 +732,8 @@ func (s *Store) mergeRunsLocked(at sim.Time, n int) (sim.Time, error) {
 		}
 		t, lerr := s.log.LogMerge(end,
 			RunMeta{RunID: id, Off: off, Size: merged.Size, MaxTS: merged.MaxTS,
-				Passes: 2, Format: runfile.FormatVersion, CRC: merged.CRC}, oldIDs)
+				Passes: 2, Format: uint16(merged.Format()), CRC: merged.CRC,
+				IndexSize: merged.IndexSize}, oldIDs)
 		if lerr != nil {
 			s.alloc.Release(off, extSize)
 			return at, lerr

@@ -166,6 +166,13 @@ func (b *Buffer) Epochs() (int64, int64) {
 // queryTS. The buffer is sorted as a side effect (paper §3.2, table range
 // scan setup step 2).
 func (b *Buffer) Scan(begin, end uint64, queryTS int64) *Scan {
+	return b.ScanPred(begin, end, queryTS, nil)
+}
+
+// ScanPred is Scan with a pushdown predicate: records whose keys fail
+// pred are dropped under the latch, before they ever enter the merge. A
+// nil pred is Scan.
+func (b *Buffer) ScanPred(begin, end uint64, queryTS int64, pred *update.Pred) *Scan {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.sortLocked()
@@ -174,6 +181,7 @@ func (b *Buffer) Scan(begin, end uint64, queryTS int64) *Scan {
 		begin:      begin,
 		end:        end,
 		queryTS:    queryTS,
+		pred:       pred,
 		sortEpoch:  b.sortEpoch,
 		flushEpoch: b.flushEpoch,
 	}
@@ -200,7 +208,9 @@ type Scan struct {
 	b          *Buffer
 	begin, end uint64
 	queryTS    int64
+	pred       *update.Pred
 
+	filtered   int64
 	pos        int
 	sortEpoch  int64
 	flushEpoch int64
@@ -272,6 +282,10 @@ func (s *Scan) NextBatch(dst []update.Record) (n int, flushed bool) {
 		if r.Key < s.begin {
 			continue
 		}
+		if s.pred != nil && !s.pred.Match(r.Key) {
+			s.filtered++
+			continue
+		}
 		s.lastKey, s.lastTS = r.Key, r.TS
 		s.started = true
 		dst[n] = r
@@ -288,3 +302,6 @@ func (s *Scan) NextBatch(dst []update.Record) (n int, flushed bool) {
 func (s *Scan) Resume() (key uint64, ts int64, started bool) {
 	return s.lastKey, s.lastTS, s.started
 }
+
+// Filtered returns how many records the pushdown predicate dropped.
+func (s *Scan) Filtered() int64 { return s.filtered }

@@ -213,26 +213,38 @@ func (p *Projection) Scan(at sim.Time, lo, hi []byte, fn func(r Row) bool) (sim.
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, key := range keys {
-		q, err := p.store.NewQuery(now, key, key)
+	// One predicated merge query fetches every candidate: the key set
+	// pushes down so zone maps prune the granules between candidates,
+	// and the fetches share one snapshot.
+	if len(keys) > 0 {
+		ranges := make([]update.KeyRange, len(keys))
+		for i, k := range keys {
+			ranges[i] = update.KeyRange{Lo: k, Hi: k}
+		}
+		q, err := p.store.NewQueryPred(now, keys[0], keys[len(keys)-1], update.NewPred(ranges))
 		if err != nil {
 			return now, err
 		}
-		row, ok, err := q.Next()
-		if err != nil {
-			q.Close()
-			return now, err
+		for {
+			row, ok, err := q.Next()
+			if err != nil {
+				q.Close()
+				return now, err
+			}
+			if !ok {
+				break
+			}
+			if p.attrOff+p.width > len(row.Body) {
+				continue
+			}
+			v := append([]byte(nil), row.Body[p.attrOff:p.attrOff+p.width]...)
+			if bytes.Compare(v, lo) < 0 || bytes.Compare(v, hi) > 0 {
+				continue
+			}
+			rows = append(rows, Row{Val: v, Key: row.Key})
 		}
 		now = q.Time()
 		q.Close()
-		if !ok || p.attrOff+p.width > len(row.Body) {
-			continue
-		}
-		v := append([]byte(nil), row.Body[p.attrOff:p.attrOff+p.width]...)
-		if bytes.Compare(v, lo) < 0 || bytes.Compare(v, hi) > 0 {
-			continue
-		}
-		rows = append(rows, Row{Val: v, Key: row.Key})
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if c := bytes.Compare(rows[i].Val, rows[j].Val); c != 0 {

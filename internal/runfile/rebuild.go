@@ -58,42 +58,58 @@ type Span struct {
 // The recorded spans — and therefore the simulated timeline — still
 // describe IOSize reads; only the data plane batches.
 func RebuildOffline(vol *storage.Volume, off, size int64, id int64, passes int, wantCRC uint32, cfg Config) (*Run, []Span, error) {
-	var (
-		spans []Span
-		pbuf  = storage.GetAligned(offlineBatch * cfg.IOSize)
-		poff  int64 // device offset of pbuf[0]
-		ppos  int   // consumed bytes of the staged window
-		pfill int   // valid bytes in the staged window
-	)
-	defer storage.PutAligned(pbuf)
-	r, err := rebuildScan(vol, off, size, id, passes, wantCRC, cfg, func(p []byte, readOff int64) error {
-		for done := 0; done < len(p); {
-			want := readOff + int64(done)
-			if ppos < pfill && poff+int64(ppos) != want {
-				ppos, pfill = 0, 0 // non-sequential read: restage
-			}
-			if ppos == pfill {
-				n := int64(cap(pbuf))
-				if n > off+size-want {
-					n = off + size - want
-				}
-				if err := vol.PeekAt(pbuf[:n], want); err != nil {
-					return err
-				}
-				poff, ppos, pfill = want, 0, int(n)
-			}
-			c := copy(p[done:], pbuf[ppos:pfill])
-			done += c
-			ppos += c
-		}
-		spans = append(spans, Span{Off: readOff, Len: int64(len(p))})
-		return nil
-	})
+	sr := newStagedReader(vol, off+size, offlineBatch*cfg.IOSize)
+	defer sr.release()
+	r, err := rebuildScan(vol, off, size, id, passes, wantCRC, cfg, sr.read)
 	if err != nil {
 		return nil, nil, err
 	}
-	return r, spans, nil
+	return r, sr.spans, nil
 }
+
+// stagedReader is the offline scans' shared data-plane reader: it stages
+// up to batch bytes per physical PeekAt (never reading past hi), slices
+// the requested chunks out of the window, and records each logical read
+// as a Span for later ChargeSpans replay. Non-sequential requests restage.
+type stagedReader struct {
+	vol   *storage.Volume
+	hi    int64 // exclusive upper bound of readable bytes
+	spans []Span
+	pbuf  []byte
+	poff  int64 // device offset of pbuf[0]
+	ppos  int   // consumed bytes of the staged window
+	pfill int   // valid bytes in the staged window
+}
+
+func newStagedReader(vol *storage.Volume, hi int64, batch int) *stagedReader {
+	return &stagedReader{vol: vol, hi: hi, pbuf: storage.GetAligned(batch)}
+}
+
+func (sr *stagedReader) read(p []byte, readOff int64) error {
+	for done := 0; done < len(p); {
+		want := readOff + int64(done)
+		if sr.ppos < sr.pfill && sr.poff+int64(sr.ppos) != want {
+			sr.ppos, sr.pfill = 0, 0 // non-sequential read: restage
+		}
+		if sr.ppos == sr.pfill {
+			n := int64(cap(sr.pbuf))
+			if n > sr.hi-want {
+				n = sr.hi - want
+			}
+			if err := sr.vol.PeekAt(sr.pbuf[:n], want); err != nil {
+				return err
+			}
+			sr.poff, sr.ppos, sr.pfill = want, 0, int(n)
+		}
+		c := copy(p[done:], sr.pbuf[sr.ppos:sr.pfill])
+		done += c
+		sr.ppos += c
+	}
+	sr.spans = append(sr.spans, Span{Off: readOff, Len: int64(len(p))})
+	return nil
+}
+
+func (sr *stagedReader) release() { storage.PutAligned(sr.pbuf) }
 
 // offlineBatch is how many priced-size reads one offline physical pread
 // stages (1MB batches at the default 64KB I/O size).
@@ -161,8 +177,10 @@ func rebuildScan(vol *storage.Volume, off, size int64, id int64, passes int, wan
 			}
 			if dataOff >= nextIdx {
 				r.index = append(r.index, indexEntry{key: rec.Key, off: dataOff})
+				r.zones = append(r.zones, zoneEntry{})
 				nextIdx = (dataOff/int64(cfg.IndexGranularity) + 1) * int64(cfg.IndexGranularity)
 			}
+			r.zones[len(r.zones)-1].add(&rec)
 			if r.Count == 0 {
 				r.MinKey, r.MinTS, r.MaxTS = rec.Key, rec.TS, rec.TS
 			}

@@ -24,6 +24,18 @@ import (
 // recovery can refuse runs written by a future, incompatible layout.
 const FormatVersion = 1
 
+// FormatZoneMaps is format 1 data followed by a persisted zone-map index
+// block inside the same extent (at byte offset Size, IndexSize bytes
+// long). The data bytes are laid out exactly as format 1 — a format-1
+// reader pointed at the first Size bytes sees a valid format-1 run — so
+// the version gate only guards the trailing block. Recovery of a
+// FormatZoneMaps run reads just the block instead of rescanning the data.
+const FormatZoneMaps = 2
+
+// MaxFormat is the newest run format this build understands; recovery
+// refuses formats beyond it.
+const MaxFormat = FormatZoneMaps
+
 // castagnoli is the CRC-32C table used to checksum run data; the redo log
 // uses the same polynomial for its record framing.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -39,6 +51,12 @@ type Config struct {
 	// at fine granularity (4 KB, one entry per SSD page) supports both of
 	// the paper's configurations.
 	IndexGranularity int
+	// PersistZoneMaps writes the run index and zone maps as a trailing
+	// block inside the run's extent (FormatZoneMaps), letting recovery
+	// open the run from the block alone instead of rescanning its data.
+	// Off by default: the simulated-time experiments never persist, so
+	// their device timelines are byte-for-byte what format 1 produced.
+	PersistZoneMaps bool
 }
 
 // DefaultConfig matches the paper's prototype: 64 KB SSD I/O, fine-grain
@@ -62,6 +80,49 @@ func (c *Config) validate() error {
 type indexEntry struct {
 	key uint64
 	off int64
+}
+
+// zoneEntry is the zone map of one granule: the i'th entry summarizes the
+// records in byte range [index[i].off, index[i+1].off) — min/max key,
+// min/max timestamp, total record count, and how many of those records
+// are not deletions (the alive count, usable by aggregates but never by
+// pruning: a granule of pure deletes must still reach the merge to mask
+// base rows).
+type zoneEntry struct {
+	minKey, maxKey uint64
+	minTS, maxTS   int64
+	alive, count   int32
+}
+
+func (z *zoneEntry) add(r *update.Record) {
+	if z.count == 0 {
+		z.minKey, z.maxKey = r.Key, r.Key
+		z.minTS, z.maxTS = r.TS, r.TS
+	} else {
+		if r.Key < z.minKey {
+			z.minKey = r.Key
+		}
+		if r.Key > z.maxKey {
+			z.maxKey = r.Key
+		}
+		if r.TS < z.minTS {
+			z.minTS = r.TS
+		}
+		if r.TS > z.maxTS {
+			z.maxTS = r.TS
+		}
+	}
+	z.count++
+	if r.Op != update.Delete {
+		z.alive++
+	}
+}
+
+// Segment is one contiguous byte range of run data a predicated scan must
+// read; zone-map pruning turns the single scanBounds window into a list
+// of surviving segments.
+type Segment struct {
+	Start, Limit int64
 }
 
 // Run is one immutable materialized sorted run plus its in-memory run
@@ -88,15 +149,28 @@ type Run struct {
 	// run was written. Crash recovery verifies it while rebuilding the
 	// run index, catching corrupted or half-written runs on real storage.
 	CRC uint32
+	// IndexSize is the byte length of the persisted zone-map block that
+	// follows the data inside the extent (FormatZoneMaps); 0 when the run
+	// was written without one (format 1).
+	IndexSize int64
 
 	cfg   Config
 	vol   *storage.Volume
 	index []indexEntry
+	zones []zoneEntry
 }
 
 // IndexEntries returns the number of run-index entries (for space
 // accounting tests).
 func (r *Run) IndexEntries() int { return len(r.index) }
+
+// Format returns the on-disk format the run was written with.
+func (r *Run) Format() int {
+	if r.IndexSize > 0 {
+		return FormatZoneMaps
+	}
+	return FormatVersion
+}
 
 // Writer streams update records in (key, ts) order into a new run,
 // writing sequentially in IOSize units and building the run index.
@@ -112,6 +186,7 @@ type Writer struct {
 	crc     uint32
 	count   int64
 	index   []indexEntry
+	zones   []zoneEntry
 	nextIdx int64 // next granule boundary (bytes) needing an index entry
 
 	minKey, maxKey uint64
@@ -148,12 +223,14 @@ func (w *Writer) Append(r update.Record) error {
 	recOff := w.written + int64(len(w.buf))
 	if recOff >= w.nextIdx {
 		w.index = append(w.index, indexEntry{key: r.Key, off: recOff})
+		w.zones = append(w.zones, zoneEntry{})
 		w.nextIdx = recOff + int64(w.cfg.IndexGranularity)
 		w.nextIdx -= w.nextIdx % int64(w.cfg.IndexGranularity)
 		if w.nextIdx <= recOff {
 			w.nextIdx += int64(w.cfg.IndexGranularity)
 		}
 	}
+	w.zones[len(w.zones)-1].add(&r)
 	w.buf = update.AppendEncode(w.buf, &r)
 	if w.count == 0 {
 		w.minKey, w.minTS = r.Key, r.TS
@@ -187,7 +264,9 @@ func (w *Writer) flushChunk(n int) error {
 }
 
 // Close flushes the tail and returns the completed run and the virtual
-// time of the last write.
+// time of the last write. With PersistZoneMaps set, the zone-map block is
+// written sequentially right after the data — the run's Size and CRC
+// still cover only the data bytes; the block is described by IndexSize.
 func (w *Writer) Close(passes int) (*Run, sim.Time, error) {
 	if len(w.buf) > 0 {
 		if err := w.flushChunk(len(w.buf)); err != nil {
@@ -208,6 +287,14 @@ func (w *Writer) Close(passes int) (*Run, sim.Time, error) {
 		cfg:    w.cfg,
 		vol:    w.vol,
 		index:  w.index,
+		zones:  w.zones,
+	}
+	if w.cfg.PersistZoneMaps {
+		block := encodeZoneBlock(w.index, w.zones, w.count, w.crc)
+		if _, err := w.sw.Write(block); err != nil {
+			return nil, 0, err
+		}
+		r.IndexSize = int64(len(block))
 	}
 	return r, w.sw.Time(), nil
 }
@@ -281,7 +368,10 @@ type Scanner struct {
 	begin, end uint64
 	queryTS    int64
 	gran       int
+	pred       *update.Pred
 
+	segs  []Segment
+	seg   int   // next unentered segment
 	off   int64 // next unread byte (absolute within run)
 	limit int64
 	buf   []byte // undecoded bytes carried between reads
@@ -293,6 +383,9 @@ type Scanner struct {
 	skipTS    int64
 	skipValid bool
 
+	skipped  int64 // effective granules pruned before any read was issued
+	filtered int64 // decoded records dropped by the pushdown predicate
+
 	one [1]update.Record // scratch for Next delegating to NextBatch
 }
 
@@ -300,11 +393,109 @@ type Scanner struct {
 // effective index granularity gran (bytes). gran selects between the
 // paper's coarse-grain and fine-grain run index configurations.
 func (r *Run) Scan(at sim.Time, begin, end uint64, queryTS int64, gran int) *Scanner {
-	start, limit := r.scanBounds(begin, end, gran)
-	return &Scanner{
-		r: r, begin: begin, end: end, queryTS: queryTS, gran: gran,
-		off: start, limit: limit, now: at,
+	return r.ScanPred(at, begin, end, queryTS, gran, nil)
+}
+
+// ScanPred is Scan with a pushdown predicate: zone maps prune whole
+// granules (their device reads are never submitted) and surviving records
+// are still filtered by pred before they leave the scanner, so nothing a
+// predicate excludes ever reaches the merge. A nil pred makes ScanPred
+// behave exactly like Scan — one contiguous window, no pruning.
+func (r *Run) ScanPred(at sim.Time, begin, end uint64, queryTS int64, gran int, pred *update.Pred) *Scanner {
+	segs, skipped := r.PlanSegments(begin, end, queryTS, gran, pred)
+	return r.ScanSegments(at, begin, end, queryTS, gran, pred, segs, skipped)
+}
+
+// ScanSegments builds a scanner from a precomputed segment plan (the plan
+// cache's entry point: segments for an identical query shape are reused
+// without re-consulting the zone maps). segs must come from PlanSegments
+// with the same (begin, end, queryTS, gran, pred) on this run.
+func (r *Run) ScanSegments(at sim.Time, begin, end uint64, queryTS int64, gran int,
+	pred *update.Pred, segs []Segment, skipped int64) *Scanner {
+	s := &Scanner{
+		r: r, begin: begin, end: end, queryTS: queryTS, gran: gran, pred: pred,
+		segs: segs, now: at, skipped: skipped,
 	}
+	if len(segs) > 0 {
+		s.off, s.limit = segs[0].Start, segs[0].Limit
+		s.seg = 1
+	}
+	return s
+}
+
+// PlanSegments computes the byte segments of the run a scan of
+// [begin, end] at queryTS with pushdown predicate pred must read, at
+// effective granularity gran, plus the number of effective granules the
+// zone maps pruned. With a nil pred the plan is the single scanBounds
+// window and nothing is pruned, keeping unpredicated scans bit-identical
+// to the pre-zone-map engine.
+func (r *Run) PlanSegments(begin, end uint64, queryTS int64, gran int, pred *update.Pred) ([]Segment, int64) {
+	start, limit := r.scanBounds(begin, end, gran)
+	if start >= limit {
+		return nil, 0
+	}
+	if pred == nil || len(r.zones) != len(r.index) {
+		// No predicate (or a legacy run with no zone maps): one window.
+		return []Segment{{Start: start, Limit: limit}}, 0
+	}
+	step := gran / r.cfg.IndexGranularity
+	if step < 1 {
+		step = 1
+	}
+	n := (len(r.index) + step - 1) / step
+	var (
+		segs    []Segment
+		skipped int64
+	)
+	for gi := 0; gi < n; gi++ {
+		gOff := r.index[gi*step].off
+		gNext := r.Size
+		if gi+1 < n {
+			gNext = r.index[(gi+1)*step].off
+		}
+		if gNext <= start || gOff >= limit {
+			continue // outside the key-range window
+		}
+		// Zone span of the effective granule: fold the step base zones.
+		lo := gi * step
+		hi := lo + step
+		if hi > len(r.zones) {
+			hi = len(r.zones)
+		}
+		span := r.zones[lo]
+		for _, z := range r.zones[lo+1 : hi] {
+			if z.count == 0 {
+				continue
+			}
+			if z.minKey < span.minKey {
+				span.minKey = z.minKey
+			}
+			if z.maxKey > span.maxKey {
+				span.maxKey = z.maxKey
+			}
+			if z.minTS < span.minTS {
+				span.minTS = z.minTS
+			}
+		}
+		// Prune when no key in the granule can match, or when every record
+		// in it committed at or after the query's snapshot.
+		if !pred.Overlaps(span.minKey, span.maxKey) || span.minTS >= queryTS {
+			skipped++
+			continue
+		}
+		if len(segs) > 0 && segs[len(segs)-1].Limit == gOff {
+			segs[len(segs)-1].Limit = gNext
+		} else {
+			segs = append(segs, Segment{Start: gOff, Limit: gNext})
+		}
+	}
+	return segs, skipped
+}
+
+// Stats returns how many effective granules the zone maps pruned and how
+// many decoded records the pushdown predicate filtered below the merge.
+func (s *Scanner) Stats() (granulesSkipped, recordsFiltered int64) {
+	return s.skipped, s.filtered
 }
 
 // SkipTo positions the scanner just after record (key, ts); used when a
@@ -386,6 +577,10 @@ func (s *Scanner) NextBatch(dst []update.Record) (int, error) {
 			if rec.Key < s.begin || rec.TS >= s.queryTS {
 				continue
 			}
+			if s.pred != nil && !s.pred.Match(rec.Key) {
+				s.filtered++
+				continue
+			}
 			if s.skipValid {
 				cur := update.Record{Key: rec.Key, TS: rec.TS}
 				bound := update.Record{Key: s.skipKey, TS: s.skipTS}
@@ -407,6 +602,13 @@ func (s *Scanner) NextBatch(dst []update.Record) (int, error) {
 				// at the window end means corruption, not truncation.
 				s.err = fmt.Errorf("runfile: run %d: %d undecodable bytes at scan end", s.r.ID, len(s.buf))
 				return 0, s.err
+			}
+			if s.seg < len(s.segs) {
+				// Hop over the pruned gap: the skipped granules' reads are
+				// simply never submitted to the device.
+				s.off, s.limit = s.segs[s.seg].Start, s.segs[s.seg].Limit
+				s.seg++
+				continue
 			}
 			s.done = true
 			return 0, nil

@@ -210,21 +210,26 @@ func (x *Index) Scan(at sim.Time, lo, hi []byte, fn func(row table.Row) bool) (s
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
-	now := at
-	for _, key := range sorted {
-		q, err := x.store.NewQuery(now, key, key)
-		if err != nil {
-			return now, err
-		}
+	// Fetch every candidate through ONE predicated merge query: the key
+	// set becomes a pushdown predicate, so zone maps prune the run
+	// granules and data pages between candidates instead of paying a
+	// full point query per key, and all fetches share one snapshot.
+	ranges := make([]update.KeyRange, len(sorted))
+	for i, k := range sorted {
+		ranges[i] = update.KeyRange{Lo: k, Hi: k}
+	}
+	q, err := x.store.NewQueryPred(at, sorted[0], sorted[len(sorted)-1], update.NewPred(ranges))
+	if err != nil {
+		return at, err
+	}
+	defer q.Close()
+	for {
 		row, ok, err := q.Next()
 		if err != nil {
-			q.Close()
-			return now, err
+			return q.Time(), err
 		}
-		now = q.Time()
-		q.Close()
 		if !ok {
-			continue // deleted since indexed
+			return q.Time(), nil // remaining candidates deleted since indexed
 		}
 		// Re-check the predicate on the fresh value: a cached update may
 		// have moved Y out of (or into) the range.
@@ -233,10 +238,9 @@ func (x *Index) Scan(at sim.Time, lo, hi []byte, fn func(row table.Row) bool) (s
 			continue
 		}
 		if !fn(row) {
-			return now, nil
+			return q.Time(), nil
 		}
 	}
-	return now, nil
 }
 
 // Entries reports the base and update-side posting counts (for tests and

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"masm/internal/sim"
+	"masm/internal/update"
 )
 
 // Scanner is the Table_range_scan operator (paper §3.2): it returns the
@@ -23,6 +24,12 @@ import (
 type Scanner struct {
 	t          *Table
 	begin, end uint64
+	// pred is an optional pushdown predicate: page refs whose key span
+	// cannot contain a matching key are never read (their device I/O is
+	// never issued), and rows failing it are dropped before the merge.
+	pred         *update.Pred
+	skippedPages int64
+	filtered     int64
 	// curFirstKey is the firstKey of the last page batch visited; the
 	// next batch starts at the first page with a strictly larger
 	// firstKey. started tracks whether any batch was visited.
@@ -43,13 +50,26 @@ type Scanner struct {
 
 // NewScanner starts a range scan of [begin, end] at virtual time at.
 func (t *Table) NewScanner(at sim.Time, begin, end uint64) *Scanner {
+	return t.NewScannerPred(at, begin, end, nil)
+}
+
+// NewScannerPred is NewScanner with a pushdown predicate (nil means
+// unpredicated, exactly NewScanner).
+func (t *Table) NewScannerPred(at sim.Time, begin, end uint64, pred *update.Pred) *Scanner {
 	return &Scanner{
 		t:       t,
 		begin:   begin,
 		end:     end,
+		pred:    pred,
 		nextKey: begin,
 		now:     at,
 	}
+}
+
+// Stats returns how many pages the predicate skipped (reads never issued)
+// and how many decoded rows it filtered.
+func (s *Scanner) Stats() (pagesSkipped, rowsFiltered int64) {
+	return s.skippedPages, s.filtered
 }
 
 // Time returns the scanner's local virtual time.
@@ -79,6 +99,28 @@ func (s *Scanner) nextBatchRefs(pagesPerIO int) []pageRef {
 	} else {
 		lo = sort.Search(len(refs), func(i int) bool { return refs[i].firstKey > s.curFirstKey })
 	}
+	// Pages are ordered by firstKey, so ref i's keys lie in
+	// [refs[i].firstKey, refs[i+1].firstKey): a page whose span cannot
+	// contain a predicate match is skipped without ever issuing its read.
+	span := func(i int) (uint64, uint64) {
+		hi := ^uint64(0)
+		if i+1 < len(refs) {
+			hi = refs[i+1].firstKey - 1
+		}
+		return refs[i].firstKey, hi
+	}
+	if s.pred != nil {
+		for lo < len(refs) && refs[lo].firstKey <= s.end {
+			plo, phi := span(lo)
+			if s.pred.Overlaps(plo, phi) {
+				break
+			}
+			s.skippedPages++
+			s.curFirstKey = refs[lo].firstKey
+			s.startedPage = true
+			lo++
+		}
+	}
 	if lo >= len(refs) || refs[lo].firstKey > s.end {
 		return nil
 	}
@@ -86,6 +128,14 @@ func (s *Scanner) nextBatchRefs(pagesPerIO int) []pageRef {
 	for lo+n < len(refs) && n < pagesPerIO &&
 		refs[lo+n].pageNo == refs[lo+n-1].pageNo+1 &&
 		refs[lo+n].firstKey <= s.end {
+		if s.pred != nil {
+			// End the batch before a non-matching page; the next batch's
+			// skip loop hops over it.
+			plo, phi := span(lo + n)
+			if !s.pred.Overlaps(plo, phi) {
+				break
+			}
+		}
 		n++
 	}
 	out := make([]pageRef, n)
@@ -146,6 +196,11 @@ func (s *Scanner) Next() (Row, bool) {
 					// ends the range; stop here.
 					s.done = true
 					return Row{}, false
+				}
+				if s.pred != nil && !s.pred.Match(k) {
+					s.filtered++
+					s.nextKey = k + 1
+					continue
 				}
 				s.nextKey = k + 1
 				return Row{Key: k, Body: p.Bodies[i], PageTS: p.TS}, true

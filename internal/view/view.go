@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"masm/internal/masm"
+	"masm/internal/query"
 	"masm/internal/sim"
 )
 
@@ -69,29 +70,29 @@ func (v *Aggregate) Stale() bool {
 
 // Refresh recomputes the view with a normal MaSM query over the full key
 // range — it therefore observes every cached update without touching the
-// update path at all (lazy maintenance). Returns the completion time.
+// update path at all (lazy maintenance). The per-bucket COUNT and SUM
+// fold through the streaming aggregate operator: buckets emit as the
+// key-ordered scan crosses each bucket boundary, so the refresh holds
+// one open bucket, never a staging table. Returns the completion time.
 func (v *Aggregate) Refresh(at sim.Time) (sim.Time, error) {
 	q, err := v.store.NewQuery(at, 0, ^uint64(0))
 	if err != nil {
 		return at, err
 	}
 	defer q.Close()
+	agg := query.NewAggregate(q.Rows(),
+		func(r *query.Row) uint64 { return r.Key / v.bucketWidth * v.bucketWidth },
+		func(r *query.Row) uint64 { return v.extract(r.Body) })
 	var buckets []Bucket
 	for {
-		row, ok, err := q.Next()
+		g, ok, err := agg.Next()
 		if err != nil {
 			return at, err
 		}
 		if !ok {
 			break
 		}
-		low := row.Key / v.bucketWidth * v.bucketWidth
-		if len(buckets) == 0 || buckets[len(buckets)-1].LowKey != low {
-			buckets = append(buckets, Bucket{LowKey: low})
-		}
-		b := &buckets[len(buckets)-1]
-		b.Count++
-		b.Sum += v.extract(row.Body)
+		buckets = append(buckets, Bucket{LowKey: g.Key, Count: g.Count, Sum: g.Sum})
 	}
 	v.buckets = buckets
 	v.freshAsOf = q.TS()

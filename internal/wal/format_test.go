@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"masm/internal/masm"
+	"masm/internal/runfile"
+)
+
+// TestRunMetaFormatGate pins the wire compatibility contract: a format-1
+// run descriptor is exactly runMetaSize bytes — byte-identical to what
+// pre-zone-map builds wrote — and only descriptors with Format >=
+// FormatZoneMaps carry the 8-byte zone-map block length.
+func TestRunMetaFormatGate(t *testing.T) {
+	v1 := masm.RunMeta{RunID: 3, Off: 4096, Size: 1 << 16, MaxTS: 77,
+		Passes: 2, Format: runfile.FormatVersion, CRC: 0xDEADBEEF}
+	enc1 := encodeRunMeta(nil, v1)
+	if len(enc1) != runMetaSize {
+		t.Fatalf("format-1 descriptor is %d bytes, want %d", len(enc1), runMetaSize)
+	}
+	dec1, rest, err := decodeRunMeta(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || dec1 != v1 {
+		t.Fatalf("format-1 round trip: %+v (rest %d)", dec1, len(rest))
+	}
+
+	v2 := v1
+	v2.Format = runfile.FormatZoneMaps
+	v2.IndexSize = 4104
+	enc2 := encodeRunMeta(nil, v2)
+	if len(enc2) != runMetaSize+8 {
+		t.Fatalf("format-2 descriptor is %d bytes, want %d", len(enc2), runMetaSize+8)
+	}
+	// The format-1 prefix of a v2 descriptor differs from enc1 only at the
+	// format field (bytes 33..34): the gate adds, never rewrites.
+	for i := 0; i < runMetaSize; i++ {
+		if i == 33 || i == 34 {
+			continue
+		}
+		if enc1[i] != enc2[i] {
+			t.Fatalf("byte %d changed between formats: %#x vs %#x", i, enc1[i], enc2[i])
+		}
+	}
+	dec2, rest, err := decodeRunMeta(enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || dec2 != v2 {
+		t.Fatalf("format-2 round trip: %+v (rest %d)", dec2, len(rest))
+	}
+
+	// A truncated v2 descriptor (format says zone maps, length says v1)
+	// must be rejected, not misread as a valid shorter record.
+	if _, _, err := decodeRunMeta(enc2[:runMetaSize]); err == nil {
+		t.Fatal("truncated format-2 descriptor decoded without error")
+	}
+
+	// Trailing bytes beyond one descriptor are returned, not consumed.
+	joined := append(append([]byte(nil), enc2...), enc1...)
+	dec, rest, err := decodeRunMeta(joined)
+	if err != nil || dec != v2 {
+		t.Fatalf("concatenated decode: %+v err=%v", dec, err)
+	}
+	if !bytes.Equal(rest, enc1) {
+		t.Fatalf("concatenated decode consumed %d extra bytes", len(enc1)-len(rest))
+	}
+}

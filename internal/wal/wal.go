@@ -42,6 +42,7 @@ import (
 
 	"masm/internal/masm"
 	"masm/internal/obs"
+	"masm/internal/runfile"
 	"masm/internal/sim"
 	"masm/internal/storage"
 	"masm/internal/update"
@@ -360,12 +361,15 @@ func (l *Log) LogUpdate(at sim.Time, rec update.Record) (sim.Time, error) {
 	return l.append(at, KindUpdate, update.AppendEncode(nil, &rec))
 }
 
-// runMetaSize is the wire size of a run descriptor: five u64/u8 location
-// fields plus the data-format version and the run data's CRC-32C.
+// runMetaSize is the wire size of a format-1 run descriptor: five u64/u8
+// location fields plus the data-format version and the run data's
+// CRC-32C. Descriptors with Format >= runfile.FormatZoneMaps append the
+// zone-map block length; gating the extra field on the format keeps
+// format-1 records byte-identical to what earlier builds wrote.
 const runMetaSize = 8 + 8 + 8 + 8 + 1 + 2 + 4
 
 func encodeRunMeta(dst []byte, run masm.RunMeta) []byte {
-	var b [runMetaSize]byte
+	var b [runMetaSize + 8]byte
 	binary.LittleEndian.PutUint64(b[0:], uint64(run.RunID))
 	binary.LittleEndian.PutUint64(b[8:], uint64(run.Off))
 	binary.LittleEndian.PutUint64(b[16:], uint64(run.Size))
@@ -373,7 +377,11 @@ func encodeRunMeta(dst []byte, run masm.RunMeta) []byte {
 	b[32] = byte(run.Passes)
 	binary.LittleEndian.PutUint16(b[33:], run.Format)
 	binary.LittleEndian.PutUint32(b[35:], run.CRC)
-	return append(dst, b[:]...)
+	if run.Format >= runfile.FormatZoneMaps {
+		binary.LittleEndian.PutUint64(b[runMetaSize:], uint64(run.IndexSize))
+		return append(dst, b[:]...)
+	}
+	return append(dst, b[:runMetaSize]...)
 }
 
 func decodeRunMeta(p []byte) (masm.RunMeta, []byte, error) {
@@ -393,7 +401,18 @@ func decodeRunMeta(p []byte) (masm.RunMeta, []byte, error) {
 		return masm.RunMeta{}, nil, fmt.Errorf("wal: negative run geometry (id %d, off %d, size %d)",
 			rm.RunID, rm.Off, rm.Size)
 	}
-	return rm, p[runMetaSize:], nil
+	p = p[runMetaSize:]
+	if rm.Format >= runfile.FormatZoneMaps {
+		if len(p) < 8 {
+			return masm.RunMeta{}, nil, fmt.Errorf("wal: short run meta index size")
+		}
+		rm.IndexSize = int64(binary.LittleEndian.Uint64(p))
+		if rm.IndexSize < 0 {
+			return masm.RunMeta{}, nil, fmt.Errorf("wal: negative run index size %d", rm.IndexSize)
+		}
+		p = p[8:]
+	}
+	return rm, p, nil
 }
 
 func encodeIDs(dst []byte, ids []int64) []byte {

@@ -1,0 +1,132 @@
+package masm
+
+// Streaming query facade: predicated, projected range queries over the
+// MaSM merge engine. A QuerySpec describes the query's shape; the engine
+// pushes the key predicate below the merge (zone maps prune whole run
+// granules and data pages before their reads are issued, and surviving
+// scans filter records before they enter the merge), narrows bodies with
+// the projection, and streams rows through the internal/query operator
+// pipeline without materializing a result. Repeated shapes reuse their
+// per-run prune decisions through the store's plan cache.
+
+import (
+	"fmt"
+
+	core "masm/internal/masm"
+	"masm/internal/query"
+	"masm/internal/update"
+)
+
+// KeyRange is one inclusive key interval of a query predicate.
+type KeyRange struct {
+	Lo, Hi uint64
+}
+
+// Projection selects a fixed-width column: Width body bytes at byte
+// offset Off. Rows whose body is shorter yield an empty body.
+type Projection struct {
+	Off, Width int
+}
+
+// QuerySpec is the shape of a streaming query. The zero value of each
+// field means "off": no key predicate scans [Begin, End] entirely, nil
+// Project returns whole bodies, nil Filter keeps every row, zero Limit
+// is unlimited.
+type QuerySpec struct {
+	// Begin, End bound the scan (inclusive). They are required: the
+	// all-keys scan is spelled Begin 0, End ^uint64(0), exactly like Scan.
+	Begin, End uint64
+	// KeyRanges is the pushdown predicate: only keys inside one of the
+	// (possibly overlapping, unsorted) ranges are returned. The engine
+	// normalizes them and prunes run granules and data pages whose key
+	// spans cannot match — their device reads are never issued.
+	KeyRanges []KeyRange
+	// Project narrows every returned body to one fixed-width column.
+	Project *Projection
+	// Filter is an arbitrary post-merge row predicate, applied after
+	// projection. It cannot be pushed below the merge (it sees merged
+	// bodies), so it prunes nothing — express key conditions in
+	// KeyRanges instead.
+	Filter func(key uint64, body []byte) bool
+	// Limit stops the query after this many rows (0 = unlimited). The
+	// scan stops pulling when the limit is hit, so unread granules cost
+	// nothing.
+	Limit int64
+}
+
+// pred builds the normalized pushdown predicate, or nil when the spec has
+// no key ranges.
+func (spec *QuerySpec) pred() *update.Pred {
+	if len(spec.KeyRanges) == 0 {
+		return nil
+	}
+	ranges := make([]update.KeyRange, len(spec.KeyRanges))
+	for i, r := range spec.KeyRanges {
+		ranges[i] = update.KeyRange{Lo: r.Lo, Hi: r.Hi}
+	}
+	return update.NewPred(ranges)
+}
+
+// Query streams the table rows matching spec into fn, in key order,
+// under snapshot isolation (one timestamp for the whole query, exactly
+// like Scan). fn returning false stops early. See QuerySpec for the
+// pushdown contract.
+func (t *Table) Query(spec QuerySpec, fn func(key uint64, body []byte) bool) error {
+	if spec.Begin > spec.End {
+		return fmt.Errorf("masm: query begin %d > end %d", spec.Begin, spec.End)
+	}
+	pred := spec.pred()
+	if pred != nil && pred.Empty() {
+		return nil // normalized predicate matches nothing
+	}
+	e := t.eng
+	e.mu.RLock()
+	if err := t.liveLocked(); err != nil {
+		e.mu.RUnlock()
+		return err
+	}
+	q, err := t.store.NewQueryPred(e.clock.now(), spec.Begin, spec.End, pred)
+	e.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		e.clock.advance(q.Time())
+		q.Close()
+	}()
+	it := buildPipeline(q, &spec)
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if !fn(r.Key, r.Body) {
+			return nil
+		}
+	}
+}
+
+// buildPipeline composes the operator tree above a merge-engine query:
+// projection, then the residual filter, then the limit.
+func buildPipeline(q *core.Query, spec *QuerySpec) query.Iterator {
+	var it query.Iterator = q.Rows()
+	if spec.Project != nil {
+		it = query.NewProject(it, spec.Project.Off, spec.Project.Width)
+	}
+	if spec.Filter != nil {
+		fn := spec.Filter
+		it = query.NewFilter(it, func(r *query.Row) bool { return fn(r.Key, r.Body) })
+	}
+	if spec.Limit > 0 {
+		it = query.NewLimit(it, spec.Limit)
+	}
+	return it
+}
+
+// Query is Table.Query on the default table; see QuerySpec.
+func (db *DB) Query(spec QuerySpec, fn func(key uint64, body []byte) bool) error {
+	return db.t.Query(spec, fn)
+}
