@@ -599,6 +599,19 @@ func (t *Table) CacheFill() float64 { return t.store.Fill() }
 // as ("", false, nil); the MigrationScheduler calls this in a loop, and
 // synchronous multi-tenant drivers can too.
 func (e *Engine) MigrateIfPressured() (tableName string, ran bool, err error) {
+	name, ran, err := e.migrateIfPressured(nil)
+	if err != nil {
+		return "", false, err
+	}
+	return name, ran, nil
+}
+
+// migrateIfPressured is MigrateIfPressured with two scheduler-facing
+// extensions: tables named in skip are excluded from arbitration (the
+// scheduler quarantines a table whose migration just failed so the rest
+// of the round proceeds), and on error the failing table's name is
+// returned alongside it so the caller knows what to quarantine.
+func (e *Engine) migrateIfPressured(skip map[string]bool) (tableName string, ran bool, err error) {
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -620,6 +633,9 @@ func (e *Engine) MigrateIfPressured() (tableName string, ran bool, err error) {
 	for _, t := range tables {
 		cached := t.store.CachedBytes()
 		total += cached
+		if skip[t.name] {
+			continue
+		}
 		if cached > biggestCached || (cached == biggestCached && (biggest == nil || t.id < biggest.id)) {
 			biggest, biggestCached = t, cached
 		}
@@ -645,7 +661,7 @@ func (e *Engine) MigrateIfPressured() (tableName string, ran bool, err error) {
 		if errors.Is(err, ErrActiveQueries) || errors.Is(err, ErrMigrationInProgress) || errors.Is(err, ErrTableDropped) {
 			return "", false, nil // transient; retry on the next round
 		}
-		return "", false, err
+		return target.name, false, err
 	}
 	return target.name, true, nil
 }
@@ -706,6 +722,24 @@ type EngineStats struct {
 	SSDBytesWritten int64
 	SSDRandomWrites int64
 	DiskBytesRead   int64
+}
+
+// CacheFill returns the catalog's total cached update bytes as a
+// fraction of the engine's logical cache capacity — the shared-pool
+// pressure signal MigrateIfPressured arbitrates on, exposed cheaply
+// (no per-table stats map) so admission control can consult it on
+// every write.
+func (e *Engine) CacheFill() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.cfg.CacheBytes <= 0 {
+		return 0
+	}
+	var total int64
+	for _, t := range e.tables {
+		total += t.store.CachedBytes()
+	}
+	return float64(total) / float64(e.cfg.CacheBytes)
 }
 
 // Stats returns a snapshot of the engine's counters with the per-table

@@ -411,9 +411,26 @@ func (s *Store) MigratePortion(at sim.Time, pagesPerPortion int) (end sim.Time, 
 	return end, last, nil
 }
 
+// FailMigrations arms (or, with nil, disarms) a migration failpoint:
+// while set, every Migrate attempt on this store fails with err before
+// touching any state. Chaos and scheduler tests use it to model a table
+// whose migration path is transiently broken (a full redo device, a bad
+// extent) while the rest of the catalog stays healthy.
+func (s *Store) FailMigrations(err error) {
+	s.mu.Lock()
+	s.failMigrate = err
+	s.mu.Unlock()
+}
+
 // Migrate begins and runs a migration in one call: the common path when
 // the caller knows no older queries are active.
 func (s *Store) Migrate(at sim.Time) (sim.Time, *MigrateReport, error) {
+	s.mu.Lock()
+	failErr := s.failMigrate
+	s.mu.Unlock()
+	if failErr != nil {
+		return at, nil, failErr
+	}
 	m, err := s.BeginMigration(at)
 	if err != nil {
 		return at, nil, err

@@ -43,9 +43,22 @@ type planCache struct {
 	entries []*planEntry
 }
 
+// clear drops every entry. The store calls it on each run-set version
+// bump: entries are only ever inserted at the current version, so after a
+// bump the whole cache is stale — and a stale entry left behind would pin
+// its runs' []runfile.Segment plans (and their backing arrays) until its
+// own key happened to be re-queried, which for an ad-hoc shape is never.
+func (c *planCache) clear() {
+	for i := range c.entries {
+		c.entries[i] = nil
+	}
+	c.entries = c.entries[:0]
+}
+
 // get returns the cached entry for key if it is still valid at version,
-// promoting it to the front. Stale entries (any run-set mutation since)
-// are dropped on sight.
+// promoting it to the front. Staleness here is belt and braces: clear()
+// empties the cache on every run-set mutation, so a version mismatch
+// should be unreachable.
 func (c *planCache) get(key planKey, version int64) *planEntry {
 	for i, e := range c.entries {
 		if e.key != key {

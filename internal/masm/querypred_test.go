@@ -217,6 +217,81 @@ func TestPlanCacheHitAndInvalidation(t *testing.T) {
 	}
 }
 
+// TestPlanCacheDropsStaleEntriesOnMutation pins the eager-invalidation
+// contract: a run-set mutation empties the whole plan cache immediately.
+// Before the fix, a stale entry was evicted only when its own key was
+// re-queried, so after a flush up to planCacheCap dead entries kept
+// holding per-run segment plans for shapes that were never asked again.
+func TestPlanCacheDropsStaleEntriesOnMutation(t *testing.T) {
+	e := newEnv(t, 2000, smallConfig())
+	e.applyRandom(1500) // enough to materialize runs
+
+	// Warm the cache with several distinct shapes.
+	for i := uint64(0); i < 5; i++ {
+		pred := update.NewPred([]update.KeyRange{{Lo: 100 * i, Hi: 100*i + 50}})
+		q, err := e.store.NewQueryPred(e.now, 0, ^uint64(0), pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainQueryRows(t, q)
+		e.now = q.Time()
+		q.Close()
+	}
+	e.store.mu.Lock()
+	warm := len(e.store.plans.entries)
+	e.store.mu.Unlock()
+	if warm == 0 {
+		t.Fatal("no plans cached after five predicated queries")
+	}
+
+	// Any run-set mutation — apply updates until one flushes into a run —
+	// must leave zero entries behind, without any query re-asking their
+	// keys.
+	e.store.mu.Lock()
+	v0 := e.store.runsVersion
+	e.store.mu.Unlock()
+	for i := 0; i < 100; i++ {
+		e.applyRandom(200)
+		now, err := e.store.Flush(e.now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.now = now
+		e.store.mu.Lock()
+		v := e.store.runsVersion
+		e.store.mu.Unlock()
+		if v != v0 {
+			break
+		}
+	}
+	e.store.mu.Lock()
+	stale := len(e.store.plans.entries)
+	v := e.store.runsVersion
+	e.store.mu.Unlock()
+	if v == v0 {
+		t.Fatal("run set never changed despite 20k updates and explicit flushes")
+	}
+	if stale != 0 {
+		t.Fatalf("%d stale plan-cache entries survived the run-set mutation (version %d→%d)", stale, v0, v)
+	}
+
+	// The cache still works after the purge: a fresh shape misses once,
+	// then hits.
+	pred := update.NewPred([]update.KeyRange{{Lo: 0, Hi: 400}})
+	for i := 0; i < 2; i++ {
+		q, err := e.store.NewQueryPred(e.now, 0, ^uint64(0), pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainQueryRows(t, q)
+		e.now = q.Time()
+		q.Close()
+	}
+	if e.store.m.PlanCacheHits.Value() == 0 {
+		t.Fatal("plan cache never hit after the purge")
+	}
+}
+
 // TestQueryPredPruningMetrics checks the pushdown observability contract:
 // a selective predicate over a store with materialized runs must record
 // skipped granules and filtered records, folded at query close.

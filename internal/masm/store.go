@@ -140,6 +140,10 @@ type Store struct {
 	// than the run's final size.
 	extents   map[int64]extent
 	migrating bool
+	// failMigrate, when non-nil, fails every Migrate attempt with this
+	// error — a test failpoint for modeling one broken table in a shared
+	// catalog (see FailMigrations).
+	failMigrate error
 	// runsVersion counts run-set mutations; a cached query plan is valid
 	// only while the version it was computed under still holds.
 	runsVersion int64
@@ -291,8 +295,11 @@ func (s *Store) addRunBytesLocked(delta int64) {
 	s.runBytes += delta
 	s.m.RunBytes.Set(s.runBytes)
 	// Every run-set mutation funnels through here, so this is also where
-	// cached query plans are invalidated.
+	// cached query plans are invalidated — eagerly, not lazily: an entry
+	// surviving until its own key is re-queried would keep dead runs'
+	// segment plans alive across flushes and migrations.
 	s.runsVersion++
+	s.plans.clear()
 }
 
 // Runs returns the current number of materialized sorted runs.

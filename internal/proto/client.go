@@ -1,0 +1,298 @@
+package proto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client is a masmd connection: a background reader demultiplexes
+// server frames to in-flight requests by sequence number, so any number
+// of goroutines can issue requests over the one connection and streamed
+// scans interleave with point writes. Methods are safe for concurrent
+// use.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	wmu  sync.Mutex // serializes frames onto the connection
+	wbuf []byte
+	w    *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint32]chan *Msg
+	nextSeq uint32
+	err     error // set once the reader dies; fails all later calls
+	done    chan struct{}
+}
+
+// DefaultScanWindow is the credit window a Scan opens with: the server
+// may have this many row batches in flight before the consumer must
+// drain one.
+const DefaultScanWindow = 8
+
+// Dial connects to a masmd server and completes the Hello handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (any net.Conn, so tests can
+// use net.Pipe) and performs the handshake.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 64<<10),
+		w:       bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint32]chan *Msg),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	resp, err := c.call(&Msg{Op: OpHello, Magic: Magic, Version: Version})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("proto: handshake: %w", err)
+	}
+	if resp.Op != OpOK || resp.Value != uint64(Version) {
+		c.Close()
+		return nil, fmt.Errorf("proto: handshake: server speaks version %d, want %d", resp.Value, Version)
+	}
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail with the
+// connection error.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	var buf []byte
+	for {
+		m := &Msg{}
+		var err error
+		buf, err = ReadFrame(c.r, buf, m)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		// Bodies alias the read buffer, which the next frame overwrites:
+		// copy before handing off.
+		m.Body = append([]byte(nil), m.Body...)
+		for i := range m.Rows {
+			m.Rows[i].Body = append([]byte(nil), m.Rows[i].Body...)
+		}
+		c.mu.Lock()
+		ch := c.pending[m.Seq]
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+		// A frame for an unknown seq (e.g. trailing batches of an
+		// abandoned scan) is dropped.
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		c.err = err
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+// register allocates a sequence number and its response channel. size
+// bounds the number of undelivered frames; scans size it by their
+// credit window so the reader never blocks on a slow consumer's
+// channel beyond the advertised window.
+func (c *Client) register(size int) (uint32, chan *Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	ch := make(chan *Msg, size)
+	c.pending[seq] = ch
+	return seq, ch, nil
+}
+
+func (c *Client) unregister(seq uint32) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// send writes one frame; safe for concurrent use.
+func (c *Client) send(m *Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var err error
+	c.wbuf, err = WriteFrame(c.w, c.wbuf, m)
+	if err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// call sends a request and waits for its single response frame.
+func (c *Client) call(m *Msg) (*Msg, error) {
+	seq, ch, err := c.register(1)
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregister(seq)
+	m.Seq = seq
+	if err := c.send(m); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Op == OpErr {
+			return nil, &WireError{Code: resp.Code, Retryable: resp.Retryable, Msg: resp.ErrMsg}
+		}
+		return resp, nil
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+}
+
+// Put upserts key in table. A backpressure rejection surfaces as a
+// retryable WireError (check IsRetryable).
+func (c *Client) Put(table string, key uint64, body []byte) error {
+	_, err := c.call(&Msg{Op: OpPut, Table: table, Key: key, Body: body})
+	return err
+}
+
+// Delete removes key from table.
+func (c *Client) Delete(table string, key uint64) error {
+	_, err := c.call(&Msg{Op: OpDelete, Table: table, Key: key})
+	return err
+}
+
+// Modify overwrites len(val) bytes at offset off of key's body.
+func (c *Client) Modify(table string, key uint64, off int, val []byte) error {
+	_, err := c.call(&Msg{Op: OpModify, Table: table, Key: key, Off: uint32(off), Body: val})
+	return err
+}
+
+// Scan streams table's rows in [begin, end] through fn in key order
+// until fn returns false, limit rows have been delivered (0 = no
+// limit), or the range is exhausted. Row bodies are only valid during
+// the callback.
+func (c *Client) Scan(table string, begin, end, limit uint64, fn func(key uint64, body []byte) bool) error {
+	const window = DefaultScanWindow
+	seq, ch, err := c.register(window)
+	if err != nil {
+		return err
+	}
+	defer c.unregister(seq)
+	if err := c.send(&Msg{Op: OpScan, Seq: seq, Table: table, Begin: begin, End: end, Limit: limit, Credits: window}); err != nil {
+		return err
+	}
+	stopped := false
+	for {
+		select {
+		case m := <-ch:
+			switch m.Op {
+			case OpErr:
+				return &WireError{Code: m.Code, Retryable: m.Retryable, Msg: m.ErrMsg}
+			case OpRows:
+				if !stopped {
+					for _, r := range m.Rows {
+						if !fn(r.Key, r.Body) {
+							// Consumer is done: stop delivering but keep
+							// granting credits so the server's stream drains
+							// to its final frame and the seq retires cleanly.
+							stopped = true
+							break
+						}
+					}
+				}
+				if m.Final {
+					return nil
+				}
+				if err := c.send(&Msg{Op: OpCredit, Seq: seq, Credits: 1}); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("proto: scan: unexpected frame op %d", m.Op)
+			}
+		case <-c.done:
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return err
+		}
+	}
+}
+
+// BeginTx opens a server-side cross-table transaction and returns its
+// id. The transaction is bound to this connection and aborted if the
+// connection drops.
+func (c *Client) BeginTx() (uint64, error) {
+	resp, err := c.call(&Msg{Op: OpBeginTx})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// TxPut, TxDelete, TxModify buffer updates in transaction txid.
+func (c *Client) TxPut(txid uint64, table string, key uint64, body []byte) error {
+	_, err := c.call(&Msg{Op: OpTxUpdate, TxID: txid, TxKind: TxPut, Table: table, Key: key, Body: body})
+	return err
+}
+
+func (c *Client) TxDelete(txid uint64, table string, key uint64) error {
+	_, err := c.call(&Msg{Op: OpTxUpdate, TxID: txid, TxKind: TxDelete, Table: table, Key: key})
+	return err
+}
+
+func (c *Client) TxModify(txid uint64, table string, key uint64, off int, val []byte) error {
+	_, err := c.call(&Msg{Op: OpTxUpdate, TxID: txid, TxKind: TxModify, Table: table, Key: key, Off: uint32(off), Body: val})
+	return err
+}
+
+// Commit durably commits transaction txid (through the server's group
+// commit, like every write). A conflict surfaces as a retryable
+// WireError with CodeConflict.
+func (c *Client) Commit(txid uint64) error {
+	_, err := c.call(&Msg{Op: OpTxCommit, TxID: txid})
+	return err
+}
+
+// Abort discards transaction txid.
+func (c *Client) Abort(txid uint64) error {
+	_, err := c.call(&Msg{Op: OpTxAbort, TxID: txid})
+	return err
+}
+
+// Stats fetches the server's engine stats as JSON.
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.call(&Msg{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// ErrBackpressure reports whether err is the server shedding write load
+// under cache-fill pressure — the typed, retryable rejection the
+// admission controller emits instead of collapsing.
+func ErrBackpressure(err error) bool {
+	var we *WireError
+	return errors.As(err, &we) && we.Code == CodeBackpressure
+}

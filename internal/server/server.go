@@ -1,0 +1,645 @@
+// Package server exposes a masm.Engine over the proto wire protocol:
+// one goroutine per connection, a shared group-commit pipeline that
+// batches every connection's writes into single WAL fsyncs, and
+// admission control that sheds write load with a typed retryable error
+// when migration cannot keep up with cache fill.
+//
+// Durability contract: a write is acknowledged only after the WAL sync
+// covering its append has returned. The group committer provides the
+// sync; acknowledgement strictly follows it, so a crash between append
+// and sync can lose only unacknowledged writes — never ack-then-lose.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"masm"
+	"masm/internal/obs"
+	"masm/internal/proto"
+	"masm/internal/txn"
+)
+
+// Options tunes a Server. The zero value picks usable defaults.
+type Options struct {
+	// AdmitThreshold is the cache-fill fraction (per table, and for the
+	// engine's shared pool) above which writes are shed with a
+	// retryable backpressure error. 0 selects 0.95. Admission uses the
+	// same occupancy signal MigrateIfPressured arbitrates on, so load
+	// shedding engages exactly when migration is already maximally
+	// behind.
+	AdmitThreshold float64
+	// AdmitWait is how long a write may wait for pressure to drop below
+	// the threshold before rejection; migration is kicked first, so a
+	// short wait often rides out a transient spike. 0 selects 2ms;
+	// negative disables waiting.
+	AdmitWait time.Duration
+	// MaxGroup caps how many commit tickets one fsync may absorb.
+	// 0 selects 1024.
+	MaxGroup int
+	// GroupWindow is how long the committer holds the first ticket of a
+	// batch to let concurrent writers' tickets join it. 0 selects an
+	// adaptive window tracking the measured sync cost (waiting one
+	// sync's worth at most doubles a commit's latency, while under N
+	// writers it multiplies the batch — and divides the fsync rate — by
+	// up to N); negative disables gathering. The window is skipped
+	// outright when at most one connection is live, so a lone client
+	// still sees bare-fsync latency.
+	GroupWindow time.Duration
+	// ScanBatchRows caps rows per streamed OpRows frame. 0 selects 256.
+	ScanBatchRows int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.AdmitThreshold == 0 {
+		out.AdmitThreshold = 0.95
+	}
+	if out.AdmitWait == 0 {
+		out.AdmitWait = 2 * time.Millisecond
+	}
+	if out.MaxGroup <= 0 {
+		out.MaxGroup = 1024
+	}
+	if out.ScanBatchRows <= 0 {
+		out.ScanBatchRows = 256
+	}
+	return out
+}
+
+// ticket is one write's seat in the group-commit queue; done receives
+// the result of the WAL sync that covered it.
+type ticket struct {
+	done chan error
+}
+
+// Server serves the proto protocol for one engine.
+type Server struct {
+	eng  *masm.Engine
+	opts Options
+
+	tickets    chan *ticket
+	commitQuit chan struct{}
+	commitDone chan struct{}
+	syncEWMA   atomic.Int64 // smoothed WAL sync cost, ns; feeds gatherWindow
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	quit   chan struct{}
+	connWG sync.WaitGroup
+
+	mConns      *obs.Gauge
+	mQueueDepth *obs.Gauge
+	mGroupSize  *obs.Histogram
+	mCommitWait *obs.Histogram
+	mRejects    *obs.Counter
+	mWrites     *obs.Counter
+	mScanRows   *obs.Counter
+	mScans      *obs.Counter
+}
+
+// New builds a Server over eng. Metrics register in the engine's
+// registry, so obs.Serve (MetricsAddr) exports them alongside the
+// engine's own.
+func New(eng *masm.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := eng.Registry()
+	s := &Server{
+		eng:        eng,
+		opts:       opts,
+		tickets:    make(chan *ticket, opts.MaxGroup),
+		commitQuit: make(chan struct{}),
+		commitDone: make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		quit:       make(chan struct{}),
+
+		mConns:      reg.Gauge("masm_server_conns"),
+		mQueueDepth: reg.Gauge("masm_server_commit_queue_depth"),
+		mGroupSize:  reg.Histogram("masm_wal_group_size"),
+		mCommitWait: reg.Histogram("masm_server_commit_wait_ns"),
+		mRejects:    reg.Counter("masm_server_backpressure_rejects"),
+		mWrites:     reg.Counter("masm_server_writes"),
+		mScanRows:   reg.Counter("masm_server_scan_rows"),
+		mScans:      reg.Counter("masm_server_scans"),
+	}
+	go s.committer()
+	return s
+}
+
+// Serve accepts connections on ln until Close; it returns nil after a
+// Close-initiated shutdown and the listener's error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return masm.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.mConns.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops accepting, tears down every connection (aborting its
+// open transactions and scans), waits for the handlers to drain, and
+// stops the group committer. It does not close the engine.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.quit)
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.connWG.Wait()
+	close(s.commitQuit)
+	<-s.commitDone
+	return nil
+}
+
+// committer is the group-commit pipeline: it blocks for the first
+// ticket, opportunistically drains every ticket already queued behind
+// it (bounded by MaxGroup), issues ONE WAL sync for the whole batch,
+// and only then releases the tickets — many clients' commits, one
+// fsync. masm_wal_group_size records how much each sync amortized.
+func (s *Server) committer() {
+	defer close(s.commitDone)
+	for {
+		var first *ticket
+		select {
+		case first = <-s.tickets:
+		case <-s.commitQuit:
+			s.failPending()
+			return
+		}
+		batch := append(make([]*ticket, 0, 64), first)
+		// Gathering window: concurrent writers' tickets trail the first
+		// by a client round-trip, so an immediate sync would commit a
+		// batch of one and serialize every connection behind per-ticket
+		// fsyncs. Holding the batch open for about one sync's cost lets
+		// the rest of the fleet pile on; a batch already as large as the
+		// live connection count stops early, since a closed-loop client
+		// has at most one commit in flight.
+		if conns := s.mConns.Value(); conns > 1 {
+			if w := s.gatherWindow(); w > 0 {
+				timer := time.NewTimer(w)
+			gather:
+				for len(batch) < s.opts.MaxGroup && int64(len(batch)) < conns {
+					select {
+					case t := <-s.tickets:
+						batch = append(batch, t)
+					case <-timer.C:
+						break gather
+					case <-s.commitQuit:
+						break gather
+					}
+				}
+				timer.Stop()
+			}
+		}
+	drain:
+		for len(batch) < s.opts.MaxGroup {
+			select {
+			case t := <-s.tickets:
+				batch = append(batch, t)
+			default:
+				break drain
+			}
+		}
+		s.mQueueDepth.Set(int64(len(s.tickets)))
+		start := time.Now()
+		err := s.eng.Sync()
+		syncNanos := time.Since(start).Nanoseconds()
+		s.recordSyncCost(syncNanos)
+		s.mCommitWait.Observe(syncNanos)
+		s.mGroupSize.Observe(int64(len(batch)))
+		for _, t := range batch {
+			t.done <- err
+		}
+	}
+}
+
+// gatherWindow resolves the effective gathering window: a fixed
+// configured one, or an EWMA of recent sync costs clamped to
+// [50µs, 2ms] so the wait stays proportional to what it amortizes.
+func (s *Server) gatherWindow() time.Duration {
+	if w := s.opts.GroupWindow; w != 0 {
+		if w < 0 {
+			return 0
+		}
+		return w
+	}
+	w := time.Duration(s.syncEWMA.Load())
+	switch {
+	case w < 50*time.Microsecond:
+		w = 50 * time.Microsecond
+	case w > 2*time.Millisecond:
+		w = 2 * time.Millisecond
+	}
+	return w
+}
+
+func (s *Server) recordSyncCost(nanos int64) {
+	old := s.syncEWMA.Load()
+	s.syncEWMA.Store(old - old/4 + nanos/4)
+}
+
+func (s *Server) failPending() {
+	for {
+		select {
+		case t := <-s.tickets:
+			t.done <- masm.ErrClosed
+		default:
+			return
+		}
+	}
+}
+
+// groupCommit seats one just-appended write in the commit queue and
+// waits for the covering sync. The ticket is enqueued strictly after
+// the engine apply (WAL append), so the sync that releases it is
+// ordered after the append it must make durable.
+func (s *Server) groupCommit() error {
+	t := &ticket{done: make(chan error, 1)}
+	select {
+	case s.tickets <- t:
+	case <-s.quit:
+		return masm.ErrClosed
+	}
+	return <-t.done
+}
+
+// admit applies write admission control for table t: under the
+// threshold it is free; over it, migration is kicked and the write may
+// briefly wait for relief before being shed.
+func (s *Server) admit(t *masm.Table) error {
+	thr := s.opts.AdmitThreshold
+	if t.CacheFill() < thr && s.eng.CacheFill() < thr {
+		return nil
+	}
+	s.eng.KickScheduler()
+	if s.opts.AdmitWait > 0 {
+		deadline := time.Now().Add(s.opts.AdmitWait)
+		for time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+			if t.CacheFill() < thr && s.eng.CacheFill() < thr {
+				return nil
+			}
+		}
+	}
+	s.mRejects.Inc()
+	return errBackpressure
+}
+
+var errBackpressure = errors.New("cache pressure: migration behind, retry after backoff")
+
+// conn is the per-connection state shared between its reader goroutine
+// and the scan goroutines it spawns.
+type conn struct {
+	s    *Server
+	c    net.Conn
+	quit chan struct{} // closed when the reader exits: scans must unwind
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu    sync.Mutex
+	scans map[uint32]chan uint32 // scan seq -> credit top-ups
+	txs   map[uint64]*masm.EngineTx
+	nexTx uint64
+
+	scanWG sync.WaitGroup
+}
+
+func (s *Server) handleConn(nc net.Conn) {
+	c := &conn{
+		s:     s,
+		c:     nc,
+		quit:  make(chan struct{}),
+		scans: make(map[uint32]chan uint32),
+		txs:   make(map[uint64]*masm.EngineTx),
+	}
+	c.serve()
+
+	// Teardown: wake every scan, wait for them, abort open transactions,
+	// then release the socket. After this a torn connection holds no
+	// goroutines, no query pins, and no transaction snapshots.
+	close(c.quit)
+	c.scanWG.Wait()
+	c.mu.Lock()
+	txs := c.txs
+	c.txs = nil
+	c.mu.Unlock()
+	for _, tx := range txs {
+		tx.Abort()
+	}
+	nc.Close()
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	s.mConns.Add(-1)
+	s.connWG.Done()
+}
+
+// reply serializes one frame onto the connection; scan goroutines and
+// the reader share the write side through wmu.
+func (c *conn) reply(m *proto.Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var err error
+	c.wbuf, err = proto.WriteFrame(c.c, c.wbuf, m)
+	return err
+}
+
+func (c *conn) replyErr(seq uint32, code uint16, retryable bool, err error) error {
+	return c.reply(&proto.Msg{Op: proto.OpErr, Seq: seq, Code: code, Retryable: retryable, ErrMsg: err.Error()})
+}
+
+func (c *conn) replyOK(seq uint32, value uint64) error {
+	return c.reply(&proto.Msg{Op: proto.OpOK, Seq: seq, Value: value})
+}
+
+// serve runs the connection's read loop until the peer goes away or
+// sends garbage. Handshake first: anything but a well-formed,
+// version-matched Hello ends the connection.
+func (c *conn) serve() {
+	var rbuf []byte
+	var m proto.Msg
+	var err error
+	rbuf, err = proto.ReadFrame(c.c, rbuf, &m)
+	if err != nil || m.Op != proto.OpHello || m.Magic != proto.Magic {
+		return
+	}
+	if m.Version != proto.Version {
+		c.replyErr(m.Seq, proto.CodeBadRequest, false,
+			fmt.Errorf("protocol version %d unsupported (server speaks %d)", m.Version, proto.Version))
+		return
+	}
+	if c.replyOK(m.Seq, uint64(proto.Version)) != nil {
+		return
+	}
+	for {
+		rbuf, err = proto.ReadFrame(c.c, rbuf, &m)
+		if err != nil {
+			// Torn or closed connection (or garbage framing): the caller
+			// cleans up scans and transactions.
+			return
+		}
+		if !c.dispatch(&m) {
+			return
+		}
+	}
+}
+
+// dispatch handles one request frame; it reports false when the
+// connection should end (write failure or protocol violation).
+func (c *conn) dispatch(m *proto.Msg) bool {
+	s := c.s
+	switch m.Op {
+	case proto.OpPut, proto.OpDelete, proto.OpModify:
+		tbl, err := s.eng.OpenTable(m.Table)
+		if err != nil {
+			return c.replyErr(m.Seq, proto.CodeNoTable, false, err) == nil
+		}
+		if err := s.admit(tbl); err != nil {
+			return c.replyErr(m.Seq, proto.CodeBackpressure, true, err) == nil
+		}
+		switch m.Op {
+		case proto.OpPut:
+			err = tbl.Insert(m.Key, m.Body)
+		case proto.OpDelete:
+			err = tbl.Delete(m.Key)
+		case proto.OpModify:
+			err = tbl.Modify(m.Key, int(m.Off), m.Body)
+		}
+		if err != nil {
+			return c.replyErr(m.Seq, proto.CodeInternal, false, err) == nil
+		}
+		// The update is applied (WAL-appended) but not yet durable: take
+		// a group-commit seat and ack only once the covering sync lands.
+		if err := s.groupCommit(); err != nil {
+			return c.replyErr(m.Seq, proto.CodeClosed, true, err) == nil
+		}
+		s.mWrites.Inc()
+		return c.replyOK(m.Seq, 0) == nil
+
+	case proto.OpScan:
+		tbl, err := s.eng.OpenTable(m.Table)
+		if err != nil {
+			return c.replyErr(m.Seq, proto.CodeNoTable, false, err) == nil
+		}
+		credits := m.Credits
+		if credits == 0 {
+			credits = 1
+		}
+		ch := make(chan uint32, 16)
+		c.mu.Lock()
+		if _, dup := c.scans[m.Seq]; dup {
+			c.mu.Unlock()
+			return c.replyErr(m.Seq, proto.CodeBadRequest, false, errors.New("scan seq already in use")) == nil
+		}
+		c.scans[m.Seq] = ch
+		c.mu.Unlock()
+		s.mScans.Inc()
+		c.scanWG.Add(1)
+		go c.runScan(tbl, m.Seq, m.Begin, m.End, m.Limit, credits, ch)
+		return true
+
+	case proto.OpCredit:
+		c.mu.Lock()
+		ch := c.scans[m.Seq]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m.Credits:
+			case <-c.quit:
+			}
+		}
+		return true
+
+	case proto.OpBeginTx:
+		tx, err := s.eng.BeginTx(masm.TxSnapshot)
+		if err != nil {
+			return c.replyErr(m.Seq, proto.CodeClosed, true, err) == nil
+		}
+		c.mu.Lock()
+		c.nexTx++
+		id := c.nexTx
+		c.txs[id] = tx
+		c.mu.Unlock()
+		return c.replyOK(m.Seq, id) == nil
+
+	case proto.OpTxUpdate:
+		c.mu.Lock()
+		tx := c.txs[m.TxID]
+		c.mu.Unlock()
+		if tx == nil {
+			return c.replyErr(m.Seq, proto.CodeNoTx, false, fmt.Errorf("unknown transaction %d", m.TxID)) == nil
+		}
+		var err error
+		switch m.TxKind {
+		case proto.TxPut:
+			err = tx.Insert(m.Table, m.Key, m.Body)
+		case proto.TxDelete:
+			err = tx.Delete(m.Table, m.Key)
+		case proto.TxModify:
+			err = tx.Modify(m.Table, m.Key, int(m.Off), m.Body)
+		default:
+			return c.replyErr(m.Seq, proto.CodeBadRequest, false, fmt.Errorf("unknown tx update kind %d", m.TxKind)) == nil
+		}
+		if err != nil {
+			return c.replyErr(m.Seq, proto.CodeInternal, false, err) == nil
+		}
+		return c.replyOK(m.Seq, 0) == nil
+
+	case proto.OpTxCommit:
+		c.mu.Lock()
+		tx := c.txs[m.TxID]
+		delete(c.txs, m.TxID)
+		c.mu.Unlock()
+		if tx == nil {
+			return c.replyErr(m.Seq, proto.CodeNoTx, false, fmt.Errorf("unknown transaction %d", m.TxID)) == nil
+		}
+		if err := tx.Commit(); err != nil {
+			if errors.Is(err, txn.ErrWriteConflict) {
+				return c.replyErr(m.Seq, proto.CodeConflict, true, err) == nil
+			}
+			return c.replyErr(m.Seq, proto.CodeInternal, false, err) == nil
+		}
+		if err := s.groupCommit(); err != nil {
+			return c.replyErr(m.Seq, proto.CodeClosed, true, err) == nil
+		}
+		s.mWrites.Inc()
+		return c.replyOK(m.Seq, 0) == nil
+
+	case proto.OpTxAbort:
+		c.mu.Lock()
+		tx := c.txs[m.TxID]
+		delete(c.txs, m.TxID)
+		c.mu.Unlock()
+		if tx == nil {
+			return c.replyErr(m.Seq, proto.CodeNoTx, false, fmt.Errorf("unknown transaction %d", m.TxID)) == nil
+		}
+		tx.Abort()
+		return c.replyOK(m.Seq, 0) == nil
+
+	case proto.OpStats:
+		blob, err := json.Marshal(s.eng.Stats())
+		if err != nil {
+			return c.replyErr(m.Seq, proto.CodeInternal, false, err) == nil
+		}
+		return c.reply(&proto.Msg{Op: proto.OpStatsJSON, Seq: m.Seq, Body: blob}) == nil
+
+	default:
+		// Unknown op on a well-framed message: answer with a typed error
+		// rather than killing the stream, so old servers degrade politely
+		// under newer clients.
+		return c.replyErr(m.Seq, proto.CodeBadRequest, false, fmt.Errorf("unknown op %d", m.Op)) == nil
+	}
+}
+
+// runScan streams one table scan as credit-gated row batches. Every
+// OpRows frame (final included) consumes one credit, so at most the
+// client's advertised window is ever in flight. When the connection
+// dies mid-stream the credit wait unblocks via c.quit and the scan
+// callback returns false, which closes the underlying query — no
+// goroutine, pin, or snapshot outlives the connection.
+func (c *conn) runScan(tbl *masm.Table, seq uint32, begin, end, limit uint64, credits uint32, creditCh chan uint32) {
+	defer func() {
+		c.mu.Lock()
+		delete(c.scans, seq)
+		c.mu.Unlock()
+		c.scanWG.Done()
+	}()
+	avail := int64(credits)
+	batch := &proto.Msg{Op: proto.OpRows, Seq: seq}
+	var batchBytes int
+	var sent uint64
+	// flush ships the accumulated batch once a credit is available; it
+	// reports false when the scan must abort (dead connection).
+	flush := func(final bool) bool {
+		for avail == 0 {
+			select {
+			case n := <-creditCh:
+				avail += int64(n)
+			case <-c.quit:
+				return false
+			}
+		}
+		avail--
+		batch.Final = final
+		if err := c.reply(batch); err != nil {
+			return false
+		}
+		c.s.mScanRows.Add(int64(len(batch.Rows)))
+		batch.Rows = batch.Rows[:0]
+		batchBytes = 0
+		return true
+	}
+	aborted := false
+	err := tbl.Scan(begin, end, func(key uint64, body []byte) bool {
+		select {
+		case <-c.quit:
+			aborted = true
+			return false
+		default:
+		}
+		batch.Rows = append(batch.Rows, proto.Row{Key: key, Body: append([]byte(nil), body...)})
+		batchBytes += 12 + len(body)
+		sent++
+		if limit > 0 && sent >= limit {
+			return false
+		}
+		if len(batch.Rows) >= c.s.opts.ScanBatchRows || batchBytes >= proto.MaxFrame/2 {
+			if !flush(false) {
+				aborted = true
+				return false
+			}
+		}
+		return true
+	})
+	if aborted {
+		return
+	}
+	if err != nil {
+		c.replyErr(seq, proto.CodeInternal, false, err)
+		return
+	}
+	flush(true)
+}

@@ -113,31 +113,63 @@ func (ms *MigrationScheduler) loop() {
 	}
 }
 
-// sweep drains the engine's cache pressure through MigrateIfPressured —
+// sweep drains the engine's cache pressure through migrateIfPressured —
 // each round migrates the most-pressured table (or, under total-pool
 // pressure, the largest consumer) until nothing qualifies; it reports
 // false when the engine has closed and the loop should exit.
+//
+// A failing table does not end the round: it is quarantined for the rest
+// of this sweep and arbitration continues, so one table with a broken
+// migration path (a full redo device, say) cannot starve every other
+// pressured table out of the kick that was already consumed. The first
+// error is retained for Err; a sweep that finishes with no error clears
+// any earlier one — the scheduler retries forever, and a transient
+// failure thousands of clean sweeps ago is not worth reporting.
 func (ms *MigrationScheduler) sweep() bool {
+	var skip map[string]bool
+	var firstErr error
 	for {
-		name, ran, err := ms.eng.MigrateIfPressured()
+		name, ran, err := ms.eng.migrateIfPressured(skip)
 		if errors.Is(err, ErrClosed) {
 			return false
 		}
 		if err != nil {
-			// Record the failure but keep running: a transient error (e.g.
-			// one redo-log write) must not silently end background
-			// migration for the engine's lifetime while writes keep
-			// filling the cache. The next tick retries.
-			ms.failed.Store(errBox{err})
-			return true
+			if firstErr == nil {
+				firstErr = err
+			}
+			if name == "" {
+				// Engine-level failure with no table to quarantine; give
+				// up on this round and let the next tick retry.
+				break
+			}
+			if skip == nil {
+				skip = make(map[string]bool)
+			}
+			skip[name] = true
+			continue
 		}
 		if !ran {
-			return true
+			break
 		}
 		ms.ran.Add(1)
 		ms.mu.Lock()
 		ms.byTable[name]++
 		ms.mu.Unlock()
+	}
+	ms.failed.Store(errBox{firstErr})
+	return true
+}
+
+// KickScheduler nudges the engine's background migration scheduler, if
+// one is running; it never blocks. Admission controllers call it when
+// they start shedding writes so relief is already underway by the time
+// a shed client retries.
+func (e *Engine) KickScheduler() {
+	e.mu.RLock()
+	ms := e.sched
+	e.mu.RUnlock()
+	if ms != nil {
+		ms.Kick()
 	}
 }
 
@@ -166,8 +198,10 @@ func (ms *MigrationScheduler) TableMigrations() map[string]int64 {
 	return out
 }
 
-// Err returns the most recent unexpected migration error, if any. The
-// scheduler keeps retrying after errors; Err lets callers surface them.
+// Err returns the first unexpected migration error from the most recent
+// sweep, or nil after a fully clean sweep. The scheduler keeps retrying
+// after errors; Err lets callers surface a *current* failure without a
+// long-recovered transient masquerading as one forever.
 func (ms *MigrationScheduler) Err() error {
 	if b, ok := ms.failed.Load().(errBox); ok {
 		return b.err

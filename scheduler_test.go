@@ -1,6 +1,7 @@
 package masm
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -43,6 +44,103 @@ func TestMigrationSchedulerTriggers(t *testing.T) {
 	st := db.Stats()
 	if st.Migrations < 1 {
 		t.Fatalf("stats report %d migrations", st.Migrations)
+	}
+}
+
+// TestMigrationSchedulerErrClears: a transient migration failure shows up
+// in Err, and the first fully clean sweep after recovery clears it. Before
+// the fix Err was sticky for the scheduler's lifetime: one ENOSPC'd redo
+// write would be reported forever, through thousands of clean sweeps.
+func TestMigrationSchedulerErrClears(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 1 << 20
+	cfg.MigrateThreshold = 0.05
+	db := loadStressDB(t, 1000, cfg)
+	defer db.Close()
+
+	boom := errors.New("injected: redo device full")
+	db.t.store.FailMigrations(boom)
+	ms, err := db.StartMigrationScheduler(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := uint64(i%3000) + 1
+		if err := db.Insert(key, stressBody(key, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "scheduler to report the injected error", func() bool {
+		return errors.Is(ms.Err(), boom)
+	})
+	if ms.Migrations() != 0 {
+		t.Fatalf("%d migrations ran despite the failpoint", ms.Migrations())
+	}
+
+	// The fault heals; the next clean sweep must both migrate and clear Err.
+	db.t.store.FailMigrations(nil)
+	ms.Kick()
+	waitFor(t, "background migration after recovery", func() bool { return ms.Migrations() >= 1 })
+	waitFor(t, "Err to clear after a clean sweep", func() bool { return ms.Err() == nil })
+}
+
+// TestMigrationSchedulerSweepContinuesPastFailure: one table with a broken
+// migration path must not starve the rest of the round. Both tables are
+// pressured; table a's migration fails; a single deterministic sweep must
+// still migrate table b, report the failure, and — once a heals — clear
+// the error on the next clean sweep.
+func TestMigrationSchedulerSweepContinuesPastFailure(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MigrateThreshold = 0.05
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	opts := TableOptions{CacheBytes: 1 << 20}
+	a := loadTable(t, e, "a", 500, opts)
+	b := loadTable(t, e, "b", 500, opts)
+	for i := 0; i < 2000; i++ {
+		key := uint64(i%3000) + 1
+		if err := a.Insert(key, stressBody(key, i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Insert(key, stressBody(key, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.CacheFill() < cfg.MigrateThreshold || b.CacheFill() < cfg.MigrateThreshold {
+		t.Fatalf("setup did not pressure both tables: a=%.3f b=%.3f", a.CacheFill(), b.CacheFill())
+	}
+
+	boom := errors.New("injected: table a cannot migrate")
+	a.store.FailMigrations(boom)
+	// Drive sweeps directly — no goroutine, no ticks — so "same round" is
+	// literal, not a property of retry timing.
+	ms := &MigrationScheduler{eng: e, byTable: make(map[string]int64)}
+	if !ms.sweep() {
+		t.Fatal("sweep reported engine closed")
+	}
+	got := ms.TableMigrations()
+	if got["b"] == 0 {
+		t.Fatalf("table b did not migrate in the round where a failed: %v", got)
+	}
+	if got["a"] != 0 {
+		t.Fatalf("table a migrated despite the failpoint: %v", got)
+	}
+	if !errors.Is(ms.Err(), boom) {
+		t.Fatalf("Err = %v, want the injected failure", ms.Err())
+	}
+
+	a.store.FailMigrations(nil)
+	if !ms.sweep() {
+		t.Fatal("sweep reported engine closed")
+	}
+	if ms.Err() != nil {
+		t.Fatalf("Err = %v after a clean sweep, want nil", ms.Err())
+	}
+	if got := ms.TableMigrations(); got["a"] == 0 {
+		t.Fatalf("table a never migrated after recovery: %v", got)
 	}
 }
 
